@@ -1,0 +1,69 @@
+// Ablation: the Gradient Model's knobs. The paper (§3.1) notes that the
+// 20-unit interval is "fairly low ... which should be an asset to its
+// performance" and that GM assumes a communication co-processor. This bench
+// sweeps the interval and water-marks, and toggles the two semantic
+// choices our implementation exposes: require_gradient (send only when an
+// idle PE is actually inferred) and send_newest.
+
+#include "bench_common.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Ablation — Gradient Model parameters",
+               "grid:10x10 and dlm:5:10x10, fib(15)");
+
+  for (const char* topo : {"grid:10x10", "dlm:5:10x10"}) {
+    std::printf("-- interval sweep on %s (hwm=2, lwm=1) --\n", topo);
+    TextTable t({"interval", "util %", "speedup", "goal msgs", "ctrl msgs"});
+    for (const int interval : {5, 10, 20, 40, 80, 160, 320}) {
+      ExperimentConfig cfg = core::paper::base_config();
+      cfg.topology = topo;
+      cfg.strategy = strfmt("gm:hwm=2,lwm=1,interval=%d", interval);
+      cfg.workload = "fib:15";
+      const auto r = core::run_experiment(cfg);
+      t.add_row({std::to_string(interval), fixed(r.utilization_percent(), 1),
+                 fixed(r.speedup, 1), std::to_string(r.goal_transmissions),
+                 std::to_string(r.control_transmissions)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("-- water-mark sweep on grid:10x10 (interval=20) --\n");
+  TextTable wm({"hwm", "lwm", "util %", "speedup", "goal msgs"});
+  for (const int hwm : {1, 2, 3, 5, 8}) {
+    for (const int lwm : {1, 2}) {
+      if (lwm > hwm) continue;
+      ExperimentConfig cfg = core::paper::base_config();
+      cfg.topology = "grid:10x10";
+      cfg.strategy = strfmt("gm:hwm=%d,lwm=%d,interval=20", hwm, lwm);
+      cfg.workload = "fib:15";
+      const auto r = core::run_experiment(cfg);
+      wm.add_row({std::to_string(hwm), std::to_string(lwm),
+                  fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+                  std::to_string(r.goal_transmissions)});
+    }
+  }
+  std::printf("%s\n", wm.to_string().c_str());
+
+  std::printf("-- semantic toggles on grid:10x10 (hwm=2, lwm=1, i=20) --\n");
+  TextTable tg({"require_gradient", "send_newest", "util %", "goal msgs"});
+  for (const bool rg : {true, false}) {
+    for (const bool sn : {true, false}) {
+      ExperimentConfig cfg = core::paper::base_config();
+      cfg.topology = "grid:10x10";
+      cfg.strategy = strfmt("gm:requiregradient=%d,sendnewest=%d", rg ? 1 : 0,
+                            sn ? 1 : 0);
+      cfg.workload = "fib:15";
+      const auto r = core::run_experiment(cfg);
+      tg.add_row({rg ? "yes" : "no", sn ? "yes" : "no",
+                  fixed(r.utilization_percent(), 1),
+                  std::to_string(r.goal_transmissions)});
+    }
+  }
+  std::printf("%s\n", tg.to_string().c_str());
+  std::printf("expected: shorter intervals help GM (the paper gave it 20); "
+              "hoarding grows with hwm; blind sends waste messages.\n");
+  return 0;
+}

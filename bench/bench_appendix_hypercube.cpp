@@ -1,0 +1,56 @@
+// Appendix I of the paper: "Simulation Experiments for the Hypercubes" —
+// utilization vs number of goals for Fibonacci on hypercubes of dimension
+// 2, 5, 7 and 8 (plots A-1 .. A-5). CWN uses radius = diameter = dimension
+// (the natural analogue of the grid settings); GM uses the grid watermarks.
+
+#include "bench_common.hpp"
+#include "topo/graph_algos.hpp"
+#include "topo/hypercube.hpp"
+#include "workload/fib.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Appendix A-1..A-5 — fib on hypercubes",
+               "average PE utilization (%) vs number of goals; CWN vs GM");
+
+  const std::vector<std::uint32_t> fib_args = {7, 9, 11, 13, 15, 18};
+  for (const std::uint32_t dim : core::paper::hypercube_dims()) {
+    const std::string topo = strfmt("hypercube:%u", dim);
+    const std::string cwn_spec =
+        strfmt("cwn:radius=%u,horizon=%u", std::max(2u, dim),
+               std::min(2u, std::max(1u, dim / 2)));
+    const std::string gm_spec = core::paper::gm_spec(Family::Grid);
+
+    std::vector<ExperimentConfig> configs;
+    for (const auto& wl : core::paper::fib_specs()) {
+      ExperimentConfig cwn = core::paper::base_config();
+      cwn.topology = topo;
+      cwn.strategy = cwn_spec;
+      cwn.workload = wl;
+      ExperimentConfig gm = cwn;
+      gm.strategy = gm_spec;
+      configs.push_back(cwn);
+      configs.push_back(gm);
+    }
+    const auto results = core::run_all(configs);
+
+    std::printf("-- Hypercube of dimension %u (%u PEs), query: Fibonacci --\n",
+                dim, 1u << dim);
+    TextTable t({"goals", "CWN util %", "GM util %", "ratio"});
+    for (std::size_t i = 0; i < fib_args.size(); ++i) {
+      const auto& cwn = results[2 * i];
+      const auto& gm = results[2 * i + 1];
+      t.add_row({std::to_string(workload::FibWorkload::tree_size(fib_args[i])),
+                 fixed(cwn.utilization_percent(), 1),
+                 fixed(gm.utilization_percent(), 1),
+                 fixed(speedup_ratio(cwn, gm), 2)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  std::printf("expected shape: same ordering as the grids (CWN ahead), with "
+              "margins between the grid and DLM cases (hypercube diameters "
+              "sit between the two).\n");
+  return 0;
+}

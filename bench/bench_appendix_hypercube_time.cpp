@@ -1,0 +1,28 @@
+// Appendix I, plots A-6..A-8: utilization vs time for Fibonacci on the
+// dimension-7 hypercube (128 PEs), for fib 18, 15 and a small size.
+
+#include "bench_common.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Appendix A-6..A-8 — utilization vs time, hypercube dim 7",
+               "sampled every 50 units; bars show % of PE capacity busy");
+
+  for (const char* wl : {"fib:18", "fib:15", "fib:9"}) {
+    ExperimentConfig cwn = core::paper::base_config();
+    cwn.topology = "hypercube:7";
+    cwn.strategy = "cwn:radius=7,horizon=2";
+    cwn.workload = wl;
+    cwn.machine.sample_interval = 50;
+    ExperimentConfig gm = cwn;
+    gm.strategy = core::paper::gm_spec(Family::Grid);
+    const auto results = core::run_all({cwn, gm});
+
+    std::printf("-- query %s --\n", wl);
+    print_time_profile(results[0]);
+    print_time_profile(results[1]);
+  }
+  return 0;
+}

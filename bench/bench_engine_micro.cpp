@@ -1,0 +1,105 @@
+// Microbenchmarks of the discrete-event substrate (google-benchmark):
+// event scheduling throughput, resource contention handling, topology
+// construction, routing-table build, and a small end-to-end simulation.
+// These quantify the cost of the ORACLE substitution (DESIGN.md §2).
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/dlm.hpp"
+#include "topo/factory.hpp"
+#include "topo/graph_algos.hpp"
+#include "topo/grid.hpp"
+
+namespace {
+
+using namespace oracle;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i)
+      sched.schedule_at(i % 64, [&fired] { ++fired; });
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerEventThroughput)->Arg(1024)->Arg(65536);
+
+void BM_SchedulerCascade(benchmark::State& state) {
+  // Each event schedules the next: measures per-event latency, not heap
+  // bulk behaviour.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    int remaining = n;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) sched.schedule_after(1, step);
+    };
+    sched.schedule_at(0, step);
+    sched.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerCascade)->Arg(65536);
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::Resource res(sched, "bench", 1);
+    const int n = static_cast<int>(state.range(0));
+    int done = 0;
+    for (int i = 0; i < n; ++i) res.acquire_for(3, [&done] { ++done; });
+    sched.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResourceContention)->Arg(4096);
+
+void BM_TopologyBuildGrid(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::Grid2D grid(20, 20, false);
+    benchmark::DoNotOptimize(grid.num_links());
+  }
+}
+BENCHMARK(BM_TopologyBuildGrid);
+
+void BM_TopologyBuildDlm(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::DoubleLatticeMesh dlm(5, 20, 20);
+    benchmark::DoNotOptimize(dlm.num_links());
+  }
+}
+BENCHMARK(BM_TopologyBuildDlm);
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  topo::Grid2D grid(20, 20, false);
+  for (auto _ : state) {
+    topo::RoutingTable routes(grid);
+    benchmark::DoNotOptimize(routes.next_hop(0, 399));
+  }
+}
+BENCHMARK(BM_RoutingTableBuild);
+
+void BM_EndToEndSmallRun(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.topology = "grid:5x5";
+    cfg.strategy = "cwn:radius=9,horizon=2";
+    cfg.workload = "fib:11";
+    auto r = core::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.completion_time);
+  }
+}
+BENCHMARK(BM_EndToEndSmallRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// The Fibonacci analogues of Plots 1-10. The paper omits these plots ("The
+// Fibonacci plots are very similar, so we omit them") but reports all 120
+// fib runs in Table 2; this bench regenerates the utilization-vs-goals
+// series so the similarity claim can be checked directly.
+
+#include "bench_common.hpp"
+#include "workload/fib.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Plots (omitted in paper) — fib on grids and DLMs",
+               "average PE utilization (%) vs number of goals; CWN vs GM");
+
+  const std::vector<std::uint32_t> fib_args = {7, 9, 11, 13, 15, 18};
+  for (const Family family : {Family::Dlm, Family::Grid}) {
+    const auto& sizes = core::paper::size_points();
+    for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+      const std::string topo =
+          family == Family::Grid ? it->grid_spec : it->dlm_spec;
+      std::vector<ExperimentConfig> configs;
+      for (const auto& wl : core::paper::fib_specs()) {
+        auto [cwn, gm] = paired_configs(family, topo, wl);
+        configs.push_back(cwn);
+        configs.push_back(gm);
+      }
+      const auto results = core::run_all(configs);
+
+      std::printf("-- %s (%u PEs), query: Fibonacci --\n", topo.c_str(),
+                  it->pes);
+      TextTable t({"goals", "CWN util %", "GM util %", "ratio"});
+      for (std::size_t i = 0; i < fib_args.size(); ++i) {
+        const auto& cwn = results[2 * i];
+        const auto& gm = results[2 * i + 1];
+        t.add_row({std::to_string(workload::FibWorkload::tree_size(fib_args[i])),
+                   fixed(cwn.utilization_percent(), 1),
+                   fixed(gm.utilization_percent(), 1),
+                   fixed(speedup_ratio(cwn, gm), 2)});
+      }
+      std::printf("%s\n", t.to_string().c_str());
+    }
+  }
+  std::printf("expected shape: 'very similar' to the dc plots (the paper's "
+              "stated reason for omitting them).\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Plots 11-13 of the paper: PE utilization versus time on the 100-PE
+// double lattice mesh (DLM span 5, 10x10) for Fibonacci of 18, 15 and 9.
+// The paper's reading: CWN has a much faster rise-time but cannot hold
+// 100%; GM rises slowly but holds the plateau; plot 11 shows CWN's
+// "extended tail".
+
+#include "bench_common.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Plots 11-13 — utilization vs time, DLM(5, 10x10), Fibonacci",
+               "sampled every 50 units; bars show % of PE capacity busy");
+
+  int plot_no = 11;
+  for (const char* wl : {"fib:18", "fib:15", "fib:9"}) {
+    auto [cwn_cfg, gm_cfg] = paired_configs(Family::Dlm, "dlm:5:10x10", wl);
+    cwn_cfg.machine.sample_interval = 50;
+    gm_cfg.machine.sample_interval = 50;
+    const auto results = core::run_all({cwn_cfg, gm_cfg});
+
+    std::printf("-- Plot %d: query %s --\n", plot_no++, wl);
+    print_time_profile(results[0]);
+    print_time_profile(results[1]);
+  }
+  std::printf("expected shape: CWN rises to its peak much earlier than GM "
+              "(fast spread), GM holds its plateau longer once reached.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Plots 14-16 of the paper: PE utilization versus time on the 10x10 grid
+// for Fibonacci of 18, 15 and 9. On grids the paper observes a "stronger
+// flattening" of GM: when ~40% of PEs have work, most PEs stop seeing
+// enough load to share, parallelism generation stalls, and the curve
+// plateaus low (the "vicious cycle").
+
+#include "bench_common.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Plots 14-16 — utilization vs time, 10x10 grid, Fibonacci",
+               "sampled every 50 units; bars show % of PE capacity busy");
+
+  int plot_no = 14;
+  for (const char* wl : {"fib:18", "fib:15", "fib:9"}) {
+    auto [cwn_cfg, gm_cfg] = paired_configs(Family::Grid, "grid:10x10", wl);
+    cwn_cfg.machine.sample_interval = 50;
+    gm_cfg.machine.sample_interval = 50;
+    const auto results = core::run_all({cwn_cfg, gm_cfg});
+
+    std::printf("-- Plot %d: query %s --\n", plot_no++, wl);
+    print_time_profile(results[0]);
+    print_time_profile(results[1]);
+  }
+  std::printf("expected shape: CWN's fast rise vs GM's low flattened curve "
+              "on the grid; both taper during the combine-dominated tail.\n");
+  return 0;
+}

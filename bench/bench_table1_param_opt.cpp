@@ -1,0 +1,101 @@
+// Table 1 of the paper: the optimization experiments that selected each
+// scheme's parameters. "We chose a few sample points in the space of
+// planned experiments, and ran the simulations for various combination of
+// parameters. The winning combinations were used for the comparison
+// experiments."
+//
+// Sample points used here: fib(13) and dc(1,377) on the 100-PE grid and the
+// 100-PE DLM (mid-table cells). The score is mean speedup over the points.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+namespace {
+
+double score(const std::string& strategy, Family family) {
+  const auto& size = core::paper::size_points()[2];  // 100 PEs
+  const std::string topo =
+      family == Family::Grid ? size.grid_spec : size.dlm_spec;
+  std::vector<ExperimentConfig> configs;
+  for (const char* wl : {"fib:13", "dc:1:377"}) {
+    ExperimentConfig cfg = core::paper::base_config();
+    cfg.topology = topo;
+    cfg.strategy = strategy;
+    cfg.workload = wl;
+    configs.push_back(cfg);
+  }
+  const auto results = core::run_all(configs);
+  double sum = 0;
+  for (const auto& r : results) sum += r.speedup;
+  return sum / static_cast<double>(results.size());
+}
+
+void sweep_cwn(Family family, const char* label) {
+  std::printf("-- CWN parameter sweep on the %s --\n", label);
+  TextTable t({"radius", "horizon", "mean speedup"});
+  double best = -1;
+  std::string best_params;
+  for (const int radius : {2, 3, 5, 7, 9, 12}) {
+    for (const int horizon : {0, 1, 2, 3}) {
+      if (horizon > radius) continue;
+      const std::string spec =
+          strfmt("cwn:radius=%d,horizon=%d", radius, horizon);
+      const double s = score(spec, family);
+      t.add_row({std::to_string(radius), std::to_string(horizon),
+                 fixed(s, 1)});
+      if (s > best) {
+        best = s;
+        best_params = strfmt("radius=%d, horizon=%d", radius, horizon);
+      }
+    }
+  }
+  std::printf("%s\nwinner: %s (paper Table 1: %s)\n\n",
+              t.to_string().c_str(), best_params.c_str(),
+              family == Family::Grid ? "radius=9, horizon=2"
+                                     : "radius=5, horizon=1");
+}
+
+void sweep_gm(Family family, const char* label) {
+  std::printf("-- Gradient Model parameter sweep on the %s --\n", label);
+  TextTable t({"hwm", "lwm", "interval", "mean speedup"});
+  double best = -1;
+  std::string best_params;
+  for (const int hwm : {1, 2, 4}) {
+    for (const int lwm : {1, 2}) {
+      if (lwm > hwm) continue;
+      for (const int interval : {10, 20, 40, 80}) {
+        const std::string spec =
+            strfmt("gm:hwm=%d,lwm=%d,interval=%d", hwm, lwm, interval);
+        const double s = score(spec, family);
+        t.add_row({std::to_string(hwm), std::to_string(lwm),
+                   std::to_string(interval), fixed(s, 1)});
+        if (s > best) {
+          best = s;
+          best_params = strfmt("hwm=%d, lwm=%d, interval=%d", hwm, lwm,
+                               interval);
+        }
+      }
+    }
+  }
+  std::printf("%s\nwinner: %s (paper Table 1: %s)\n\n",
+              t.to_string().c_str(), best_params.c_str(),
+              family == Family::Grid ? "hwm=2, lwm=1, interval=20"
+                                     : "hwm=1, lwm=1, interval=20");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 1 — Parameter optimization experiments",
+               "sample points: fib(13) and dc(1,377) on 100-PE networks; "
+               "score = mean speedup");
+  sweep_cwn(Family::Grid, "10x10 grid");
+  sweep_cwn(Family::Dlm, "DLM(5, 10x10)");
+  sweep_gm(Family::Grid, "10x10 grid");
+  sweep_gm(Family::Dlm, "DLM(5, 10x10)");
+  return 0;
+}

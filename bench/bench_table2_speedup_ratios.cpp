@@ -1,0 +1,75 @@
+// Table 2 of the paper: "Speedup of CWN over GM" — the full 240-run
+// comparison (2 programs x 6 sizes x 2 topology families x 5 sizes x 2
+// strategies), printed as the paper's 12-row x 10-column ratio table.
+//
+// Expected shape (paper): CWN wins in 118/120 cells; >10% in 110; up to
+// ~3x on the large grids; DLM margins much smaller (1.0-1.5x).
+
+#include "bench_common.hpp"
+
+using namespace oracle;
+using namespace oracle::bench;
+
+int main() {
+  print_header("Table 2 — Speedup of CWN over GM",
+               "ratio = (PEs x avg util)_CWN / (PEs x avg util)_GM, "
+               "paper parameters from Table 1");
+
+  const auto& sizes = core::paper::size_points();
+  struct Row {
+    std::string label;
+    std::string workload;
+  };
+  std::vector<Row> rows;
+  const std::vector<std::uint32_t> fib_args = {7, 9, 11, 13, 15, 18};
+  for (std::size_t i = 0; i < core::paper::fib_specs().size(); ++i)
+    rows.push_back({strfmt("fib(%u)", fib_args[i]), core::paper::fib_specs()[i]});
+  const std::vector<int> dc_ns = {21, 55, 144, 377, 987, 4181};
+  for (std::size_t i = 0; i < core::paper::dc_specs().size(); ++i)
+    rows.push_back({strfmt("dc(1,%d)", dc_ns[i]), core::paper::dc_specs()[i]});
+
+  // Assemble all 240 configs: for each row, grids then DLMs, CWN then GM.
+  std::vector<ExperimentConfig> configs;
+  for (const Row& row : rows) {
+    for (const Family family : {Family::Grid, Family::Dlm}) {
+      for (const auto& size : sizes) {
+        const std::string topo =
+            family == Family::Grid ? size.grid_spec : size.dlm_spec;
+        auto [cwn, gm] = paired_configs(family, topo, row.workload);
+        configs.push_back(cwn);
+        configs.push_back(gm);
+      }
+    }
+  }
+  const auto results = core::run_all(configs);
+
+  std::vector<std::string> header = {"workload"};
+  for (const auto& s : sizes) header.push_back(strfmt("grid %u", s.pes));
+  for (const auto& s : sizes) header.push_back(strfmt("dlm %u", s.pes));
+  TextTable table(header);
+
+  std::size_t idx = 0;
+  int cwn_wins = 0, significant = 0, cells = 0;
+  double max_ratio = 0;
+  for (const Row& row : rows) {
+    std::vector<std::string> cells_out = {row.label};
+    for (int cell = 0; cell < 10; ++cell) {
+      const auto& cwn = results[idx++];
+      const auto& gm = results[idx++];
+      const double ratio = speedup_ratio(cwn, gm);
+      cells_out.push_back(fixed(ratio, 2));
+      ++cells;
+      if (ratio > 1.0) ++cwn_wins;
+      if (ratio > 1.10) ++significant;
+      if (ratio > max_ratio) max_ratio = ratio;
+    }
+    if (row.label == "dc(1,21)") table.add_rule();
+    table.add_row(cells_out);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("CWN wins in %d / %d cells (paper: 118/120); "
+              ">10%% better in %d (paper: 110); max ratio %.2f "
+              "(paper: ~3.1 on large grids)\n",
+              cwn_wins, cells, significant, max_ratio);
+  return 0;
+}

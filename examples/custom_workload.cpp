@@ -1,0 +1,93 @@
+// Define a custom computation tree against the public Workload API and run
+// it under both schemes. The workload here is a skewed "search tree": each
+// interior node spawns one heavy subtree and several light ones — the kind
+// of irregular, unpredictable structure the paper's introduction motivates
+// (problem solving / symbolic computation).
+
+#include <cstdio>
+#include <memory>
+
+#include "oracle.hpp"
+#include "lb/strategy.hpp"
+#include "machine/machine.hpp"
+#include "topo/factory.hpp"
+
+namespace {
+
+using namespace oracle;
+
+// A skewed tree: spec.a encodes remaining "budget". An interior node
+// spawns one child with 60% of the budget and two with 15% each; nodes
+// with budget < 4 are leaves. Purely a function of the spec, as the
+// Workload contract requires.
+class SearchTree final : public workload::Workload {
+ public:
+  explicit SearchTree(std::int64_t budget) : budget_(budget) {}
+
+  std::string name() const override {
+    return strfmt("search-%lld", static_cast<long long>(budget_));
+  }
+
+  workload::GoalSpec root() const override {
+    return workload::GoalSpec{budget_, 0, 0};
+  }
+
+  workload::Expansion expand(const workload::GoalSpec& spec) const override {
+    workload::Expansion e;
+    if (spec.a < 4) {
+      e.is_leaf = true;
+      e.exec_cost = 60 + 20 * spec.a;  // leaves of uneven size
+      return e;
+    }
+    e.is_leaf = false;
+    e.exec_cost = 30;
+    e.combine_cost = 25;
+    const std::int64_t heavy = spec.a * 6 / 10;
+    const std::int64_t light = spec.a * 15 / 100;
+    e.children = {
+        workload::GoalSpec{heavy, 0, spec.depth + 1},
+        workload::GoalSpec{light, 1, spec.depth + 1},
+        workload::GoalSpec{light, 2, spec.depth + 1},
+    };
+    return e;
+  }
+
+ private:
+  std::int64_t budget_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t budget = argc > 1 ? parse_int(argv[1], "budget") : 40000;
+  const SearchTree wl(budget);
+  const auto summary = wl.summarize();
+  std::printf("custom workload '%s': %llu goals (%llu leaves), total work "
+              "%lld, critical path %lld\n\n",
+              wl.name().c_str(),
+              static_cast<unsigned long long>(summary.total_goals),
+              static_cast<unsigned long long>(summary.leaf_goals),
+              static_cast<long long>(summary.total_work),
+              static_cast<long long>(summary.critical_path));
+
+  const auto topo = topo::make_topology("grid:8x8");
+  TextTable t({"strategy", "completion", "util %", "speedup", "goal msgs"});
+  for (const char* spec :
+       {"cwn:radius=9,horizon=2", "gm:hwm=2,lwm=1,interval=20",
+        "acwn:radius=9,horizon=2", "steal:backoff=10"}) {
+    const auto strategy = lb::make_strategy(spec);
+    machine::MachineConfig mc;
+    mc.seed = 1;
+    machine::Machine m(*topo, wl, *strategy, mc);
+    const auto r = m.run();
+    t.add_row({r.strategy, std::to_string(r.completion_time),
+               fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+               std::to_string(r.goal_transmissions)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nideal speedup bound: min(PEs, total work / critical path) "
+              "= min(64, %.1f)\n",
+              static_cast<double>(summary.total_work) /
+                  static_cast<double>(summary.critical_path));
+  return 0;
+}

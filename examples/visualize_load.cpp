@@ -1,0 +1,87 @@
+// ASCII reproduction of ORACLE's graphics load monitor: per-PE utilization
+// heat maps over the course of a run ("red: busy, blue: idle" becomes a
+// '.' -> '@' shade ramp). Prints a handful of frames for CWN and GM side
+// by side so the rise-time difference (Plots 11-16) is visible spatially:
+// CWN floods the whole array early; GM grows a slow blob around the root.
+//
+//   ./visualize_load [RxC grid dims] [workload]
+//   e.g. ./visualize_load 10x10 fib:15
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "oracle.hpp"
+
+namespace {
+
+oracle::stats::RunResult run(const std::string& topology,
+                             const std::string& strategy,
+                             const std::string& workload) {
+  oracle::core::ExperimentConfig cfg = oracle::core::paper::base_config();
+  cfg.topology = topology;
+  cfg.strategy = strategy;
+  cfg.workload = workload;
+  cfg.machine.sample_interval = 50;
+  cfg.machine.monitor_per_pe = true;
+  return oracle::core::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oracle;
+
+  const std::string dims = argc > 1 ? argv[1] : "10x10";
+  const std::string workload = argc > 2 ? argv[2] : "fib:15";
+  const auto parts = split(dims, 'x');
+  if (parts.size() != 2) {
+    std::fprintf(stderr, "usage: visualize_load RxC [workload]\n");
+    return 1;
+  }
+  const auto rows = static_cast<std::uint32_t>(parse_int(parts[0], "rows"));
+  const auto cols = static_cast<std::uint32_t>(parse_int(parts[1], "cols"));
+
+  const auto cwn = run("grid:" + dims, "cwn:radius=9,horizon=2", workload);
+  const auto gm = run("grid:" + dims, "gm:hwm=2,lwm=1,interval=20", workload);
+
+  std::printf("Load monitor: grid:%s, %s  (shade ramp: . : - = + o x * %% @)\n\n",
+              dims.c_str(), workload.c_str());
+
+  // Show frames at matching fractions of each run's own completion.
+  const double fractions[] = {0.05, 0.15, 0.3, 0.5, 0.8};
+  for (const double frac : fractions) {
+    const std::size_t ci =
+        std::min(cwn.load_monitor.frames() - 1,
+                 static_cast<std::size_t>(frac * cwn.load_monitor.frames()));
+    const std::size_t gi =
+        std::min(gm.load_monitor.frames() - 1,
+                 static_cast<std::size_t>(frac * gm.load_monitor.frames()));
+    const std::string left = cwn.load_monitor.render_frame(ci, rows, cols);
+    const std::string right = gm.load_monitor.render_frame(gi, rows, cols);
+
+    std::printf("t = %.0f%% of each run   CWN (t=%lld)%*s GM (t=%lld)\n",
+                frac * 100, static_cast<long long>(cwn.load_monitor.time_of(ci)),
+                static_cast<int>(cols) - 4, "",
+                static_cast<long long>(gm.load_monitor.time_of(gi)));
+    // Zip the two maps line by line.
+    std::size_t lpos = 0, rpos = 0;
+    while (lpos < left.size() && rpos < right.size()) {
+      const std::size_t lend = left.find('\n', lpos);
+      const std::size_t rend = right.find('\n', rpos);
+      std::printf("  %s    %s\n", left.substr(lpos, lend - lpos).c_str(),
+                  right.substr(rpos, rend - rpos).c_str());
+      lpos = lend + 1;
+      rpos = rend + 1;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("CWN completion %lld (util %.1f%%)  |  GM completion %lld "
+              "(util %.1f%%)\n",
+              static_cast<long long>(cwn.completion_time),
+              cwn.utilization_percent(),
+              static_cast<long long>(gm.completion_time),
+              gm.utilization_percent());
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/presets.hpp"
+
+namespace oracle::core::paper {
+
+const std::vector<SizePoint>& size_points() {
+  // Bus spans: the paper names "Double Lattice-Mesh of 5 20 20",
+  // "of 4 16 16", "of 5 10 10", "of 4 8 8", "of 5 5 5".
+  static const std::vector<SizePoint> points = {
+      {25, "grid:5x5", "dlm:5:5x5"},
+      {64, "grid:8x8", "dlm:4:8x8"},
+      {100, "grid:10x10", "dlm:5:10x10"},
+      {256, "grid:16x16", "dlm:4:16x16"},
+      {400, "grid:20x20", "dlm:5:20x20"},
+  };
+  return points;
+}
+
+const std::vector<std::string>& fib_specs() {
+  static const std::vector<std::string> specs = {
+      "fib:7", "fib:9", "fib:11", "fib:13", "fib:15", "fib:18"};
+  return specs;
+}
+
+const std::vector<std::string>& dc_specs() {
+  static const std::vector<std::string> specs = {
+      "dc:1:21", "dc:1:55", "dc:1:144", "dc:1:377", "dc:1:987", "dc:1:4181"};
+  return specs;
+}
+
+std::string cwn_spec(Family family) {
+  // Table 1: radius 9 / horizon 2 on grids; radius 5 / horizon 1 on DLMs.
+  return family == Family::Grid ? "cwn:radius=9,horizon=2"
+                                : "cwn:radius=5,horizon=1";
+}
+
+std::string gm_spec(Family family) {
+  // Table 1: high-water-mark 2 (grid) / 1 (DLM), low-water-mark 1,
+  // 20-unit interval on both.
+  return family == Family::Grid ? "gm:hwm=2,lwm=1,interval=20"
+                                : "gm:hwm=1,lwm=1,interval=20";
+}
+
+const std::vector<std::uint32_t>& hypercube_dims() {
+  static const std::vector<std::uint32_t> dims = {2, 5, 7, 8};
+  return dims;
+}
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.costs = workload::CostModel{};  // leaf 100 / split 40 / combine 40
+  cfg.machine.hop_latency = 1;
+  cfg.machine.ctrl_latency = 1;
+  cfg.machine.piggyback_load = true;
+  cfg.machine.load_measure = machine::LoadMeasure::QueueLength;
+  cfg.machine.seed = 1;
+  return cfg;
+}
+
+ExperimentConfig sample_point(Family family, const SizePoint& size, bool cwn,
+                              const std::string& workload_spec) {
+  ExperimentConfig cfg = base_config();
+  cfg.topology = family == Family::Grid ? size.grid_spec : size.dlm_spec;
+  cfg.strategy = cwn ? cwn_spec(family) : gm_spec(family);
+  cfg.workload = workload_spec;
+  return cfg;
+}
+
+}  // namespace oracle::core::paper

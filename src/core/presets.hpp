@@ -1,0 +1,47 @@
+#pragma once
+// Paper presets: the exact sample points of Kale's evaluation (Section 3)
+// and the tuned parameters of Table 1, so benches and examples can say
+// "give me the paper's 10x10-grid CWN config" in one line.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace oracle::core::paper {
+
+/// Topology family used in the main comparison.
+enum class Family { Grid, Dlm };
+
+/// The five system sizes: 25, 64, 100, 256, 400 PEs.
+struct SizePoint {
+  std::uint32_t pes;
+  std::string grid_spec;   // "grid:5x5" ...
+  std::string dlm_spec;    // "dlm:5:5x5" ... (bus-span from the paper: 5
+                           // for 5x5/10x10/20x20, 4 for 8x8/16x16)
+};
+const std::vector<SizePoint>& size_points();
+
+/// The six problem sizes per program (fib 7..18; dc(1,X) with matching
+/// tree sizes 41..8361 goals).
+const std::vector<std::string>& fib_specs();
+const std::vector<std::string>& dc_specs();
+
+/// Table 1 tuned parameters, as strategy specs.
+std::string cwn_spec(Family family);
+std::string gm_spec(Family family);
+
+/// Hypercube dimensions of Appendix I.
+const std::vector<std::uint32_t>& hypercube_dims();
+
+/// Baseline experiment configuration: paper cost model, piggy-backing on,
+/// queue-length load measure, seed 1.
+ExperimentConfig base_config();
+
+/// Convenience: a full config for one (family, size, strategy, workload)
+/// sample point with the Table 1 parameters.
+ExperimentConfig sample_point(Family family, const SizePoint& size, bool cwn,
+                              const std::string& workload_spec);
+
+}  // namespace oracle::core::paper

@@ -1,0 +1,17 @@
+#include "core/runner.hpp"
+
+#include "core/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oracle::core {
+
+std::vector<stats::RunResult> run_all(const std::vector<ExperimentConfig>& configs,
+                                      std::size_t threads) {
+  std::vector<stats::RunResult> results(configs.size());
+  ThreadPool::parallel_for(configs.size(), threads, [&](std::size_t i) {
+    results[i] = run_experiment(configs[i]);
+  });
+  return results;
+}
+
+}  // namespace oracle::core

@@ -1,0 +1,19 @@
+#pragma once
+// Runner: execute a batch of independent experiments in parallel across a
+// thread pool (the paper ran its 240 simulations serially on a VAX-750;
+// we run them concurrently, one Machine per task).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "stats/run_result.hpp"
+
+namespace oracle::core {
+
+/// Run all configs, preserving order. `threads` = 0 uses all hardware
+/// threads. Exceptions from individual runs propagate (first one wins).
+std::vector<stats::RunResult> run_all(const std::vector<ExperimentConfig>& configs,
+                                      std::size_t threads = 0);
+
+}  // namespace oracle::core

@@ -1,0 +1,32 @@
+#include "core/simulator.hpp"
+
+#include "lb/strategy.hpp"
+#include "machine/machine.hpp"
+#include "topo/factory.hpp"
+#include "util/string_util.hpp"
+#include "workload/workload.hpp"
+
+namespace oracle::core {
+
+std::string ExperimentConfig::label() const {
+  return topology + " / " + strategy + " / " + workload;
+}
+
+stats::RunResult run_experiment(const ExperimentConfig& config) {
+  const auto topology = topo::make_topology(config.topology);
+  const auto workload = workload::make_workload(config.workload, config.costs);
+  const auto strategy = lb::make_strategy(config.strategy);
+
+  machine::Machine machine(*topology, *workload, *strategy, config.machine);
+  stats::RunResult result = machine.run();
+
+  // Static tree facts: fill from the workload so results are self-contained.
+  const workload::TreeSummary summary = workload->summarize();
+  result.critical_path = summary.critical_path;
+  ORACLE_ASSERT_MSG(result.goals_executed == summary.total_goals,
+                    "machine executed a different number of goals than the "
+                    "workload tree contains");
+  return result;
+}
+
+}  // namespace oracle::core

@@ -1,0 +1,14 @@
+#pragma once
+// Simulator: builds the topology, workload and strategy described by an
+// ExperimentConfig, runs one Machine, and returns the aggregated RunResult.
+
+#include "core/config.hpp"
+#include "stats/run_result.hpp"
+
+namespace oracle::core {
+
+/// Run one experiment start-to-finish. Thread-safe in the sense that
+/// concurrent calls with separate configs share no mutable state.
+stats::RunResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace oracle::core

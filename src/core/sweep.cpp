@@ -1,0 +1,79 @@
+#include "core/sweep.hpp"
+
+#include "util/error.hpp"
+
+namespace oracle::core {
+
+SweepBuilder& SweepBuilder::topologies(std::vector<std::string> specs) {
+  ORACLE_REQUIRE(!specs.empty(), "empty topology axis");
+  std::vector<Mutator> axis;
+  for (auto& s : specs)
+    axis.push_back([s](ExperimentConfig& cfg) { cfg.topology = s; });
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::strategies(std::vector<std::string> specs) {
+  ORACLE_REQUIRE(!specs.empty(), "empty strategy axis");
+  std::vector<Mutator> axis;
+  for (auto& s : specs)
+    axis.push_back([s](ExperimentConfig& cfg) { cfg.strategy = s; });
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::workloads(std::vector<std::string> specs) {
+  ORACLE_REQUIRE(!specs.empty(), "empty workload axis");
+  std::vector<Mutator> axis;
+  for (auto& s : specs)
+    axis.push_back([s](ExperimentConfig& cfg) { cfg.workload = s; });
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::seeds(std::vector<std::uint64_t> seeds) {
+  ORACLE_REQUIRE(!seeds.empty(), "empty seed axis");
+  std::vector<Mutator> axis;
+  for (auto seed : seeds)
+    axis.push_back([seed](ExperimentConfig& cfg) { cfg.machine.seed = seed; });
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::axis(
+    std::vector<std::pair<std::string, Mutator>> points) {
+  ORACLE_REQUIRE(!points.empty(), "empty custom axis");
+  std::vector<Mutator> axis;
+  for (auto& [label, fn] : points) axis.push_back(fn);
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+std::size_t SweepBuilder::size() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes_) n *= axis.size();
+  return axes_.empty() ? 0 : n;
+}
+
+std::vector<ExperimentConfig> SweepBuilder::build() const {
+  std::vector<ExperimentConfig> out;
+  if (axes_.empty()) return out;
+  out.reserve(size());
+  // Odometer over the axes, first axis slowest.
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  while (true) {
+    ExperimentConfig cfg = base_;
+    for (std::size_t a = 0; a < axes_.size(); ++a) axes_[a][idx[a]](cfg);
+    out.push_back(std::move(cfg));
+    // Increment odometer from the last axis.
+    std::size_t a = axes_.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes_[a].size()) break;
+      idx[a] = 0;
+      if (a == 0) return out;
+    }
+  }
+}
+
+}  // namespace oracle::core

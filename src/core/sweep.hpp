@@ -1,0 +1,47 @@
+#pragma once
+// Cartesian sweep builder: the declarative way to produce the paper's
+// 240-run experiment grids (and ablation planes) without hand-writing
+// nested loops. Axes multiply; each point inherits the base config.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace oracle::core {
+
+class SweepBuilder {
+ public:
+  explicit SweepBuilder(ExperimentConfig base = {}) : base_(std::move(base)) {}
+
+  /// Axis over topology specs.
+  SweepBuilder& topologies(std::vector<std::string> specs);
+
+  /// Axis over strategy specs.
+  SweepBuilder& strategies(std::vector<std::string> specs);
+
+  /// Axis over workload specs.
+  SweepBuilder& workloads(std::vector<std::string> specs);
+
+  /// Axis over seeds (replications).
+  SweepBuilder& seeds(std::vector<std::uint64_t> seeds);
+
+  /// Arbitrary per-point mutation axis (e.g. hop latency values): each
+  /// entry is a (label, mutator) pair applied to the config.
+  using Mutator = std::function<void(ExperimentConfig&)>;
+  SweepBuilder& axis(std::vector<std::pair<std::string, Mutator>> points);
+
+  /// Number of configs build() will return.
+  std::size_t size() const;
+
+  /// Materialize the cartesian product. Order: the first axis added varies
+  /// slowest; later axes vary faster (row-major).
+  std::vector<ExperimentConfig> build() const;
+
+ private:
+  ExperimentConfig base_;
+  std::vector<std::vector<Mutator>> axes_;
+};
+
+}  // namespace oracle::core

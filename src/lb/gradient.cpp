@@ -1,0 +1,120 @@
+#include "lb/gradient.hpp"
+
+#include <algorithm>
+
+#include "machine/machine.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::lb {
+
+GradientModel::GradientModel(const GmParams& params) : params_(params) {
+  ORACLE_REQUIRE(params_.interval > 0, "GM interval must be positive");
+  ORACLE_REQUIRE(params_.low_water_mark >= 0, "GM low-water-mark must be >= 0");
+  ORACLE_REQUIRE(params_.high_water_mark >= params_.low_water_mark,
+                 "GM high-water-mark must be >= low-water-mark");
+}
+
+std::string GradientModel::name() const {
+  return strfmt("gm(h=%lld,l=%lld,i=%lld)",
+                static_cast<long long>(params_.high_water_mark),
+                static_cast<long long>(params_.low_water_mark),
+                static_cast<long long>(params_.interval));
+}
+
+void GradientModel::attach(machine::Machine& m) {
+  Strategy::attach(m);
+  proximity_cap_ = static_cast<std::int64_t>(m.diameter()) + 1;
+  const auto n = m.num_pes();
+  neighbor_prox_.resize(n);
+  // "All the PEs initially assume that the proximities of their neighbors
+  // are 0."
+  for (topo::NodeId pe = 0; pe < n; ++pe)
+    neighbor_prox_[pe].assign(m.topology().neighbors(pe).size(), 0);
+  last_broadcast_.assign(n, 0);
+}
+
+void GradientModel::on_start() {
+  for (topo::NodeId pe = 0; pe < machine().num_pes(); ++pe) {
+    const sim::Duration offset =
+        params_.stagger
+            ? static_cast<sim::Duration>(
+                  (static_cast<std::uint64_t>(pe) * params_.interval) /
+                  std::max<std::uint32_t>(machine().num_pes(), 1))
+            : 0;
+    machine().scheduler().schedule_after(offset, [this, pe] { wakeup(pe); });
+  }
+}
+
+std::int64_t GradientModel::compute_proximity(topo::NodeId pe, bool idle) const {
+  if (idle) return 0;
+  const auto& row = neighbor_prox_[pe];
+  std::int64_t least = proximity_cap_;
+  if (!row.empty()) least = *std::min_element(row.begin(), row.end());
+  // "the proximity is one more than the smallest proximity among the
+  // immediate neighbors", clamped to diameter + 1.
+  return std::min<std::int64_t>(least + 1, proximity_cap_);
+}
+
+void GradientModel::wakeup(topo::NodeId pe) {
+  if (!machine().config().lb_coprocessor)
+    machine().pe(pe).add_overhead(params_.cycle_cpu_cost);
+  const std::int64_t load = machine().load_of(pe);
+  const bool idle = load < params_.low_water_mark;
+  const bool abundant = load > params_.high_water_mark;
+
+  const std::int64_t prox = compute_proximity(pe, idle);
+  if (prox != last_broadcast_[pe]) {
+    last_broadcast_[pe] = prox;
+    machine().broadcast_control(pe, machine::kCtrlProximity, prox);
+  }
+
+  if (abundant) {
+    // Neighbor with least proximity; ties broken uniformly.
+    const auto& nbrs = machine().topology().neighbors(pe);
+    const auto& row = neighbor_prox_[pe];
+    if (!nbrs.empty()) {
+      const std::int64_t best = *std::min_element(row.begin(), row.end());
+      std::size_t chosen = 0;
+      std::uint64_t ties = 0;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i] == best) {
+          ++ties;
+          if (machine().rng().below(ties) == 0) chosen = i;
+        }
+      }
+      if (!params_.require_gradient || best < proximity_cap_) {
+        auto goal = machine().pe(pe).take_transferable_goal(params_.send_newest);
+        if (goal) {
+          goal->hops += 1;
+          machine().send_goal(pe, nbrs[chosen], std::move(*goal));
+        }
+      }
+    }
+  }
+
+  machine().scheduler().schedule_after(params_.interval,
+                                       [this, pe] { wakeup(pe); });
+}
+
+void GradientModel::on_goal_created(topo::NodeId pe, machine::Message msg) {
+  // "Whenever a subgoal is generated, it is simply entered in the local
+  // queue."
+  machine().keep_goal(pe, msg);
+}
+
+void GradientModel::on_goal_arrived(topo::NodeId pe, machine::Message msg) {
+  // "Any PE that receives a goal message from its neighbor just adds it to
+  // its queue."
+  machine().keep_goal(pe, msg);
+}
+
+void GradientModel::on_control(topo::NodeId pe, const machine::Message& msg) {
+  if (msg.ctrl_tag != machine::kCtrlProximity) return;
+  const auto& nbrs = machine().topology().neighbors(pe);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), msg.src);
+  if (it == nbrs.end() || *it != msg.src) return;  // bus overhear: ignore
+  neighbor_prox_[pe][static_cast<std::size_t>(it - nbrs.begin())] =
+      msg.ctrl_value;
+}
+
+}  // namespace oracle::lb

@@ -1,0 +1,306 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::machine {
+
+Machine::Machine(const topo::Topology& topo, const workload::Workload& workload,
+                 lb::Strategy& strategy, const MachineConfig& config)
+    : topo_(topo),
+      workload_(workload),
+      strategy_(strategy),
+      config_(config),
+      rng_(config.seed),
+      routing_(topo),
+      diameter_(topo::DistanceMatrix(topo).diameter()),
+      trace_(config.trace_capacity),
+      util_series_("utilization_percent") {
+  ORACLE_REQUIRE(config_.start_pe < topo_.num_nodes(),
+                 "start_pe outside the topology");
+  ORACLE_REQUIRE(config_.hop_latency >= 0 && config_.ctrl_latency >= 0,
+                 "latencies must be non-negative");
+
+  pes_.reserve(topo_.num_nodes());
+  for (topo::NodeId id = 0; id < topo_.num_nodes(); ++id)
+    pes_.push_back(std::make_unique<PE>(*this, id));
+
+  if (config_.slow_pe_percent > 0) {
+    ORACLE_REQUIRE(config_.slow_pe_percent <= 100,
+                   "slow_pe_percent must be in [0, 100]");
+    ORACLE_REQUIRE(config_.slow_factor >= 1, "slow_factor must be >= 1");
+    // Deterministic selection from a dedicated stream so the same seed
+    // degrades the same PEs regardless of strategy behaviour.
+    Rng selector = Rng(config_.seed).split(0x5105);
+    speed_factor_.assign(topo_.num_nodes(), 1);
+    for (auto& f : speed_factor_)
+      if (selector.below(100) < config_.slow_pe_percent)
+        f = config_.slow_factor;
+  }
+
+  channels_.reserve(topo_.links().size());
+  for (const topo::Link& link : topo_.links()) {
+    channels_.push_back(&sim_.make_resource(
+        strfmt("%s-link-%u", link.is_bus() ? "bus" : "p2p", link.id)));
+  }
+
+  strategy_.attach(*this);
+}
+
+sim::Resource& Machine::channel_for(topo::NodeId from, topo::NodeId to) {
+  const topo::LinkId lid = topo_.link_between(from, to);
+  ORACLE_ASSERT_MSG(lid != topo::kInvalidLink,
+                    "message between non-adjacent PEs");
+  return *channels_[lid];
+}
+
+void Machine::keep_goal(topo::NodeId pe, const Message& msg) {
+  ORACLE_ASSERT(msg.kind == MsgKind::Goal);
+  trace_.record(now(), TraceEvent::GoalKept, msg.src, pe, msg.goal_id,
+                msg.hops);
+  pes_[pe]->enqueue_goal(msg);
+}
+
+void Machine::transmit(topo::NodeId from, topo::NodeId to, Message msg) {
+  msg.src = from;
+  if (config_.piggyback_load && msg.kind != MsgKind::Control)
+    msg.piggyback_load = load_of(from);
+  sim::Duration latency =
+      msg.kind == MsgKind::Control ? config_.ctrl_latency : config_.hop_latency;
+  if (config_.word_time > 0) {
+    const std::uint32_t size = msg.kind == MsgKind::Goal
+                                   ? config_.goal_msg_size
+                                   : msg.kind == MsgKind::Response
+                                         ? config_.response_msg_size
+                                         : config_.ctrl_msg_size;
+    latency += config_.word_time * static_cast<sim::Duration>(size);
+  }
+  switch (msg.kind) {
+    case MsgKind::Goal:
+      ++goal_transmissions_;
+      trace_.record(now(), TraceEvent::GoalSent, from, to, msg.goal_id,
+                    msg.hops);
+      break;
+    case MsgKind::Response:
+      ++response_transmissions_;
+      trace_.record(now(), TraceEvent::ResponseSent, from, to, msg.parent_id,
+                    0);
+      break;
+    case MsgKind::Control:
+      ++control_transmissions_;
+      trace_.record(now(), TraceEvent::ControlSent, from, to,
+                    workload::kInvalidGoal, msg.ctrl_tag);
+      break;
+  }
+  channel_for(from, to).acquire_for(
+      latency, [this, msg = std::move(msg), to] { deliver(msg, to); });
+}
+
+void Machine::send_goal(topo::NodeId from, topo::NodeId to, Message msg) {
+  ORACLE_ASSERT(msg.kind == MsgKind::Goal);
+  ORACLE_ASSERT_MSG(topo_.are_neighbors(from, to),
+                    "goals move one neighbor hop at a time");
+  transmit(from, to, std::move(msg));
+}
+
+void Machine::send_control(topo::NodeId from, topo::NodeId to,
+                           std::uint32_t tag, std::int64_t value) {
+  transmit(from, to, Message::control(tag, value));
+}
+
+void Machine::broadcast_control(topo::NodeId from, std::uint32_t tag,
+                                std::int64_t value) {
+  // One channel transaction per attached link; a bus delivers to every
+  // member in that single transaction.
+  for (const topo::LinkId lid : topo_.links_of(from)) {
+    Message msg = Message::control(tag, value);
+    msg.src = from;
+    ++control_transmissions_;
+    trace_.record(now(), TraceEvent::ControlSent, from, topo::kInvalidNode,
+                  workload::kInvalidGoal, tag);
+    sim::Duration occupancy = config_.ctrl_latency;
+    if (config_.word_time > 0)
+      occupancy += config_.word_time *
+                   static_cast<sim::Duration>(config_.ctrl_msg_size);
+    channels_[lid]->acquire_for(occupancy, [this, msg, lid, from] {
+      for (const topo::NodeId member : topo_.links()[lid].members)
+        if (member != from) deliver(msg, member);
+    });
+  }
+}
+
+void Machine::send_response(topo::NodeId from, topo::NodeId to,
+                            workload::GoalId parent_id) {
+  if (from == to) {
+    // Local response: parent goal waits on the same PE; no channel involved.
+    pes_[to]->deliver_response(parent_id);
+    return;
+  }
+  Message msg = Message::response(parent_id, to);
+  transmit(from, routing_.next_hop(from, to), std::move(msg));
+}
+
+void Machine::deliver(Message msg, topo::NodeId to) {
+  if (root_done_) return;  // run is over; drop in-flight traffic
+  if (msg.piggyback_load >= 0 && msg.src != topo::kInvalidNode)
+    strategy_.on_neighbor_load(to, msg.src, msg.piggyback_load);
+
+  switch (msg.kind) {
+    case MsgKind::Goal:
+      strategy_.on_goal_arrived(to, std::move(msg));
+      return;
+    case MsgKind::Response:
+      if (msg.dst == to) {
+        pes_[to]->deliver_response(msg.parent_id);
+      } else {
+        transmit(to, routing_.next_hop(to, msg.dst), std::move(msg));
+      }
+      return;
+    case MsgKind::Control:
+      strategy_.on_control(to, msg);
+      return;
+  }
+}
+
+void Machine::place_new_goal(topo::NodeId pe, Message msg) {
+  trace_.record(now(), TraceEvent::GoalCreated, pe, pe, msg.goal_id, 0);
+  strategy_.on_goal_created(pe, std::move(msg));
+}
+
+void Machine::record_goal_executed(topo::NodeId pe, std::uint32_t hops) {
+  trace_.record(now(), TraceEvent::GoalExecuted, pe, pe,
+                workload::kInvalidGoal, hops);
+  goal_hops_.add(hops);
+}
+
+void Machine::on_root_complete() {
+  ORACLE_ASSERT(!root_done_);
+  root_done_ = true;
+  completion_time_ = now();
+  trace_.record(now(), TraceEvent::RootCompleted, topo::kInvalidNode,
+                topo::kInvalidNode, 1, 0);
+  scheduler().request_stop();
+}
+
+void Machine::notify_idle(topo::NodeId pe) {
+  if (!root_done_) strategy_.on_pe_idle(pe);
+}
+
+double Machine::busy_fraction_since_last_sample() {
+  sim::Duration busy = 0;
+  for (const auto& pe : pes_) busy += pe->busy_time_through(now());
+  const sim::Duration delta_busy = busy - last_sample_busy_;
+  const sim::Duration delta_t = now() - last_sample_time_;
+  last_sample_busy_ = busy;
+  last_sample_time_ = now();
+  if (delta_t <= 0) return 0.0;
+  return static_cast<double>(delta_busy) /
+         (static_cast<double>(num_pes()) * static_cast<double>(delta_t));
+}
+
+stats::RunResult Machine::run() {
+  ORACLE_ASSERT_MSG(!ran_, "Machine::run() called twice");
+  ran_ = true;
+
+  strategy_.on_start();
+
+  if (config_.sample_interval > 0) {
+    if (config_.monitor_per_pe) last_pe_busy_.assign(num_pes(), 0);
+    sim_.add_sampler(
+        config_.sample_interval,
+        [this](sim::SimTime t) {
+          if (t == 0) return;  // nothing elapsed yet
+          if (config_.monitor_per_pe) {
+            // Per-PE busy fraction over the elapsed interval (uses the
+            // pre-update last_sample_time_).
+            const double span = static_cast<double>(t - last_sample_time_);
+            std::vector<double> frame(num_pes(), 0.0);
+            if (span > 0) {
+              for (std::uint32_t pe = 0; pe < num_pes(); ++pe) {
+                const sim::Duration busy = pes_[pe]->busy_time_through(t);
+                frame[pe] =
+                    static_cast<double>(busy - last_pe_busy_[pe]) / span;
+                last_pe_busy_[pe] = busy;
+              }
+            }
+            monitor_.add_frame(t, std::move(frame));
+          }
+          util_series_.add(t, busy_fraction_since_last_sample() * 100.0);
+        },
+        config_.sample_interval);
+  }
+
+  // Inject the root goal: it is *created* on start_pe, so the strategy
+  // makes the same placement decision it would for any subgoal.
+  Message root = Message::goal(next_goal_id(), workload_.root(),
+                               workload::kInvalidGoal, topo::kInvalidNode);
+  scheduler().schedule_at(0, [this, root = std::move(root)]() mutable {
+    place_new_goal(config_.start_pe, std::move(root));
+  });
+
+  sim_.run(config_.max_events);
+  ORACLE_ASSERT_MSG(root_done_,
+                    "simulation drained its event list before the root goal "
+                    "completed (model deadlock)");
+
+  // ---- Aggregate --------------------------------------------------------
+  stats::RunResult r;
+  r.topology = topo_.name();
+  r.strategy = strategy_.name();
+  r.workload = workload_.name();
+  r.num_pes = num_pes();
+  r.seed = config_.seed;
+  r.completion_time = completion_time_;
+  r.events_executed = scheduler().executed();
+
+  sim::Duration total_busy = 0;
+  r.pe_utilization.reserve(pes_.size());
+  r.pe_goals.reserve(pes_.size());
+  stats::Accumulator util_acc;
+  for (const auto& pe : pes_) {
+    const sim::Duration busy = pe->busy_time_through(completion_time_);
+    total_busy += busy;
+    const double u =
+        completion_time_ > 0
+            ? static_cast<double>(busy) / static_cast<double>(completion_time_)
+            : 0.0;
+    r.pe_utilization.push_back(u);
+    util_acc.add(u);
+    r.pe_goals.push_back(pe->goals_executed());
+    r.goals_executed += pe->goals_executed();
+  }
+  r.utilization_cv =
+      util_acc.mean() > 0 ? util_acc.stddev() / util_acc.mean() : 0.0;
+  r.max_min_utilization_gap = util_acc.max() - util_acc.min();
+  r.total_work = total_busy;
+  r.avg_utilization =
+      completion_time_ > 0
+          ? static_cast<double>(total_busy) /
+                (static_cast<double>(num_pes()) * static_cast<double>(completion_time_))
+          : 0.0;
+  r.speedup = r.avg_utilization * static_cast<double>(num_pes());
+
+  r.goal_hops = goal_hops_;
+  r.avg_goal_distance = goal_hops_.mean();
+  r.goal_transmissions = goal_transmissions_;
+  r.response_transmissions = response_transmissions_;
+  r.control_transmissions = control_transmissions_;
+
+  double channel_util_sum = 0.0;
+  for (const sim::Resource* ch : channels_) {
+    const double u = ch->utilization(completion_time_);
+    channel_util_sum += u;
+    r.max_channel_utilization = std::max(r.max_channel_utilization, u);
+  }
+  r.avg_channel_utilization =
+      channels_.empty() ? 0.0
+                        : channel_util_sum / static_cast<double>(channels_.size());
+
+  r.utilization_series = util_series_;
+  r.load_monitor = monitor_;
+  return r;
+}
+
+}  // namespace oracle::machine

@@ -1,0 +1,145 @@
+#pragma once
+// The simulated multiprocessor: topology + channels + PEs + strategy +
+// workload, wired into one discrete-event simulation. One Machine = one
+// ORACLE run. Machines are single-threaded; sweeps parallelize across
+// independent Machine instances.
+
+#include <memory>
+#include <vector>
+
+#include "lb/strategy.hpp"
+#include "machine/machine_config.hpp"
+#include "machine/message.hpp"
+#include "machine/pe.hpp"
+#include "machine/trace.hpp"
+#include "sim/simulation.hpp"
+#include "stats/run_result.hpp"
+#include "topo/graph_algos.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace oracle::machine {
+
+class Machine {
+ public:
+  /// The topology, workload and strategy must outlive the Machine.
+  Machine(const topo::Topology& topo, const workload::Workload& workload,
+          lb::Strategy& strategy, const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Inject the root goal at config.start_pe, run to completion, and
+  /// aggregate statistics. Callable exactly once.
+  stats::RunResult run();
+
+  // --- Services used by PEs and strategies --------------------------------
+
+  sim::Scheduler& scheduler() noexcept { return sim_.scheduler(); }
+  sim::SimTime now() const noexcept { return sim_.now(); }
+  Rng& rng() noexcept { return rng_; }
+  const MachineConfig& config() const noexcept { return config_; }
+
+  const topo::Topology& topology() const noexcept { return topo_; }
+  std::uint32_t num_pes() const noexcept { return topo_.num_nodes(); }
+  std::uint32_t diameter() const noexcept { return diameter_; }
+
+  PE& pe(topo::NodeId id) { return *pes_.at(id); }
+  const PE& pe(topo::NodeId id) const { return *pes_.at(id); }
+
+  /// The strategy-visible load of a PE (per config().load_measure).
+  std::int64_t load_of(topo::NodeId id) const { return pes_.at(id)->load(); }
+
+  /// Execution-time multiplier for a PE (1 unless degradation injection is
+  /// configured via slow_pe_percent / slow_factor).
+  std::uint32_t speed_factor(topo::NodeId id) const {
+    return speed_factor_.empty() ? 1u : speed_factor_[id];
+  }
+
+  /// Keep a goal on `pe`: enqueue it locally (no communication).
+  void keep_goal(topo::NodeId pe, const Message& msg);
+
+  /// Send a goal message one hop to neighbor `to`. The caller (strategy)
+  /// must already have accounted the hop in msg.hops.
+  void send_goal(topo::NodeId from, topo::NodeId to, Message msg);
+
+  /// Send a control message to neighbor `to` (co-processor path).
+  void send_control(topo::NodeId from, topo::NodeId to, std::uint32_t tag,
+                    std::int64_t value);
+
+  /// Broadcast a control message to all neighbors. On bus links the bus is
+  /// acquired once and all attached PEs hear it (the DLM advantage).
+  void broadcast_control(topo::NodeId from, std::uint32_t tag,
+                         std::int64_t value);
+
+  /// Expand a goal spec (delegates to the workload).
+  workload::Expansion expand(const workload::GoalSpec& spec) const {
+    return workload_.expand(spec);
+  }
+
+  /// Allocate a fresh goal id.
+  workload::GoalId next_goal_id() noexcept { return next_goal_id_++; }
+
+  // --- Hooks called by PEs -------------------------------------------------
+
+  /// A goal's split/leaf phase just ran on `pe` having travelled `hops`.
+  void record_goal_executed(topo::NodeId pe, std::uint32_t hops);
+
+  /// A fresh subgoal was created on `pe` (PE split phase). Routes to the
+  /// strategy's placement decision.
+  void place_new_goal(topo::NodeId pe, Message msg);
+
+  /// Send a response from `from` to the waiting parent goal on `to`
+  /// (shortest-path routed; free if from == to).
+  void send_response(topo::NodeId from, topo::NodeId to,
+                     workload::GoalId parent_id);
+
+  /// The root goal finished: stop the run.
+  void on_root_complete();
+
+  /// PE became idle (strategy hook passthrough).
+  void notify_idle(topo::NodeId pe);
+
+  /// Machine-level execution trace (empty unless config.trace_capacity > 0).
+  const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  void deliver(Message msg, topo::NodeId to);
+  sim::Resource& channel_for(topo::NodeId from, topo::NodeId to);
+  void transmit(topo::NodeId from, topo::NodeId to, Message msg);
+  double busy_fraction_since_last_sample();
+
+  const topo::Topology& topo_;
+  const workload::Workload& workload_;
+  lb::Strategy& strategy_;
+  MachineConfig config_;
+
+  sim::Simulation sim_;
+  Rng rng_;
+  topo::RoutingTable routing_;
+  std::uint32_t diameter_;
+
+  std::vector<std::unique_ptr<PE>> pes_;
+  std::vector<sim::Resource*> channels_;  // one per topology link, owned by sim_
+  std::vector<std::uint32_t> speed_factor_;  // empty when homogeneous
+
+  workload::GoalId next_goal_id_ = 1;
+  Trace trace_;
+  bool root_done_ = false;
+  bool ran_ = false;
+  sim::SimTime completion_time_ = 0;
+
+  // Statistics.
+  stats::Histogram goal_hops_;
+  std::uint64_t goal_transmissions_ = 0;
+  std::uint64_t response_transmissions_ = 0;
+  std::uint64_t control_transmissions_ = 0;
+  stats::TimeSeries util_series_;
+  stats::LoadMonitor monitor_;
+  sim::Duration last_sample_busy_ = 0;
+  sim::SimTime last_sample_time_ = 0;
+  std::vector<sim::Duration> last_pe_busy_;
+};
+
+}  // namespace oracle::machine

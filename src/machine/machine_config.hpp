@@ -1,0 +1,77 @@
+#pragma once
+// Machine-level parameters: communication costs, load measurement, and
+// instrumentation. These are the knobs Section 3 of the paper describes as
+// ORACLE inputs ("times to be charged for primitive operations", the
+// communication/computation ratio, the sampling for the load monitor).
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+
+namespace oracle::machine {
+
+/// How a PE's "load" is computed. The paper uses the number of messages
+/// waiting to be processed (QueueLength) and, in its conclusions, suggests
+/// also counting tasks that await responses ("future commitments").
+enum class LoadMeasure : std::uint8_t {
+  QueueLength,        // ready-queue length (paper default)
+  QueuePlusWaiting,   // + goals awaiting child responses (paper §5 idea)
+};
+
+struct MachineConfig {
+  /// Base channel occupancy per goal/response message hop.
+  sim::Duration hop_latency = 1;
+  /// Base channel occupancy per control message (load/proximity/steal
+  /// traffic — the paper's "very short message" / piggy-backed load word).
+  sim::Duration ctrl_latency = 1;
+
+  /// Optional size-proportional transmission cost: each message occupies
+  /// its channel for base latency + size * word_time. Sizes are abstract
+  /// words; word_time = 0 (default) reduces to the fixed-latency model.
+  sim::Duration word_time = 0;
+  std::uint32_t goal_msg_size = 8;      // a goal closure
+  std::uint32_t response_msg_size = 2;  // a result value
+  std::uint32_t ctrl_msg_size = 1;      // one load/proximity word
+
+  LoadMeasure load_measure = LoadMeasure::QueueLength;
+
+  /// "We assume a communication co-processor to handle the routing and
+  /// load-balancing functions" (paper §3.1). When disabled, strategies
+  /// charge their periodic work (load broadcasts, gradient cycles) to the
+  /// PE itself, delaying user computation — the paper predicts GM suffers
+  /// more from this ("more complex code and more frequently").
+  bool lb_coprocessor = true;
+
+  /// Piggy-back the sender's load on every goal/response message (the
+  /// paper's "optimization" in §2.1).
+  bool piggyback_load = true;
+
+  /// PE where the root goal is injected.
+  topo::NodeId start_pe = 0;
+
+  /// Master seed for the run (tie-breaking, workload jitter).
+  std::uint64_t seed = 1;
+
+  /// Utilization sampling interval for the time-series plots; 0 = off.
+  sim::Duration sample_interval = 0;
+
+  /// Also record per-PE utilization frames (ORACLE's load monitor; needed
+  /// by the heat-map visualization). Requires sample_interval > 0.
+  bool monitor_per_pe = false;
+
+  /// Hard event budget (guards against non-terminating models); 0 = none.
+  std::uint64_t max_events = 500'000'000;
+
+  /// Record up to this many machine-level trace events (0 disables).
+  std::size_t trace_capacity = 0;
+
+  /// Heterogeneity / degradation injection: this percentage of PEs
+  /// (selected deterministically from the seed) execute every phase
+  /// `slow_factor` times slower. Exercises the schemes' ability to steer
+  /// work away from slow parts of the machine. 0 = homogeneous (default).
+  std::uint32_t slow_pe_percent = 0;
+  std::uint32_t slow_factor = 4;
+};
+
+}  // namespace oracle::machine

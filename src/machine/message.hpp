@@ -1,0 +1,80 @@
+#pragma once
+// Messages exchanged between PEs.
+//
+// Three kinds, mirroring the paper's model:
+//  - Goal: a subgoal being placed (CWN forwards these hop by hop; GM sends
+//    them one neighbor-hop at a time). Carries the cumulative distance
+//    travelled, the paper's Table 3 statistic.
+//  - Response: a result returning to the parent goal's PE; routed along
+//    shortest paths by the network.
+//  - Control: strategy-defined payloads (load broadcasts, proximity
+//    updates, steal requests), handled by the communication co-processor:
+//    they occupy channels but cost no PE compute time.
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+#include "workload/goal.hpp"
+
+namespace oracle::machine {
+
+enum class MsgKind : std::uint8_t { Goal, Response, Control };
+
+/// Strategy-defined control tags (kept in one enum so traces are readable).
+enum ControlTag : std::uint32_t {
+  kCtrlLoadInfo = 1,    // value = sender's load
+  kCtrlProximity = 2,   // value = sender's proximity (Gradient Model)
+  kCtrlStealReq = 3,    // value unused (work stealing baseline)
+  kCtrlStealNack = 4,   // value unused
+};
+
+struct Message {
+  MsgKind kind = MsgKind::Goal;
+
+  // -- Goal fields -------------------------------------------------------
+  workload::GoalId goal_id = workload::kInvalidGoal;
+  workload::GoalSpec spec;
+  std::uint32_t hops = 0;  // cumulative hops travelled by this goal so far
+  workload::GoalId parent_id = workload::kInvalidGoal;
+  topo::NodeId parent_pe = topo::kInvalidNode;
+
+  // -- Response fields ---------------------------------------------------
+  topo::NodeId dst = topo::kInvalidNode;  // final destination PE
+
+  // -- Control fields ----------------------------------------------------
+  std::uint32_t ctrl_tag = 0;
+  std::int64_t ctrl_value = 0;
+
+  // -- Transport fields (set per hop by the network) ----------------------
+  topo::NodeId src = topo::kInvalidNode;   // immediate sender of this hop
+  std::int64_t piggyback_load = -1;        // sender load, -1 = absent
+
+  static Message goal(workload::GoalId id, const workload::GoalSpec& spec,
+                      workload::GoalId parent_id, topo::NodeId parent_pe) {
+    Message m;
+    m.kind = MsgKind::Goal;
+    m.goal_id = id;
+    m.spec = spec;
+    m.parent_id = parent_id;
+    m.parent_pe = parent_pe;
+    return m;
+  }
+
+  static Message response(workload::GoalId parent_id, topo::NodeId dst) {
+    Message m;
+    m.kind = MsgKind::Response;
+    m.parent_id = parent_id;
+    m.dst = dst;
+    return m;
+  }
+
+  static Message control(std::uint32_t tag, std::int64_t value) {
+    Message m;
+    m.kind = MsgKind::Control;
+    m.ctrl_tag = tag;
+    m.ctrl_value = value;
+    return m;
+  }
+};
+
+}  // namespace oracle::machine

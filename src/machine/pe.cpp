@@ -1,0 +1,148 @@
+#include "machine/pe.hpp"
+
+#include "machine/machine.hpp"
+#include "util/error.hpp"
+
+namespace oracle::machine {
+
+PE::PE(Machine& machine, topo::NodeId id) : machine_(machine), id_(id) {}
+
+void PE::enqueue_goal(const Message& msg) {
+  ORACLE_ASSERT(msg.kind == MsgKind::Goal);
+  Activation act;
+  act.id = msg.goal_id;
+  act.spec = msg.spec;
+  act.hops = msg.hops;
+  act.parent_id = msg.parent_id;
+  act.parent_pe = msg.parent_pe;
+  act.is_combine = false;
+  ready_.push_back(act);
+  try_dispatch();
+}
+
+std::int64_t PE::load() const noexcept {
+  std::int64_t load = static_cast<std::int64_t>(ready_.size());
+  if (machine_.config().load_measure == LoadMeasure::QueuePlusWaiting)
+    load += static_cast<std::int64_t>(waiting_.size());
+  return load;
+}
+
+std::optional<Message> PE::take_transferable_goal(bool newest) {
+  // Only fresh goals can move; combine activations belong to goals that
+  // already spawned children here ("it is prohibitively expensive to move a
+  // task from a PE to another after it has spawned sub-tasks").
+  auto take = [&](auto it) {
+    Message msg = Message::goal(it->id, it->spec, it->parent_id, it->parent_pe);
+    msg.hops = it->hops;
+    ready_.erase(it);
+    return msg;
+  };
+  if (newest) {
+    for (auto it = ready_.rbegin(); it != ready_.rend(); ++it)
+      if (!it->is_combine) return take(std::next(it).base());
+  } else {
+    for (auto it = ready_.begin(); it != ready_.end(); ++it)
+      if (!it->is_combine) return take(it);
+  }
+  return std::nullopt;
+}
+
+sim::Duration PE::busy_time_through(sim::SimTime now) const noexcept {
+  sim::Duration busy = busy_time_;
+  if (executing_) {
+    const sim::Duration elapsed = now - exec_started_;
+    busy += elapsed < exec_cost_ ? elapsed : exec_cost_;
+  }
+  return busy;
+}
+
+void PE::try_dispatch() {
+  if (executing_ || ready_.empty()) return;
+  Activation act = ready_.front();
+  ready_.pop_front();
+
+  sim::Duration cost;
+  if (act.is_combine) {
+    cost = act.cost;
+  } else {
+    // Expansion is cheap and pure; expanding at dispatch keeps queued goals
+    // transferable as plain specs.
+    const workload::Expansion exp = machine_.expand(act.spec);
+    cost = exp.exec_cost;
+  }
+  cost *= static_cast<sim::Duration>(machine_.speed_factor(id_));
+  // Deferred load-balancing overhead (no co-processor): occupies the PE
+  // ahead of the activation it delays.
+  cost += pending_overhead_;
+  pending_overhead_ = 0;
+  executing_ = true;
+  exec_started_ = machine_.now();
+  exec_cost_ = cost;
+  machine_.scheduler().schedule_after(
+      cost, [this, act = std::move(act)]() mutable { finish_activation(std::move(act)); });
+}
+
+void PE::finish_activation(Activation act) {
+  ORACLE_ASSERT(executing_);
+  executing_ = false;
+  busy_time_ += exec_cost_;
+
+  if (act.is_combine) {
+    respond_to_parent(act);
+  } else {
+    const workload::Expansion exp = machine_.expand(act.spec);
+    ++goals_executed_;
+    machine_.record_goal_executed(id_, act.hops);
+    if (exp.is_leaf) {
+      respond_to_parent(act);
+    } else {
+      // Park this goal awaiting responses, then contract out the children.
+      WaitingGoal waiting;
+      waiting.parent_id = act.parent_id;
+      waiting.parent_pe = act.parent_pe;
+      waiting.remaining = static_cast<std::uint32_t>(exp.children.size());
+      waiting.combine_cost = exp.combine_cost;
+      waiting.spec = act.spec;
+      waiting.hops = act.hops;
+      ORACLE_ASSERT(waiting.remaining > 0);
+      const bool inserted = waiting_.emplace(act.id, waiting).second;
+      ORACLE_ASSERT_MSG(inserted, "goal executed twice");
+      for (const workload::GoalSpec& child : exp.children) {
+        Message msg = Message::goal(machine_.next_goal_id(), child, act.id, id_);
+        machine_.place_new_goal(id_, std::move(msg));
+      }
+    }
+  }
+
+  try_dispatch();
+  if (idle()) machine_.notify_idle(id_);
+}
+
+void PE::respond_to_parent(const Activation& act) {
+  if (act.parent_id == workload::kInvalidGoal) {
+    machine_.on_root_complete();
+    return;
+  }
+  machine_.send_response(id_, act.parent_pe, act.parent_id);
+}
+
+void PE::deliver_response(workload::GoalId parent_id) {
+  const auto it = waiting_.find(parent_id);
+  ORACLE_ASSERT_MSG(it != waiting_.end(), "response for unknown goal");
+  ORACLE_ASSERT(it->second.remaining > 0);
+  if (--it->second.remaining == 0) {
+    Activation act;
+    act.id = parent_id;
+    act.spec = it->second.spec;
+    act.hops = it->second.hops;
+    act.parent_id = it->second.parent_id;
+    act.parent_pe = it->second.parent_pe;
+    act.is_combine = true;
+    act.cost = it->second.combine_cost;
+    waiting_.erase(it);
+    ready_.push_back(act);
+    try_dispatch();
+  }
+}
+
+}  // namespace oracle::machine

@@ -1,0 +1,112 @@
+#pragma once
+// A processing element: one user-program execution engine plus its ready
+// queue of goal activations. ORACLE models "one process for each user
+// process running on a PE"; here the PE is an event-driven actor that
+// executes one activation at a time, charging simulated time per phase.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "machine/message.hpp"
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+#include "workload/goal.hpp"
+
+namespace oracle::machine {
+
+class Machine;
+
+/// One entry in a PE's ready queue: either a fresh goal about to run its
+/// split/leaf phase, or a resumed goal running its combine phase.
+struct Activation {
+  workload::GoalId id = workload::kInvalidGoal;
+  workload::GoalSpec spec;
+  std::uint32_t hops = 0;                            // distance travelled
+  workload::GoalId parent_id = workload::kInvalidGoal;
+  topo::NodeId parent_pe = topo::kInvalidNode;
+  bool is_combine = false;
+  sim::Duration cost = 0;  // combine phase cost (fresh goals expand lazily)
+};
+
+class PE {
+ public:
+  PE(Machine& machine, topo::NodeId id);
+
+  PE(const PE&) = delete;
+  PE& operator=(const PE&) = delete;
+
+  topo::NodeId id() const noexcept { return id_; }
+
+  /// Add a fresh goal (from a kept goal message) to the ready queue.
+  void enqueue_goal(const Message& msg);
+
+  /// A response for waiting goal `parent_id` arrived (or was produced
+  /// locally); enqueue its combine phase when all children have answered.
+  void deliver_response(workload::GoalId parent_id);
+
+  /// The strategy's view of this PE's load (per MachineConfig::load_measure).
+  std::int64_t load() const noexcept;
+
+  /// Ready-queue length (fresh + combine activations).
+  std::size_t queue_length() const noexcept { return ready_.size(); }
+
+  /// Goals parked here awaiting child responses (future commitments).
+  std::size_t waiting_count() const noexcept { return waiting_.size(); }
+
+  bool executing() const noexcept { return executing_; }
+  bool idle() const noexcept { return !executing_ && ready_.empty(); }
+
+  /// Remove a transferable goal (a *fresh* goal that has not started
+  /// executing) from the ready queue so the strategy can send it elsewhere
+  /// (GM's abundant-state send; ACWN redistribution; work stealing).
+  /// `newest` picks the most recently enqueued such goal, else the oldest.
+  /// Returns std::nullopt if no fresh goal is queued.
+  std::optional<Message> take_transferable_goal(bool newest);
+
+  /// Busy time accumulated so far, including the in-flight activation.
+  sim::Duration busy_time_through(sim::SimTime now) const noexcept;
+
+  /// Charge load-balancing overhead to this PE: the next dispatched
+  /// activation is delayed by the accumulated amount (used when the
+  /// machine has no communication co-processor, MachineConfig::lb_coprocessor
+  /// == false). Overhead counts as occupancy, not useful work.
+  void add_overhead(sim::Duration d) noexcept {
+    pending_overhead_ += d;
+  }
+
+  sim::Duration pending_overhead() const noexcept { return pending_overhead_; }
+
+  /// Goals whose split/leaf phase ran on this PE.
+  std::uint64_t goals_executed() const noexcept { return goals_executed_; }
+
+ private:
+  friend class Machine;
+
+  void try_dispatch();
+  void finish_activation(Activation act);
+  void respond_to_parent(const Activation& act);
+
+  struct WaitingGoal {
+    workload::GoalId parent_id;  // this goal's own parent
+    topo::NodeId parent_pe;
+    std::uint32_t remaining;     // outstanding child responses
+    sim::Duration combine_cost;
+    workload::GoalSpec spec;
+    std::uint32_t hops;
+  };
+
+  Machine& machine_;
+  topo::NodeId id_;
+  std::deque<Activation> ready_;
+  std::unordered_map<workload::GoalId, WaitingGoal> waiting_;
+  bool executing_ = false;
+  sim::Duration pending_overhead_ = 0;
+  sim::SimTime exec_started_ = 0;
+  sim::Duration exec_cost_ = 0;
+  sim::Duration busy_time_ = 0;
+  std::uint64_t goals_executed_ = 0;
+};
+
+}  // namespace oracle::machine

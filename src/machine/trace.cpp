@@ -1,0 +1,51 @@
+#include "machine/trace.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace oracle::machine {
+
+const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::GoalCreated: return "goal-created";
+    case TraceEvent::GoalSent: return "goal-sent";
+    case TraceEvent::GoalKept: return "goal-kept";
+    case TraceEvent::GoalExecuted: return "goal-executed";
+    case TraceEvent::ResponseSent: return "response-sent";
+    case TraceEvent::ControlSent: return "control-sent";
+    case TraceEvent::RootCompleted: return "root-completed";
+  }
+  return "?";
+}
+
+std::string TraceRecord::to_string() const {
+  return strfmt("t=%lld %-14s from=%d to=%d goal=%llu detail=%lld",
+                static_cast<long long>(time), trace_event_name(event),
+                from == topo::kInvalidNode ? -1 : static_cast<int>(from),
+                to == topo::kInvalidNode ? -1 : static_cast<int>(to),
+                static_cast<unsigned long long>(goal),
+                static_cast<long long>(detail));
+}
+
+void Trace::record(sim::SimTime t, TraceEvent e, topo::NodeId from,
+                   topo::NodeId to, workload::GoalId goal,
+                   std::int64_t detail) {
+  if (!enabled() || full()) return;
+  records_.push_back(TraceRecord{t, e, from, to, goal, detail});
+}
+
+std::vector<TraceRecord> Trace::filter(TraceEvent e) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_)
+    if (r.event == e) out.push_back(r);
+  return out;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& r : records_) os << r.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace oracle::machine

@@ -1,0 +1,67 @@
+#pragma once
+// Execution trace: a bounded log of machine-level events (goal placement,
+// transmissions, keeps, responses, control traffic). ORACLE provided
+// "form and content of the output information required" as an input knob;
+// this is our equivalent, mainly used to debug strategies and in tests to
+// assert on fine-grained behaviour.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+#include "workload/goal.hpp"
+
+namespace oracle::machine {
+
+enum class TraceEvent : std::uint8_t {
+  GoalCreated,    // new subgoal handed to the strategy
+  GoalSent,       // goal transmitted one hop
+  GoalKept,       // goal accepted for execution at a PE
+  GoalExecuted,   // split/leaf phase ran
+  ResponseSent,   // response transmitted one hop
+  ControlSent,    // control message transmitted
+  RootCompleted,  // run finished
+};
+
+const char* trace_event_name(TraceEvent e);
+
+struct TraceRecord {
+  sim::SimTime time = 0;
+  TraceEvent event = TraceEvent::GoalCreated;
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+  workload::GoalId goal = workload::kInvalidGoal;
+  std::int64_t detail = 0;  // hops for goals, tag for control
+
+  std::string to_string() const;
+};
+
+/// Bounded in-memory trace. Recording stops silently at the cap so traces
+/// can stay on for large runs without exhausting memory.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  bool enabled() const noexcept { return capacity_ > 0; }
+  bool full() const noexcept { return records_.size() >= capacity_; }
+  std::size_t size() const noexcept { return records_.size(); }
+
+  void record(sim::SimTime t, TraceEvent e, topo::NodeId from, topo::NodeId to,
+              workload::GoalId goal, std::int64_t detail);
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+
+  /// Records matching one event kind.
+  std::vector<TraceRecord> filter(TraceEvent e) const;
+
+  /// Multi-line rendering (one record per line).
+  std::string to_string() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace oracle::machine

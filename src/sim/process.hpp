@@ -1,0 +1,112 @@
+#pragma once
+// Coroutine-based process abstraction.
+//
+// ORACLE (the paper's simulator, built on SIMSCRIPT) exposes a *process*
+// abstraction in addition to raw events "Thus the code written for ORACLE
+// looks the same as that for a real multiprocessor". We reproduce that with
+// C++20 coroutines: a Process is a coroutine that can `co_await hold(n)`
+// to advance simulated time. The machine model itself is event-driven for
+// speed; processes are the ergonomic layer used by periodic daemons,
+// examples and tests.
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace oracle::sim {
+
+class Process;
+
+namespace detail {
+
+struct ProcessState {
+  Scheduler* sched = nullptr;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+}  // namespace detail
+
+/// Awaitable returned by hold(): suspends the process for `delay` units.
+struct HoldAwaitable {
+  Scheduler* sched;
+  Duration delay;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sched->schedule_after(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// A simulated process. Create via any coroutine returning Process that was
+/// launched with Process::spawn(); the coroutine body runs until its first
+/// suspension as soon as the process is spawned (SIMSCRIPT "activate now").
+class Process {
+ public:
+  struct promise_type {
+    std::shared_ptr<detail::ProcessState> state =
+        std::make_shared<detail::ProcessState>();
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this),
+                     state);
+    }
+    // Lazy start: spawn() injects the scheduler, then resumes.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept {
+      state->done = true;
+      return {};  // handle self-destroys after final suspend
+    }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { state->error = std::current_exception(); }
+
+    /// Allows `co_await hold(n)` without carrying the scheduler around.
+    HoldAwaitable await_transform(Duration delay) {
+      ORACLE_ASSERT_MSG(state->sched != nullptr, "process not spawned");
+      ORACLE_ASSERT_MSG(delay >= 0, "negative hold");
+      return HoldAwaitable{state->sched, delay};
+    }
+  };
+
+  Process() = default;
+  Process(Process&& other) noexcept = default;
+  Process& operator=(Process&& other) noexcept = default;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Bind the process to a scheduler and run it to its first suspension.
+  void spawn(Scheduler& sched) {
+    ORACLE_ASSERT_MSG(handle_, "spawn of empty/moved-from Process");
+    ORACLE_ASSERT_MSG(state_->sched == nullptr, "process spawned twice");
+    state_->sched = &sched;
+    handle_.resume();
+    rethrow_if_failed();
+  }
+
+  bool done() const noexcept { return state_ && state_->done; }
+
+  /// Re-raise an exception that escaped the coroutine body.
+  void rethrow_if_failed() const {
+    if (state_ && state_->error) std::rethrow_exception(state_->error);
+  }
+
+ private:
+  Process(std::coroutine_handle<promise_type> h,
+          std::shared_ptr<detail::ProcessState> state)
+      : handle_(h), state_(std::move(state)) {}
+
+  std::coroutine_handle<promise_type> handle_;
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+/// Inside a Process coroutine: `co_await hold(10);` advances sim time 10
+/// units. (Plain `co_await 10;` also works via await_transform.)
+inline Duration hold(Duration delay) { return delay; }
+
+}  // namespace oracle::sim

@@ -1,0 +1,71 @@
+#pragma once
+// SIMSCRIPT-style resource: a facility with `capacity` identical servers and
+// a FIFO request queue. ORACLE models each communication channel as one such
+// process; we use Resource for channels and buses, so contention for links
+// is simulated exactly as in the paper ("it models contention for the basic
+// resources of a parallel system").
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "stats/accumulator.hpp"
+
+namespace oracle::sim {
+
+/// FIFO multi-server resource. Usage pattern:
+///   resource.acquire_for(service_time, [done] { ... });
+/// which queues if all servers are busy, holds a server for `service_time`
+/// units, then invokes the completion callback and starts the next waiter.
+class Resource {
+ public:
+  Resource(Scheduler& sched, std::string name, std::uint32_t capacity = 1);
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint32_t in_service() const noexcept { return in_service_; }
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Request a server for `service` units; `on_complete` runs when service
+  /// finishes (may be null). FIFO among waiters.
+  void acquire_for(Duration service, std::function<void()> on_complete);
+
+  /// Total busy server-time accumulated so far (updated on completion).
+  Duration busy_time() const noexcept { return busy_time_; }
+
+  /// Number of completed services.
+  std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Utilization over [0, horizon]: busy server-time / (capacity * horizon).
+  double utilization(SimTime horizon) const noexcept;
+
+  /// Observed queueing delays (time from request to service start).
+  const stats::Accumulator& queue_delay() const noexcept { return queue_delay_; }
+
+ private:
+  struct Request {
+    Duration service;
+    std::function<void()> on_complete;
+    SimTime enqueued_at;
+  };
+
+  void start_service(Request req);
+  void finish_service(Duration service, std::function<void()> on_complete);
+
+  Scheduler& sched_;
+  std::string name_;
+  std::uint32_t capacity_;
+  std::uint32_t in_service_ = 0;
+  std::deque<Request> queue_;
+  Duration busy_time_ = 0;
+  std::uint64_t completed_ = 0;
+  stats::Accumulator queue_delay_;
+};
+
+}  // namespace oracle::sim

@@ -1,0 +1,83 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace oracle::sim {
+
+EventHandle Scheduler::schedule_at(SimTime when, Callback cb) {
+  ORACLE_ASSERT_MSG(when >= now_, "scheduling into the past");
+  ORACLE_ASSERT(cb != nullptr);
+  Entry entry{when, next_seq_++, next_id_++, std::move(cb)};
+  const EventHandle handle{entry.id};
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_events_;
+  return handle;
+}
+
+bool Scheduler::is_cancelled(std::uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+void Scheduler::forget_cancelled(std::uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  ORACLE_ASSERT(it != cancelled_.end());
+  // Order doesn't matter; swap-and-pop.
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+}
+
+bool Scheduler::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // The id is only known to the heap if it hasn't fired. Scan the heap to
+  // verify liveness; cancellation is rare (timer resets), so O(n) is fine
+  // and keeps the hot path allocation-free.
+  const bool present =
+      std::any_of(heap_.begin(), heap_.end(),
+                  [&](const Entry& e) { return e.id == handle.id; });
+  if (!present || is_cancelled(handle.id)) return false;
+  cancelled_.push_back(handle.id);
+  --live_events_;
+  return true;
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    if (is_cancelled(entry.id)) {
+      forget_cancelled(entry.id);
+      continue;  // lazily dropped
+    }
+    ORACLE_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    --live_events_;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+SimTime Scheduler::run(SimTime until, std::uint64_t max_events) {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    // Peek: don't dispatch events beyond the horizon.
+    if (heap_.front().time > until) break;
+    if (!step()) break;
+    if (max_events != 0 && executed_ > max_events) {
+      throw SimulationError(strfmt(
+          "event budget exceeded (%llu events executed, t=%lld); "
+          "the model is probably not terminating",
+          static_cast<unsigned long long>(executed_),
+          static_cast<long long>(now_)));
+    }
+  }
+  return now_;
+}
+
+}  // namespace oracle::sim

@@ -1,0 +1,103 @@
+#pragma once
+// The event list: a pending-event set ordered by (time, sequence number).
+//
+// The sequence number gives FIFO ordering among simultaneous events, which
+// makes runs deterministic (DESIGN.md invariant 7) — SIMSCRIPT makes the
+// same guarantee for its event set. Cancellation is supported by handle;
+// cancelled entries are dropped lazily when they reach the top of the heap.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace oracle::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Valid until the
+/// event fires or is cancelled.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+};
+
+/// Priority queue of timed callbacks. Not thread-safe: a Scheduler belongs
+/// to exactly one simulation run (parallelism happens across runs).
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Advances only inside run()/step().
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` after `delay` (>= 0) units.
+  EventHandle schedule_after(Duration delay, Callback cb) {
+    ORACLE_ASSERT_MSG(delay >= 0, "negative event delay");
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or the handle is invalid.
+  bool cancel(EventHandle handle);
+
+  /// True if no runnable events remain.
+  bool empty() const noexcept { return live_events_ == 0; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return live_events_; }
+
+  /// Total events executed so far.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Execute the next event, advancing the clock. Returns false when the
+  /// event list is empty.
+  bool step();
+
+  /// Run until the event list is empty, `until` is passed, or `max_events`
+  /// events have executed (0 = unlimited; exceeding a nonzero bound throws
+  /// SimulationError, as this usually means a runaway model).
+  /// Returns the time of the last executed event.
+  SimTime run(SimTime until = kTimeInfinity, std::uint64_t max_events = 0);
+
+  /// Request that run() stops before dispatching any further event.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
+    std::uint64_t id;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Binary heap managed with std::push_heap/std::pop_heap over a vector:
+  // cache-friendlier than std::priority_queue and allows inspection.
+  std::vector<Entry> heap_;
+  std::vector<std::uint64_t> cancelled_;  // ids cancelled but still in heap_
+  std::size_t live_events_ = 0;
+  SimTime now_ = kTimeZero;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+
+  bool is_cancelled(std::uint64_t id) const;
+  void forget_cancelled(std::uint64_t id);
+};
+
+}  // namespace oracle::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Simulation: a Scheduler plus run-scoped services (named resources,
+// processes, periodic samplers). One Simulation == one ORACLE run.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace oracle::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Scheduler& scheduler() noexcept { return sched_; }
+  const Scheduler& scheduler() const noexcept { return sched_; }
+  SimTime now() const noexcept { return sched_.now(); }
+
+  /// Create a resource owned by this simulation.
+  Resource& make_resource(std::string name, std::uint32_t capacity = 1) {
+    resources_.push_back(
+        std::make_unique<Resource>(sched_, std::move(name), capacity));
+    return *resources_.back();
+  }
+
+  const std::vector<std::unique_ptr<Resource>>& resources() const noexcept {
+    return resources_;
+  }
+
+  /// Launch a coroutine process (runs to first suspension immediately).
+  void spawn(Process p) {
+    processes_.push_back(std::move(p));
+    processes_.back().spawn(sched_);
+  }
+
+  /// Invoke `fn(now)` every `interval` units starting at `start`, until the
+  /// event list would otherwise be empty. Sampler events never keep the
+  /// simulation alive on their own: they are rescheduled only while other
+  /// work is pending, mirroring ORACLE's output sampler.
+  void add_sampler(Duration interval, std::function<void(SimTime)> fn,
+                   SimTime start = 0);
+
+  /// Run to completion (or the event budget). Returns the final time.
+  SimTime run(std::uint64_t max_events = 0) {
+    return sched_.run(kTimeInfinity, max_events);
+  }
+
+ private:
+  struct Sampler {
+    Duration interval;
+    std::function<void(SimTime)> fn;
+  };
+
+  void arm_sampler(std::size_t idx, SimTime when);
+
+  Scheduler sched_;
+  std::vector<std::unique_ptr<Resource>> resources_;
+  std::vector<Process> processes_;
+  std::vector<Sampler> samplers_;
+};
+
+}  // namespace oracle::sim

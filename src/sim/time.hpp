@@ -1,0 +1,22 @@
+#pragma once
+// Simulated time. The paper charges integer "units" for primitive operations
+// (Section 3: "times to be charged for primitive operations"; run lengths of
+// 1000..23000 units). We use a 64-bit integer tick count: integer time makes
+// event ordering exact and runs bit-reproducible across platforms.
+
+#include <cstdint>
+
+namespace oracle::sim {
+
+/// A point in simulated time, in abstract "units".
+using SimTime = std::int64_t;
+
+/// A duration in simulated time units.
+using Duration = std::int64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+
+/// Sentinel for "never" / unbounded horizons.
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+}  // namespace oracle::sim

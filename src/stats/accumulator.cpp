@@ -1,0 +1,29 @@
+#include "stats/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oracle::stats {
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford states.
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * (n2 / n);
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / n);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace oracle::stats

@@ -1,0 +1,55 @@
+#pragma once
+// Streaming statistics accumulator (count/mean/variance/min/max) using
+// Welford's algorithm. SIMSCRIPT's "excellent statistical support" boils
+// down to accumulators like this one attached to model variables.
+
+#include <cstdint>
+#include <limits>
+
+namespace oracle::stats {
+
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const Accumulator& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample (Bessel-corrected) variance; 0 for fewer than 2 samples.
+  double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double stddev() const noexcept;
+
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  void reset() noexcept { *this = Accumulator(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace oracle::stats

@@ -1,0 +1,81 @@
+#include "stats/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::stats {
+
+std::string run_result_csv_header() {
+  return "topology,strategy,workload,num_pes,seed,completion_time,"
+         "goals_executed,total_work,critical_path,avg_utilization,speedup,"
+         "avg_goal_distance,goal_transmissions,response_transmissions,"
+         "control_transmissions,avg_channel_utilization,"
+         "max_channel_utilization,events_executed";
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+}  // namespace
+
+std::string run_result_csv_row(const RunResult& r) {
+  return strfmt(
+      "%s,%s,%s,%u,%llu,%lld,%llu,%lld,%lld,%.6f,%.4f,%.4f,%llu,%llu,%llu,"
+      "%.6f,%.6f,%llu",
+      csv_escape(r.topology).c_str(), csv_escape(r.strategy).c_str(),
+      csv_escape(r.workload).c_str(), r.num_pes,
+      static_cast<unsigned long long>(r.seed),
+      static_cast<long long>(r.completion_time),
+      static_cast<unsigned long long>(r.goals_executed),
+      static_cast<long long>(r.total_work),
+      static_cast<long long>(r.critical_path), r.avg_utilization, r.speedup,
+      r.avg_goal_distance,
+      static_cast<unsigned long long>(r.goal_transmissions),
+      static_cast<unsigned long long>(r.response_transmissions),
+      static_cast<unsigned long long>(r.control_transmissions),
+      r.avg_channel_utilization, r.max_channel_utilization,
+      static_cast<unsigned long long>(r.events_executed));
+}
+
+std::string sweep_to_csv(const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  os << run_result_csv_header() << '\n';
+  for (const auto& r : results) os << run_result_csv_row(r) << '\n';
+  return os.str();
+}
+
+std::string series_to_csv(const RunResult& r) {
+  std::ostringstream os;
+  os << "time,utilization_percent\n";
+  const auto& ts = r.utilization_series;
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    os << ts.time_at(i) << ',' << ts.value_at(i) << '\n';
+  return os.str();
+}
+
+std::string hops_to_csv(const RunResult& r) {
+  std::ostringstream os;
+  os << "hops,count\n";
+  for (std::size_t h = 0; h < r.goal_hops.buckets(); ++h)
+    os << h << ',' << r.goal_hops.count(h) << '\n';
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SimulationError("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) throw SimulationError("write to '" + path + "' failed");
+}
+
+}  // namespace oracle::stats

@@ -1,0 +1,33 @@
+#pragma once
+// CSV export for run results and sweeps, so the regenerated tables and
+// series can be fed to external plotting tools (the modern stand-in for
+// ORACLE's "specially formatted output that can be used to drive a
+// graphics program").
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/run_result.hpp"
+
+namespace oracle::stats {
+
+/// Header row matching run_result_csv_row().
+std::string run_result_csv_header();
+
+/// One run as a CSV row (identification, outcome, communication columns).
+std::string run_result_csv_row(const RunResult& r);
+
+/// A whole sweep as a CSV document.
+std::string sweep_to_csv(const std::vector<RunResult>& results);
+
+/// The utilization time series of one run: "time,utilization_percent".
+std::string series_to_csv(const RunResult& r);
+
+/// The hop histogram of one run: "hops,count".
+std::string hops_to_csv(const RunResult& r);
+
+/// Write `content` to `path`; throws SimulationError on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace oracle::stats

@@ -1,0 +1,50 @@
+#include "stats/histogram.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace oracle::stats {
+
+void Histogram::add(std::size_t value, std::uint64_t weight) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  counts_[value] += weight;
+  total_ += weight;
+  weighted_sum_ += static_cast<std::uint64_t>(value) * weight;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(weighted_sum_) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    cum += counts_[v];
+    if (cum >= target && cum > 0) return v;
+  }
+  return counts_.empty() ? 0 : counts_.size() - 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t v = 0; v < other.counts_.size(); ++v) counts_[v] += other.counts_[v];
+  total_ += other.total_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (v) os << ' ';
+    os << v << ':' << counts_[v];
+  }
+  return os.str();
+}
+
+}  // namespace oracle::stats

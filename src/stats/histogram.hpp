@@ -1,0 +1,46 @@
+#pragma once
+// Integer-bucket histogram, used for the paper's Table 3 (distribution of
+// distances travelled by goal messages: buckets are hop counts 0..radius).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oracle::stats {
+
+class Histogram {
+ public:
+  /// Buckets are integers [0, max_value]; values beyond max_value grow the
+  /// histogram on demand.
+  explicit Histogram(std::size_t initial_buckets = 0)
+      : counts_(initial_buckets, 0) {}
+
+  void add(std::size_t value, std::uint64_t weight = 1);
+
+  std::uint64_t count(std::size_t value) const noexcept {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+
+  /// Number of buckets (= highest recorded value + 1, or the initial size).
+  std::size_t buckets() const noexcept { return counts_.size(); }
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Weighted mean of recorded values (the paper's "Average" column).
+  double mean() const noexcept;
+
+  /// Smallest v such that at least `q` fraction of the mass is at <= v.
+  std::size_t quantile(double q) const noexcept;
+
+  void merge(const Histogram& other);
+
+  /// One-line rendering "v0:c0 v1:c1 ..." for logs and tests.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+};
+
+}  // namespace oracle::stats

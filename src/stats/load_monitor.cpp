@@ -1,0 +1,48 @@
+#include "stats/load_monitor.hpp"
+
+#include "util/error.hpp"
+
+namespace oracle::stats {
+
+void LoadMonitor::add_frame(sim::SimTime t, std::vector<double> utilization) {
+  if (num_pes_ == 0) num_pes_ = static_cast<std::uint32_t>(utilization.size());
+  ORACLE_ASSERT_MSG(utilization.size() == num_pes_,
+                    "frame size does not match PE count");
+  ORACLE_ASSERT_MSG(times_.empty() || t >= times_.back(),
+                    "frames must be recorded in time order");
+  times_.push_back(t);
+  frames_.push_back(std::move(utilization));
+}
+
+std::vector<double> LoadMonitor::pe_series(std::uint32_t pe) const {
+  ORACLE_ASSERT(pe < num_pes_);
+  std::vector<double> series;
+  series.reserve(frames_.size());
+  for (const auto& f : frames_) series.push_back(f[pe]);
+  return series;
+}
+
+char LoadMonitor::shade(double utilization) {
+  static const char kRamp[] = {'.', ':', '-', '=', '+', 'o', 'x', '*', '%', '@'};
+  if (utilization <= 0.0) return kRamp[0];
+  if (utilization >= 1.0) return kRamp[9];
+  return kRamp[static_cast<int>(utilization * 10.0)];
+}
+
+std::string LoadMonitor::render_frame(std::size_t i, std::uint32_t rows,
+                                      std::uint32_t cols) const {
+  ORACLE_ASSERT(i < frames_.size());
+  ORACLE_ASSERT_MSG(static_cast<std::uint64_t>(rows) * cols == num_pes_,
+                    "rows*cols must equal the PE count");
+  const auto& f = frames_[i];
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows) * (cols + 1));
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c)
+      out += shade(f[static_cast<std::size_t>(r) * cols + c]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace oracle::stats

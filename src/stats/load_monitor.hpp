@@ -1,0 +1,51 @@
+#pragma once
+// Per-PE utilization frames — the data behind ORACLE's load monitor:
+// "the utilization of each PE is output at every sampling interval. This
+// data is displayed on the graphics device with a continuum of colors
+// representing relative activity on each PE. (red: busy, blue: idle)."
+//
+// We record the same data and render it as ASCII heat maps (terminal
+// stand-in for the graphics device; see examples/visualize_load.cpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace oracle::stats {
+
+class LoadMonitor {
+ public:
+  LoadMonitor() = default;
+  explicit LoadMonitor(std::uint32_t num_pes) : num_pes_(num_pes) {}
+
+  std::uint32_t num_pes() const noexcept { return num_pes_; }
+  std::size_t frames() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  /// Record one sampling interval: `utilization[pe]` in [0, 1].
+  void add_frame(sim::SimTime t, std::vector<double> utilization);
+
+  sim::SimTime time_of(std::size_t frame) const { return times_.at(frame); }
+  const std::vector<double>& frame(std::size_t i) const { return frames_.at(i); }
+
+  /// Utilization of one PE across all frames.
+  std::vector<double> pe_series(std::uint32_t pe) const;
+
+  /// Render frame `i` as a rows x cols character grid; PEs are mapped
+  /// row-major (matching Grid2D and DLM node numbering). Uses a 10-level
+  /// shade ramp from '.' (idle) to '@' (busy) — the red..blue continuum.
+  std::string render_frame(std::size_t i, std::uint32_t rows,
+                           std::uint32_t cols) const;
+
+  /// Character for a utilization level (exposed for tests).
+  static char shade(double utilization);
+
+ private:
+  std::uint32_t num_pes_ = 0;
+  std::vector<sim::SimTime> times_;
+  std::vector<std::vector<double>> frames_;
+};
+
+}  // namespace oracle::stats

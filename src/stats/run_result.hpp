@@ -1,0 +1,68 @@
+#pragma once
+// Aggregated result of one simulation run — everything the paper reports:
+// completion time, average and per-PE utilization, speedup, message-distance
+// distribution, message counts, channel utilization, and the sampled
+// utilization time series.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/load_monitor.hpp"
+#include "stats/timeseries.hpp"
+
+namespace oracle::stats {
+
+struct RunResult {
+  // Identification.
+  std::string topology;
+  std::string strategy;
+  std::string workload;
+  std::uint32_t num_pes = 0;
+  std::uint64_t seed = 0;
+
+  // Outcome.
+  sim::SimTime completion_time = 0;
+  std::uint64_t goals_executed = 0;    // the paper's "No. of Goals" axis
+  sim::Duration total_work = 0;        // sequential execution time
+  sim::Duration critical_path = 0;     // lower bound on completion time
+
+  // Utilization (fractions in [0,1]).
+  double avg_utilization = 0.0;
+  std::vector<double> pe_utilization;
+
+  /// The paper's speedup: num_pes * avg_utilization (== total busy time /
+  /// completion time, i.e. work done per unit time vs one PE).
+  double speedup = 0.0;
+
+  // Distribution quality ("the load must be distributed uniformly to all
+  // the processors" — the paper's opening requirement).
+  std::vector<std::uint64_t> pe_goals;   // goals executed per PE
+  double utilization_cv = 0.0;           // stddev/mean of per-PE utilization
+  double max_min_utilization_gap = 0.0;  // max - min per-PE utilization
+
+  // Communication behaviour.
+  Histogram goal_hops;                 // distance travelled per goal (Table 3)
+  double avg_goal_distance = 0.0;
+  std::uint64_t goal_transmissions = 0;      // channel acquisitions by goals
+  std::uint64_t response_transmissions = 0;  // ... by responses
+  std::uint64_t control_transmissions = 0;   // ... by control traffic
+  double avg_channel_utilization = 0.0;
+  double max_channel_utilization = 0.0;
+
+  // Time profile (only filled when sample_interval > 0).
+  TimeSeries utilization_series;
+
+  // Per-PE utilization frames (only when monitor_per_pe is set).
+  LoadMonitor load_monitor;
+
+  // Simulator internals (for the engine microbenches / sanity checks).
+  std::uint64_t events_executed = 0;
+
+  /// Convenience: percent utilization as plotted in the paper.
+  double utilization_percent() const noexcept { return avg_utilization * 100.0; }
+};
+
+}  // namespace oracle::stats

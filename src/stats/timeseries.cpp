@@ -1,0 +1,44 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace oracle::stats {
+
+double TimeSeries::max_value() const noexcept {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+double TimeSeries::mean_value() const noexcept {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double TimeSeries::interpolate(sim::SimTime t) const {
+  ORACLE_ASSERT(!times_.empty());
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = static_cast<double>(times_[hi] - times_[lo]);
+  if (span <= 0.0) return values_[hi];
+  const double w = static_cast<double>(t - times_[lo]) / span;
+  return values_[lo] * (1.0 - w) + values_[hi] * w;
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream os;
+  os << "time," << (name_.empty() ? "value" : name_) << '\n';
+  for (std::size_t i = 0; i < times_.size(); ++i)
+    os << times_[i] << ',' << values_[i] << '\n';
+  return os.str();
+}
+
+}  // namespace oracle::stats

@@ -1,0 +1,50 @@
+#pragma once
+// Sampled time series: utilization-vs-time data behind the paper's Plots
+// 11-16 and its color load monitor ("the utilization of each PE is output
+// at every sampling interval").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace oracle::stats {
+
+/// A sequence of (time, value) samples taken at a fixed interval.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(sim::SimTime t, double value) {
+    times_.push_back(t);
+    values_.push_back(value);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  sim::SimTime time_at(std::size_t i) const { return times_.at(i); }
+  double value_at(std::size_t i) const { return values_.at(i); }
+
+  const std::vector<sim::SimTime>& times() const noexcept { return times_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  double max_value() const noexcept;
+  double mean_value() const noexcept;
+
+  /// Linear interpolation at time t (clamped to the sampled range).
+  double interpolate(sim::SimTime t) const;
+
+  /// Render as two CSV columns "time,<name>".
+  std::string to_csv() const;
+
+ private:
+  std::string name_;
+  std::vector<sim::SimTime> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace oracle::stats

@@ -1,0 +1,88 @@
+#include "topo/factory.hpp"
+
+#include <string>
+
+#include "topo/dlm.hpp"
+#include "topo/grid.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/tree.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::topo {
+
+Ring::Ring(std::uint32_t n) : Topology(strfmt("ring-%u", n), n) {
+  ORACLE_REQUIRE(n >= 2, "ring needs at least 2 nodes");
+  for (std::uint32_t i = 0; i + 1 < n; ++i) add_link({i, i + 1});
+  if (n >= 3) add_link({n - 1, 0});
+  finalize();
+}
+
+Complete::Complete(std::uint32_t n) : Topology(strfmt("complete-%u", n), n) {
+  ORACLE_REQUIRE(n >= 2, "complete graph needs at least 2 nodes");
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) add_link({i, j});
+  finalize();
+}
+
+namespace {
+
+std::pair<std::uint32_t, std::uint32_t> parse_dims(std::string_view s,
+                                                   std::string_view what) {
+  const auto parts = split(s, 'x');
+  ORACLE_REQUIRE(parts.size() == 2,
+                 std::string(what) + ": expected RxC, got '" + std::string(s) + "'");
+  const auto r = parse_int(parts[0], what);
+  const auto c = parse_int(parts[1], what);
+  ORACLE_REQUIRE(r > 0 && c > 0, std::string(what) + ": dimensions must be positive");
+  return {static_cast<std::uint32_t>(r), static_cast<std::uint32_t>(c)};
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(std::string_view spec) {
+  const auto parts = split(trim(spec), ':');
+  ORACLE_REQUIRE(!parts.empty() && !parts[0].empty(),
+                 "empty topology spec");
+  const std::string kind = to_lower(parts[0]);
+
+  if (kind == "grid" || kind == "torus") {
+    ORACLE_REQUIRE(parts.size() == 2, "usage: " + kind + ":RxC");
+    const auto [r, c] = parse_dims(parts[1], kind);
+    return std::make_unique<Grid2D>(r, c, kind == "torus");
+  }
+  if (kind == "dlm") {
+    ORACLE_REQUIRE(parts.size() == 3, "usage: dlm:SPAN:RxC");
+    const auto span = parse_int(parts[1], "dlm span");
+    ORACLE_REQUIRE(span >= 2, "dlm span must be >= 2");
+    const auto [r, c] = parse_dims(parts[2], "dlm");
+    return std::make_unique<DoubleLatticeMesh>(static_cast<std::uint32_t>(span), r, c);
+  }
+  if (kind == "hypercube" || kind == "cube") {
+    ORACLE_REQUIRE(parts.size() == 2, "usage: hypercube:DIM");
+    const auto d = parse_int(parts[1], "hypercube dimension");
+    ORACLE_REQUIRE(d >= 1 && d <= 20, "hypercube dimension must be in [1,20]");
+    return std::make_unique<Hypercube>(static_cast<std::uint32_t>(d));
+  }
+  if (kind == "tree") {
+    ORACLE_REQUIRE(parts.size() == 3, "usage: tree:ARITY:LEVELS");
+    const auto arity = parse_int(parts[1], "tree arity");
+    const auto levels = parse_int(parts[2], "tree levels");
+    ORACLE_REQUIRE(arity >= 1 && levels >= 1, "tree needs arity,levels >= 1");
+    return std::make_unique<KaryTree>(static_cast<std::uint32_t>(arity),
+                                      static_cast<std::uint32_t>(levels));
+  }
+  if (kind == "ring") {
+    ORACLE_REQUIRE(parts.size() == 2, "usage: ring:N");
+    return std::make_unique<Ring>(
+        static_cast<std::uint32_t>(parse_int(parts[1], "ring size")));
+  }
+  if (kind == "complete") {
+    ORACLE_REQUIRE(parts.size() == 2, "usage: complete:N");
+    return std::make_unique<Complete>(
+        static_cast<std::uint32_t>(parse_int(parts[1], "complete size")));
+  }
+  throw ConfigError("unknown topology kind '" + kind +
+                    "' (expected grid|torus|dlm|hypercube|ring|complete)");
+}
+
+}  // namespace oracle::topo

@@ -1,0 +1,37 @@
+#pragma once
+// Topology factory: builds topologies from compact spec strings, the form
+// used by ExperimentConfig and the command-line examples.
+//
+//   "grid:RxC"         open 2-D grid            e.g. grid:10x10
+//   "torus:RxC"        wrap-around 2-D grid     e.g. torus:20x20
+//   "dlm:S:RxC"        double lattice mesh      e.g. dlm:5:10x10
+//   "hypercube:D"      binary hypercube         e.g. hypercube:7
+//   "ring:N"           1-D ring                 e.g. ring:16
+//   "complete:N"       fully connected N nodes  e.g. complete:8
+//   "tree:K:L"         complete k-ary tree      e.g. tree:2:5
+
+#include <memory>
+#include <string_view>
+
+#include "topo/topology.hpp"
+
+namespace oracle::topo {
+
+/// Parse `spec` and build the topology; throws ConfigError on bad specs.
+std::unique_ptr<Topology> make_topology(std::string_view spec);
+
+/// A ring of N nodes (degenerate lattice; useful for tests and ablations).
+class Ring : public Topology {
+ public:
+  explicit Ring(std::uint32_t n);
+};
+
+/// Complete graph on N nodes (an idealized "global communication" network;
+/// the paper argues such networks are not scalable — we keep one as an
+/// ablation baseline).
+class Complete : public Topology {
+ public:
+  explicit Complete(std::uint32_t n);
+};
+
+}  // namespace oracle::topo

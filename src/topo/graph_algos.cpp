@@ -1,0 +1,76 @@
+#include "topo/graph_algos.hpp"
+
+#include <deque>
+
+namespace oracle::topo {
+
+std::vector<std::uint32_t> bfs_distances(const Topology& topo, NodeId source) {
+  ORACLE_ASSERT(source < topo.num_nodes());
+  std::vector<std::uint32_t> dist(topo.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (NodeId m : topo.neighbors(n)) {
+      if (dist[m] == kUnreachable) {
+        dist[m] = dist[n] + 1;
+        frontier.push_back(m);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Topology& topo) {
+  const auto dist = bfs_distances(topo, 0);
+  for (std::uint32_t d : dist)
+    if (d == kUnreachable) return false;
+  return true;
+}
+
+DistanceMatrix::DistanceMatrix(const Topology& topo)
+    : n_(topo.num_nodes()), dist_(static_cast<std::size_t>(n_) * n_) {
+  std::uint64_t sum = 0;
+  std::uint64_t pairs = 0;
+  for (NodeId src = 0; src < n_; ++src) {
+    const auto row = bfs_distances(topo, src);
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      const std::uint32_t d = row[dst];
+      ORACLE_ASSERT_MSG(d != kUnreachable, "topology is disconnected");
+      dist_[static_cast<std::size_t>(src) * n_ + dst] = d;
+      if (src != dst) {
+        if (d > diameter_) diameter_ = d;
+        sum += d;
+        ++pairs;
+      }
+    }
+  }
+  avg_ = pairs ? static_cast<double>(sum) / static_cast<double>(pairs) : 0.0;
+}
+
+RoutingTable::RoutingTable(const Topology& topo)
+    : n_(topo.num_nodes()),
+      table_(static_cast<std::size_t>(n_) * n_, kInvalidNode) {
+  // Reverse BFS from each destination: next_hop(from, to) is the neighbor
+  // of `from` with distance(neighbor, to) == distance(from, to) - 1;
+  // neighbors are sorted ascending, so the first match is the lowest id.
+  for (NodeId to = 0; to < n_; ++to) {
+    const auto dist = bfs_distances(topo, to);
+    for (NodeId from = 0; from < n_; ++from) {
+      if (from == to) continue;
+      ORACLE_ASSERT_MSG(dist[from] != kUnreachable, "topology is disconnected");
+      for (NodeId nb : topo.neighbors(from)) {
+        if (dist[nb] + 1 == dist[from]) {
+          table_[static_cast<std::size_t>(from) * n_ + to] = nb;
+          break;
+        }
+      }
+      ORACLE_ASSERT(table_[static_cast<std::size_t>(from) * n_ + to] !=
+                    kInvalidNode);
+    }
+  }
+}
+
+}  // namespace oracle::topo

@@ -1,0 +1,68 @@
+#pragma once
+// Graph algorithms over Topology: BFS distances, diameter, average distance,
+// connectivity, and shortest-path next-hop routing tables. Computed once per
+// topology and shared by the machine model and the statistics layer.
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace oracle::topo {
+
+/// BFS hop distances from `source` to every node (kUnreachable if none).
+inline constexpr std::uint32_t kUnreachable = UINT32_MAX;
+std::vector<std::uint32_t> bfs_distances(const Topology& topo, NodeId source);
+
+/// True if every node is reachable from node 0.
+bool is_connected(const Topology& topo);
+
+/// All-pairs distance matrix and derived metrics. For the paper's sizes
+/// (<= 400 nodes) this is cheap; larger topologies should sample instead.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const Topology& topo);
+
+  std::uint32_t num_nodes() const noexcept { return n_; }
+
+  std::uint32_t distance(NodeId a, NodeId b) const {
+    ORACLE_ASSERT(a < n_ && b < n_);
+    return dist_[static_cast<std::size_t>(a) * n_ + b];
+  }
+
+  /// Longest shortest path (the paper quotes 8..38 for its grids, 4-5 DLM).
+  std::uint32_t diameter() const noexcept { return diameter_; }
+
+  /// Mean over ordered pairs (a != b).
+  double average_distance() const noexcept { return avg_; }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::uint32_t> dist_;
+  std::uint32_t diameter_ = 0;
+  double avg_ = 0.0;
+};
+
+/// Next-hop routing: for each (from, to) pair, the neighbor of `from` that
+/// lies on a shortest path to `to`. Deterministic (lowest-id candidate), so
+/// whole runs are reproducible. Response messages in the machine model are
+/// routed with this table; goal messages make their own per-hop decisions.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topo);
+
+  /// Next node after `from` on a shortest path to `to`; `to` itself when
+  /// adjacent, kInvalidNode when from == to.
+  NodeId next_hop(NodeId from, NodeId to) const {
+    ORACLE_ASSERT(from < n_ && to < n_);
+    return table_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+  std::uint32_t num_nodes() const noexcept { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::vector<NodeId> table_;
+};
+
+}  // namespace oracle::topo

@@ -1,0 +1,43 @@
+#include "topo/grid.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/string_util.hpp"
+
+namespace oracle::topo {
+
+Grid2D::Grid2D(std::uint32_t rows, std::uint32_t cols, bool wrap)
+    : Topology(strfmt("%s-%ux%u", wrap ? "torus" : "grid", rows, cols),
+               rows * cols),
+      rows_(rows),
+      cols_(cols),
+      wrap_(wrap) {
+  ORACLE_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
+  // Wrap links on a dimension of size < 3 would duplicate existing links
+  // (size 2) or self-loop (size 1); skip them there, as real machines do.
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+      const NodeId n = node_at(r, c);
+      if (c + 1 < cols_) add_link({n, node_at(r, c + 1)});
+      else if (wrap_ && cols_ >= 3) add_link({n, node_at(r, 0)});
+      if (r + 1 < rows_) add_link({n, node_at(r + 1, c)});
+      else if (wrap_ && rows_ >= 3) add_link({n, node_at(0, c)});
+    }
+  }
+  finalize();
+}
+
+std::uint32_t Grid2D::manhattan(NodeId a, NodeId b) const {
+  const auto dr = static_cast<std::int64_t>(row_of(a)) - row_of(b);
+  const auto dc = static_cast<std::int64_t>(col_of(a)) - col_of(b);
+  std::uint32_t vr = static_cast<std::uint32_t>(std::llabs(dr));
+  std::uint32_t vc = static_cast<std::uint32_t>(std::llabs(dc));
+  if (wrap_) {
+    if (rows_ >= 3) vr = std::min(vr, rows_ - vr);
+    if (cols_ >= 3) vc = std::min(vc, cols_ - vc);
+  }
+  return vr + vc;
+}
+
+}  // namespace oracle::topo

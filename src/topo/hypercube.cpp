@@ -1,0 +1,28 @@
+#include "topo/hypercube.hpp"
+
+#include <bit>
+
+#include "util/string_util.hpp"
+
+namespace oracle::topo {
+
+Hypercube::Hypercube(std::uint32_t dimension)
+    : Topology(strfmt("hypercube-%u", dimension), 1u << dimension),
+      dim_(dimension) {
+  ORACLE_REQUIRE(dimension >= 1 && dimension <= 20,
+                 "hypercube dimension must be in [1, 20]");
+  const std::uint32_t n = num_nodes();
+  for (NodeId node = 0; node < n; ++node) {
+    for (std::uint32_t bit = 0; bit < dim_; ++bit) {
+      const NodeId other = node ^ (1u << bit);
+      if (other > node) add_link({node, other});
+    }
+  }
+  finalize();
+}
+
+std::uint32_t Hypercube::hamming(NodeId a, NodeId b) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(a ^ b));
+}
+
+}  // namespace oracle::topo

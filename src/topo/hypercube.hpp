@@ -1,0 +1,24 @@
+#pragma once
+// Binary hypercube of dimension d (2^d nodes). Used by the paper's Appendix
+// I ("Simulation Experiments for the Hypercubes", dimensions 2..8).
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace oracle::topo {
+
+class Hypercube : public Topology {
+ public:
+  explicit Hypercube(std::uint32_t dimension);
+
+  std::uint32_t dimension() const noexcept { return dim_; }
+
+  /// Exact distance: Hamming distance of node labels.
+  static std::uint32_t hamming(NodeId a, NodeId b) noexcept;
+
+ private:
+  std::uint32_t dim_;
+};
+
+}  // namespace oracle::topo

@@ -1,0 +1,59 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+
+namespace oracle::topo {
+
+LinkId Topology::add_link(std::vector<NodeId> members) {
+  ORACLE_ASSERT_MSG(!finalized_, "add_link after finalize");
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  ORACLE_ASSERT_MSG(members.size() >= 2, "link must join at least two nodes");
+  for (NodeId m : members) ORACLE_ASSERT(m < num_nodes_);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, std::move(members)});
+  return id;
+}
+
+void Topology::finalize() {
+  ORACLE_ASSERT_MSG(!finalized_, "finalize called twice");
+  adjacency_.assign(num_nodes_, {});
+  node_links_.assign(num_nodes_, {});
+  for (const Link& link : links_) {
+    for (NodeId m : link.members) {
+      node_links_[m].push_back(link.id);
+      for (NodeId other : link.members)
+        if (other != m) adjacency_[m].push_back(other);
+    }
+  }
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  finalized_ = true;
+}
+
+LinkId Topology::link_between(NodeId from, NodeId to) const {
+  ORACLE_ASSERT(from < num_nodes_ && to < num_nodes_);
+  for (LinkId lid : node_links_[from]) {
+    const Link& link = links_[lid];
+    if (std::binary_search(link.members.begin(), link.members.end(), to))
+      return lid;
+  }
+  return kInvalidLink;
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n)
+    best = std::max(best, adjacency_[n].size());
+  return best;
+}
+
+bool Topology::are_neighbors(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const auto& adj = neighbors(a);
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+}  // namespace oracle::topo

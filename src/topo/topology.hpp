@@ -1,0 +1,91 @@
+#pragma once
+// Interconnection topology abstraction.
+//
+// A topology is a set of nodes (PEs) plus *links*. A link is either a
+// point-to-point channel between two PEs (grids, hypercubes) or a multi-drop
+// bus attaching several PEs (the double lattice mesh). Two PEs are
+// "neighbors" iff they share at least one link — both load-balancing schemes
+// in the paper are defined purely in terms of immediate neighbors.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace oracle::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+inline constexpr LinkId kInvalidLink = UINT32_MAX;
+
+/// A communication link: point-to-point (2 members) or bus (>= 2 members).
+struct Link {
+  LinkId id = kInvalidLink;
+  std::vector<NodeId> members;  // attached PEs, sorted ascending
+  bool is_bus() const noexcept { return members.size() > 2; }
+};
+
+/// Immutable topology description. Concrete topologies populate the member
+/// structures in their constructors; adjacency and link indexes are derived
+/// once and shared by all queries.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Human-readable name, e.g. "grid-10x10" or "dlm-5-10x10".
+  const std::string& name() const noexcept { return name_; }
+
+  std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// Neighbor PEs of `node` (all PEs sharing a link, excluding itself),
+  /// sorted ascending, deduplicated.
+  const std::vector<NodeId>& neighbors(NodeId node) const {
+    ORACLE_ASSERT(node < num_nodes_);
+    return adjacency_[node];
+  }
+
+  /// Links attached to `node`.
+  const std::vector<LinkId>& links_of(NodeId node) const {
+    ORACLE_ASSERT(node < num_nodes_);
+    return node_links_[node];
+  }
+
+  /// A link joining `from` and `to`, or kInvalidLink if not adjacent.
+  /// When several links join the pair (DLM double coverage) the lowest
+  /// link id is returned, deterministically.
+  LinkId link_between(NodeId from, NodeId to) const;
+
+  std::size_t num_links() const noexcept { return links_.size(); }
+
+  /// Maximum node degree (number of neighbors).
+  std::size_t max_degree() const;
+
+  bool are_neighbors(NodeId a, NodeId b) const;
+
+ protected:
+  Topology(std::string name, std::uint32_t num_nodes)
+      : name_(std::move(name)), num_nodes_(num_nodes) {
+    ORACLE_REQUIRE(num_nodes_ > 0, "topology must have at least one node");
+  }
+
+  /// Add a link over `members` (deduplicated, sorted). Returns its id.
+  LinkId add_link(std::vector<NodeId> members);
+
+  /// Build adjacency/index structures; must be called at the end of every
+  /// concrete constructor.
+  void finalize();
+
+ private:
+  std::string name_;
+  std::uint32_t num_nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<LinkId>> node_links_;
+  bool finalized_ = false;
+};
+
+}  // namespace oracle::topo

@@ -1,0 +1,33 @@
+#include "topo/tree.hpp"
+
+#include "util/string_util.hpp"
+
+namespace oracle::topo {
+
+std::uint32_t KaryTree::node_count(std::uint32_t arity, std::uint32_t levels) {
+  ORACLE_REQUIRE(arity >= 1, "tree arity must be >= 1");
+  ORACLE_REQUIRE(levels >= 1 && levels <= 24, "tree levels must be in [1,24]");
+  std::uint64_t n = 0, level_size = 1;
+  for (std::uint32_t l = 0; l < levels; ++l) {
+    n += level_size;
+    level_size *= arity;
+    ORACLE_REQUIRE(n + level_size < (1ULL << 31), "tree too large");
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+KaryTree::KaryTree(std::uint32_t arity, std::uint32_t levels)
+    : Topology(strfmt("tree-%u-%u", arity, levels), node_count(arity, levels)),
+      arity_(arity),
+      levels_(levels) {
+  const std::uint32_t n = num_nodes();
+  for (std::uint32_t node = 0; node < n; ++node) {
+    for (std::uint32_t c = 1; c <= arity_; ++c) {
+      const std::uint64_t child = static_cast<std::uint64_t>(node) * arity_ + c;
+      if (child < n) add_link({node, static_cast<NodeId>(child)});
+    }
+  }
+  finalize();
+}
+
+}  // namespace oracle::topo

@@ -1,0 +1,30 @@
+#pragma once
+// Complete k-ary tree topology. Tree-structured machines were a prominent
+// alternative to grids in the mid-80s message-passing literature (and the
+// paper's computations are themselves trees); included as an extra network
+// family for the topology ablations. Node 0 is the root; children of node
+// n are k*n + 1 .. k*n + k.
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace oracle::topo {
+
+class KaryTree : public Topology {
+ public:
+  /// A complete tree with `arity` children per node and `levels` levels
+  /// (levels = 1 is a single node; levels = 3, arity = 2 has 7 nodes).
+  KaryTree(std::uint32_t arity, std::uint32_t levels);
+
+  std::uint32_t arity() const noexcept { return arity_; }
+  std::uint32_t levels() const noexcept { return levels_; }
+
+  /// Number of nodes in a complete tree: (k^L - 1) / (k - 1).
+  static std::uint32_t node_count(std::uint32_t arity, std::uint32_t levels);
+
+ private:
+  std::uint32_t arity_, levels_;
+};
+
+}  // namespace oracle::topo

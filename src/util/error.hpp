@@ -1,0 +1,58 @@
+#pragma once
+// Error-handling primitives used throughout the ORACLE library.
+//
+// Invariant violations inside the simulator are programming errors and abort
+// via ORACLE_ASSERT (kept on in release builds: a discrete-event simulator
+// that silently corrupts its event list produces plausible-looking garbage).
+// User-facing configuration problems throw oracle::ConfigError instead.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace oracle {
+
+/// Thrown for malformed experiment configuration (bad topology spec, negative
+/// costs, unknown strategy name, ...). Carries a human-readable message.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation reaches an impossible state that is attributable
+/// to user input rather than library bugs (e.g. event limit exceeded).
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ORACLE_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace oracle
+
+#define ORACLE_ASSERT(expr)                                                 \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::oracle::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);    \
+  } while (0)
+
+#define ORACLE_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::oracle::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
+  } while (0)
+
+/// Validate user configuration; throws ConfigError with `msg` on failure.
+#define ORACLE_REQUIRE(expr, msg)                   \
+  do {                                              \
+    if (!(expr)) throw ::oracle::ConfigError(msg);  \
+  } while (0)

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace oracle::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+std::mutex g_write_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+bool enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed);
+}
+
+void write(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace oracle::log

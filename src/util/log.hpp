@@ -1,0 +1,34 @@
+#pragma once
+// Minimal leveled logger. The simulator is performance-sensitive, so trace
+// logging compiles to a level check plus (lazily) formatting; the default
+// level is Warn so large sweeps are silent.
+
+#include <cstdio>
+#include <string>
+
+namespace oracle::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide log level. Not thread-local: sweep workers share it.
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// True if a message at `lvl` would be emitted.
+bool enabled(Level lvl) noexcept;
+
+/// Emit a preformatted message (newline appended).
+void write(Level lvl, const std::string& msg);
+
+}  // namespace oracle::log
+
+#define ORACLE_LOG(lvl, msg)                                     \
+  do {                                                           \
+    if (::oracle::log::enabled(lvl)) ::oracle::log::write(lvl, (msg)); \
+  } while (0)
+
+#define ORACLE_LOG_TRACE(msg) ORACLE_LOG(::oracle::log::Level::Trace, msg)
+#define ORACLE_LOG_DEBUG(msg) ORACLE_LOG(::oracle::log::Level::Debug, msg)
+#define ORACLE_LOG_INFO(msg) ORACLE_LOG(::oracle::log::Level::Info, msg)
+#define ORACLE_LOG_WARN(msg) ORACLE_LOG(::oracle::log::Level::Warn, msg)
+#define ORACLE_LOG_ERROR(msg) ORACLE_LOG(::oracle::log::Level::Error, msg)

@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace oracle {
+
+double Rng::exponential(double mean) noexcept {
+  ORACLE_ASSERT(mean > 0.0);
+  // Inverse CDF; 1 - uniform01() is in (0, 1], so log() is finite.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  ORACLE_ASSERT(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = 1.0 - uniform01();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace oracle

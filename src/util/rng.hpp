@@ -1,0 +1,126 @@
+#pragma once
+// Deterministic pseudo-random number generation for simulations.
+//
+// Reproducibility is a core requirement: a run is fully determined by its
+// ExperimentConfig and seed (DESIGN.md invariant 7). We therefore avoid
+// std::default_random_engine (implementation-defined) and implement
+// xoshiro256** with a SplitMix64 seeder, plus the handful of distributions
+// the simulator needs. Streams can be split so that sub-systems (workload,
+// tie-breaking, synthetic trees) draw from independent sequences.
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace oracle {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state, and as a
+/// cheap standalone generator for hashing-like uses.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method: unbiased and branch-light.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    ORACLE_ASSERT(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    ORACLE_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Marsaglia polar method (no cached spare: keeps the
+  /// generator stateless between calls so splitting stays predictable).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Geometric number of failures before first success, success prob p.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Derive an independent stream; child streams with distinct tags do not
+  /// overlap in practice (distinct SplitMix64 seeds).
+  Rng split(std::uint64_t tag) noexcept {
+    return Rng(next() ^ (0x94d049bb133111ebULL * (tag + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace oracle

@@ -1,0 +1,106 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace oracle {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::int64_t parse_int(std::string_view s, std::string_view what) {
+  const std::string str(trim(s));
+  ORACLE_REQUIRE(!str.empty(), std::string(what) + ": empty integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(str.c_str(), &end, 10);
+  ORACLE_REQUIRE(errno == 0 && end == str.c_str() + str.size(),
+                 std::string(what) + ": bad integer '" + str + "'");
+  return static_cast<std::int64_t>(value);
+}
+
+double parse_double(std::string_view s, std::string_view what) {
+  const std::string str(trim(s));
+  ORACLE_REQUIRE(!str.empty(), std::string(what) + ": empty number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(str.c_str(), &end);
+  ORACLE_REQUIRE(errno == 0 && end == str.c_str() + str.size(),
+                 std::string(what) + ": bad number '" + str + "'");
+  return value;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  return strfmt("%.*f", digits, value);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace oracle

@@ -1,0 +1,41 @@
+#pragma once
+// Small string helpers shared by config parsing and report printing.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oracle {
+
+/// Split `s` on `delim`, keeping empty fields ("a::b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lower-cased copy (ASCII only).
+std::string to_lower(std::string_view s);
+
+/// Parse a non-negative integer; throws ConfigError naming `what` on failure.
+std::int64_t parse_int(std::string_view s, std::string_view what);
+
+/// Parse a double; throws ConfigError naming `what` on failure.
+double parse_double(std::string_view s, std::string_view what);
+
+/// printf-style formatting into std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point formatting with `digits` decimals (report tables).
+std::string fixed(double value, int digits);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace oracle

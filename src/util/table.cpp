@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace oracle {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  Row row;
+  row.cells = std::move(cells);
+  row.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+bool TextTable::looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '%' && c != 'x' && c != 'e' && c != '-') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string TextTable::csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string TextTable::to_string() const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_)
+    for (std::size_t c = 0; c < ncols && c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      if (c) os << " | ";
+      const std::size_t pad = widths[c] - cell.size();
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += widths[c] + (c ? 3 : 0);
+  const std::string rule(total, '-');
+  os << rule << '\n';
+  for (const Row& row : rows_) {
+    if (row.rule_before) os << rule << '\n';
+    emit_row(os, row.cells);
+  }
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(header_[c]);
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+}  // namespace oracle

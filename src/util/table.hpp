@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table printer used by the bench harnesses to emit paper-style tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oracle {
+
+/// Column-aligned text table. Rows are added as vectors of cell strings; the
+/// printer right-aligns numeric-looking cells and left-aligns the rest.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row. Short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with single-space-padded ` | ` separators and a header rule.
+  std::string to_string() const;
+
+  /// Render as CSV (RFC-4180 quoting).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  static bool looks_numeric(const std::string& cell);
+  static std::string csv_escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace oracle

@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-size thread pool used by core::Runner to execute independent
+// simulation runs in parallel. Each simulation is fully self-contained
+// (own Scheduler, own Rng), so the pool needs no shared-state support
+// beyond the task queue itself.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oracle {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (default: hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread, including worker threads
+  /// (tasks submitted by workers are executed by the pool as usual).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (including tasks submitted while
+  /// waiting) has finished executing.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
+  /// Exceptions thrown by `fn` propagate to the caller (first one wins).
+  static void parallel_for(std::size_t n, std::size_t num_threads,
+                           const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace oracle

@@ -1,0 +1,43 @@
+#include "workload/dc.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::workload {
+
+DcWorkload::DcWorkload(std::int64_t m, std::int64_t n, const CostModel& costs)
+    : m_(m), n_(n), costs_(costs) {
+  ORACLE_REQUIRE(m <= n, "dc(M,N) requires M <= N");
+  ORACLE_REQUIRE(n - m < (1LL << 32), "dc interval too large");
+}
+
+std::string DcWorkload::name() const {
+  return strfmt("dc-%lld-%lld", static_cast<long long>(m_),
+                static_cast<long long>(n_));
+}
+
+GoalSpec DcWorkload::root() const { return GoalSpec{m_, n_, 0}; }
+
+Expansion DcWorkload::expand(const GoalSpec& spec) const {
+  ORACLE_ASSERT(spec.a <= spec.b);
+  Expansion e;
+  if (spec.a == spec.b) {
+    e.is_leaf = true;
+    e.exec_cost = costs_.leaf_cost;
+    return e;
+  }
+  const std::int64_t mid = (spec.a + spec.b) / 2;  // dc(M,(M+N)/2), dc(1+(M+N)/2, N)
+  e.is_leaf = false;
+  e.exec_cost = costs_.split_cost;
+  e.combine_cost = costs_.combine_cost;
+  e.children = {GoalSpec{spec.a, mid, spec.depth + 1},
+                GoalSpec{mid + 1, spec.b, spec.depth + 1}};
+  return e;
+}
+
+std::uint64_t DcWorkload::tree_size(std::int64_t m, std::int64_t n) {
+  ORACLE_ASSERT(m <= n);
+  return 2 * static_cast<std::uint64_t>(n - m + 1) - 1;
+}
+
+}  // namespace oracle::workload

@@ -1,0 +1,33 @@
+#pragma once
+// Divide-and-conquer over an interval, the paper's *balanced* test tree:
+//   dc(M,N) = if M = N then M else dc(M,(M+N)/2) + dc(1+(M+N)/2, N)
+// Used with dc(1,X) for X = 21, 55, 144, 377, 987, 4181 (sizes chosen so
+// the dc and fib trees have the same node counts).
+
+#include <cstdint>
+
+#include "workload/workload.hpp"
+
+namespace oracle::workload {
+
+class DcWorkload : public Workload {
+ public:
+  DcWorkload(std::int64_t m, std::int64_t n, const CostModel& costs = {});
+
+  std::string name() const override;
+  GoalSpec root() const override;
+  Expansion expand(const GoalSpec& spec) const override;
+
+  std::int64_t m() const noexcept { return m_; }
+  std::int64_t n() const noexcept { return n_; }
+  const CostModel& costs() const noexcept { return costs_; }
+
+  /// Node count of dc(M,N): 2*(N-M+1) - 1 (a full binary tree over leaves).
+  static std::uint64_t tree_size(std::int64_t m, std::int64_t n);
+
+ private:
+  std::int64_t m_, n_;
+  CostModel costs_;
+};
+
+}  // namespace oracle::workload

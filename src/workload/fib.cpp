@@ -1,0 +1,46 @@
+#include "workload/fib.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::workload {
+
+FibWorkload::FibWorkload(std::uint32_t n, const CostModel& costs)
+    : n_(n), costs_(costs) {
+  ORACLE_REQUIRE(n <= 40, "fib argument too large (tree would be enormous)");
+}
+
+std::string FibWorkload::name() const { return strfmt("fib-%u", n_); }
+
+GoalSpec FibWorkload::root() const { return GoalSpec{n_, 0, 0}; }
+
+Expansion FibWorkload::expand(const GoalSpec& spec) const {
+  Expansion e;
+  if (spec.a < 2) {
+    e.is_leaf = true;
+    e.exec_cost = costs_.leaf_cost;
+    return e;
+  }
+  e.is_leaf = false;
+  e.exec_cost = costs_.split_cost;
+  e.combine_cost = costs_.combine_cost;
+  e.children = {GoalSpec{spec.a - 1, 0, spec.depth + 1},
+                GoalSpec{spec.a - 2, 0, spec.depth + 1}};
+  return e;
+}
+
+std::uint64_t FibWorkload::fib_value(std::uint32_t n) {
+  std::uint64_t a = 0, b = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+std::uint64_t FibWorkload::tree_size(std::uint32_t n) {
+  return 2 * fib_value(n + 1) - 1;
+}
+
+}  // namespace oracle::workload

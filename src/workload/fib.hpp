@@ -1,0 +1,35 @@
+#pragma once
+// Naive doubly-recursive Fibonacci: fib(M) = if M < 2 then M
+// else fib(M-1) + fib(M-2). The paper uses it as the *unbalanced* test
+// tree ("the fibonacci yields a not-so-well-balanced tree"), with sizes
+// fib(7), 9, 11, 13, 15, 18.
+
+#include <cstdint>
+
+#include "workload/workload.hpp"
+
+namespace oracle::workload {
+
+class FibWorkload : public Workload {
+ public:
+  explicit FibWorkload(std::uint32_t n, const CostModel& costs = {});
+
+  std::string name() const override;
+  GoalSpec root() const override;
+  Expansion expand(const GoalSpec& spec) const override;
+
+  std::uint32_t n() const noexcept { return n_; }
+  const CostModel& costs() const noexcept { return costs_; }
+
+  /// Closed-form node count of the fib(n) call tree: 2*fib(n+1) - 1.
+  static std::uint64_t tree_size(std::uint32_t n);
+
+  /// fib(n) itself (iterative), for tree_size and for tests.
+  static std::uint64_t fib_value(std::uint32_t n);
+
+ private:
+  std::uint32_t n_;
+  CostModel costs_;
+};
+
+}  // namespace oracle::workload

@@ -1,0 +1,69 @@
+#pragma once
+// The goal (medium-grain task) model.
+//
+// Section 2 of the paper: "When activated, such a task executes for a short
+// time, and then either completes, or starts some sub-tasks and awaits
+// response from them. When it receives a response, it repeats the same
+// cycle." A goal therefore has a *split* phase (executes, spawns children),
+// a waiting period (not occupying the PE), and a *combine* phase (executes,
+// responds to its parent). Leaves have a single *leaf* phase.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace oracle::workload {
+
+/// Runtime identity of a goal instance (assigned sequentially by the
+/// machine; id 1 is the root).
+using GoalId = std::uint64_t;
+inline constexpr GoalId kInvalidGoal = 0;
+
+/// Workload-level description of a goal. Interpretation of a/b is up to the
+/// concrete workload (fib: a = argument; dc: [a, b] interval; synthetic:
+/// a = node hash). `depth` is the tree depth (root = 0).
+struct GoalSpec {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::uint32_t depth = 0;
+
+  friend bool operator==(const GoalSpec&, const GoalSpec&) = default;
+};
+
+/// What happens when a goal is activated: either it is a leaf (runs
+/// `exec_cost` and responds) or it is an interior node (runs `exec_cost`,
+/// spawns `children`, and after all responses runs `combine_cost`).
+struct Expansion {
+  bool is_leaf = true;
+  sim::Duration exec_cost = 0;     // leaf cost or split cost
+  sim::Duration combine_cost = 0;  // interior nodes only
+  std::vector<GoalSpec> children;  // empty for leaves
+};
+
+/// Per-goal cost parameters shared by the built-in workloads.
+///
+/// Defaults are calibrated against the paper's reported scales: total
+/// execution times of 1000..23000 units across problem sizes 41..8361
+/// goals, with the Gradient Model's 20-unit interval described as "fairly
+/// low" (i.e. several gradient cycles per goal execution). That puts the
+/// medium grain at ~100 units of work per goal, with 1-unit message hops —
+/// a low communication/computation ratio (Section 3: "we chose the ratio
+/// ... such that communication stagnation does not occur").
+struct CostModel {
+  sim::Duration leaf_cost = 100;
+  sim::Duration split_cost = 40;
+  sim::Duration combine_cost = 40;
+};
+
+/// Static summary of a workload's computation tree, used for reporting and
+/// for the work-conservation test invariants.
+struct TreeSummary {
+  std::uint64_t total_goals = 0;     // nodes in the tree (the paper's X axis)
+  std::uint64_t leaf_goals = 0;
+  std::uint32_t height = 0;          // edges on the longest root-leaf path
+  sim::Duration total_work = 0;      // sum of all exec + combine costs
+  sim::Duration critical_path = 0;   // minimum possible completion time
+};
+
+}  // namespace oracle::workload

@@ -1,0 +1,56 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace oracle::workload {
+
+TreeSummary Workload::summarize() const {
+  TreeSummary s;
+  // Iterative DFS carrying (spec, depth, finish-time-so-far is handled via
+  // a second pass: critical path = exec costs along root->leaf + combine
+  // costs back up; computed with an explicit stack of partial results).
+  struct Frame {
+    GoalSpec spec;
+    Expansion exp;
+    std::size_t next_child = 0;
+    sim::Duration best_child_path = 0;  // max over children processed
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root(), expand(root()), 0, 0});
+  sim::Duration root_path = 0;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child == 0) {  // first visit
+      ++s.total_goals;
+      s.height = std::max(s.height, f.spec.depth);
+      s.total_work += f.exp.exec_cost + (f.exp.is_leaf ? 0 : f.exp.combine_cost);
+      if (f.exp.is_leaf) ++s.leaf_goals;
+    }
+    if (f.exp.is_leaf || f.next_child >= f.exp.children.size()) {
+      // Post-order: path through this node.
+      const sim::Duration path =
+          f.exp.exec_cost +
+          (f.exp.is_leaf ? 0 : f.best_child_path + f.exp.combine_cost);
+      stack.pop_back();
+      if (stack.empty()) {
+        root_path = path;
+      } else {
+        Frame& parent = stack.back();
+        parent.best_child_path = std::max(parent.best_child_path, path);
+      }
+      continue;
+    }
+    const GoalSpec child = f.exp.children[f.next_child++];
+    ORACLE_ASSERT_MSG(child.depth == f.spec.depth + 1,
+                      "workload must set child depth = parent depth + 1");
+    stack.push_back(Frame{child, expand(child), 0, 0});
+  }
+  s.critical_path = root_path;
+  return s;
+}
+
+}  // namespace oracle::workload

@@ -1,0 +1,43 @@
+#pragma once
+// Abstract workload: an implicitly-defined computation tree.
+//
+// Expansion must be a pure function of the GoalSpec (no hidden state, no
+// shared RNG) so that runs are reproducible regardless of the order in
+// which PEs expand goals, and so tests can walk the tree independently.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "workload/goal.hpp"
+
+namespace oracle::workload {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Short name for reports, e.g. "fib-18" or "dc-1-4181".
+  virtual std::string name() const = 0;
+
+  /// The root goal.
+  virtual GoalSpec root() const = 0;
+
+  /// Expand a goal: what it costs and what it spawns.
+  virtual Expansion expand(const GoalSpec& spec) const = 0;
+
+  /// Walk the whole tree (iteratively) and summarize it. O(tree size).
+  TreeSummary summarize() const;
+};
+
+/// Build a workload from a spec string:
+///   "fib:N"                      naive doubly-recursive Fibonacci
+///   "dc:M:N"                     divide-and-conquer over [M, N]
+///   "synthetic:seed=S,depth=D,branch=B,leafbias=P"   random tree
+///   "burst:seed=S,phases=K,width=W"                  rise-and-fall cycles
+/// An optional trailing ";leaf=L,split=S,combine=C" overrides costs.
+std::unique_ptr<Workload> make_workload(std::string_view spec);
+std::unique_ptr<Workload> make_workload(std::string_view spec,
+                                        const CostModel& costs);
+
+}  // namespace oracle::workload

@@ -1,0 +1,72 @@
+// Tests of the co-processor model: with lb_coprocessor disabled, periodic
+// load-balancing work occupies the PE, slowing completion — and GM is hurt
+// at least as much as CWN (the paper's §3.1 prediction).
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "lb/strategy.hpp"
+#include "machine/machine.hpp"
+#include "topo/grid.hpp"
+#include "workload/fib.hpp"
+
+namespace oracle {
+namespace {
+
+stats::RunResult run(const char* strategy, bool coproc) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:5x5";
+  cfg.strategy = strategy;
+  cfg.workload = "fib:13";
+  cfg.machine.lb_coprocessor = coproc;
+  return core::run_experiment(cfg);
+}
+
+TEST(Coprocessor, DefaultIsFreeLbWork) {
+  const auto with = run("gm:hwm=1,lwm=1,interval=20", true);
+  // With the co-processor, total busy time equals the workload's work.
+  const workload::FibWorkload wl(13, core::ExperimentConfig{}.costs);
+  EXPECT_EQ(with.total_work, wl.summarize().total_work);
+}
+
+TEST(Coprocessor, DisablingSlowsGm) {
+  const auto with = run("gm:hwm=1,lwm=1,interval=20", true);
+  const auto without = run("gm:hwm=1,lwm=1,interval=20", false);
+  EXPECT_GT(without.completion_time, with.completion_time);
+  EXPECT_EQ(without.goals_executed, with.goals_executed);
+}
+
+TEST(Coprocessor, DisablingSlowsCwn) {
+  const auto with = run("cwn:radius=4,horizon=1", true);
+  const auto without = run("cwn:radius=4,horizon=1", false);
+  EXPECT_GE(without.completion_time, with.completion_time);
+}
+
+TEST(Coprocessor, GmPenaltyAtLeastCwnPenalty) {
+  // The paper: "the gradient model will suffer more".
+  const auto cwn_with = run("cwn:radius=4,horizon=1", true);
+  const auto cwn_without = run("cwn:radius=4,horizon=1", false);
+  const auto gm_with = run("gm:hwm=1,lwm=1,interval=20", true);
+  const auto gm_without = run("gm:hwm=1,lwm=1,interval=20", false);
+  const double cwn_penalty =
+      static_cast<double>(cwn_without.completion_time) /
+      static_cast<double>(cwn_with.completion_time);
+  const double gm_penalty = static_cast<double>(gm_without.completion_time) /
+                            static_cast<double>(gm_with.completion_time);
+  EXPECT_GE(gm_penalty, cwn_penalty * 0.98);  // allow sim noise
+}
+
+TEST(Coprocessor, OverheadAccountedAsBusyTime) {
+  const auto without = run("gm:hwm=1,lwm=1,interval=20", false);
+  const workload::FibWorkload wl(13, core::ExperimentConfig{}.costs);
+  // Busy time now exceeds pure work: it includes gradient cycles.
+  EXPECT_GT(without.total_work, wl.summarize().total_work);
+}
+
+TEST(Coprocessor, FactoryParsesCostOverrides) {
+  EXPECT_NO_THROW(lb::make_strategy("gm:ccost=10"));
+  EXPECT_NO_THROW(lb::make_strategy("cwn:bcost=5"));
+}
+
+}  // namespace
+}  // namespace oracle

@@ -1,0 +1,221 @@
+// Tests of the CWN strategy: the radius/horizon mechanics, neighbor load
+// tracking, and the paper-documented behaviours (every goal contracted out,
+// goals never travel beyond the radius, fast spread).
+
+#include <gtest/gtest.h>
+
+#include "lb/cwn.hpp"
+#include "lb/load_info.hpp"
+#include "machine/machine.hpp"
+#include "topo/factory.hpp"
+#include "topo/grid.hpp"
+#include "util/error.hpp"
+#include "workload/dc.hpp"
+#include "workload/fib.hpp"
+
+namespace oracle::lb {
+namespace {
+
+workload::CostModel costs() { return workload::CostModel{100, 40, 40}; }
+
+machine::MachineConfig cfg(std::uint64_t seed = 1) {
+  machine::MachineConfig c;
+  c.seed = seed;
+  return c;
+}
+
+stats::RunResult run_cwn(const topo::Topology& topo,
+                         const workload::Workload& wl, CwnParams params,
+                         std::uint64_t seed = 1) {
+  Cwn strategy(params);
+  machine::Machine m(topo, wl, strategy, cfg(seed));
+  return m.run();
+}
+
+TEST(Cwn, ParamValidation) {
+  CwnParams p;
+  p.radius = 0;
+  EXPECT_THROW(Cwn{p}, ConfigError);
+  p = CwnParams{};
+  p.horizon = p.radius + 1;
+  EXPECT_THROW(Cwn{p}, ConfigError);
+}
+
+TEST(Cwn, NameIncludesParams) {
+  CwnParams p;
+  p.radius = 7;
+  p.horizon = 3;
+  EXPECT_EQ(Cwn(p).name(), "cwn(r=7,h=3)");
+}
+
+TEST(Cwn, EveryGoalContractedOut) {
+  // "this scheme sends every subgoal out to another PE as soon as it is
+  // created": no goal (bar the root handled at hops >= 1 too) ends with
+  // hops == 0.
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(10, costs());
+  const auto r = run_cwn(grid, wl, CwnParams{});
+  EXPECT_EQ(r.goal_hops.count(0), 0u);
+  EXPECT_EQ(r.goal_hops.total(), wl.summarize().total_goals);
+}
+
+TEST(Cwn, NoGoalExceedsRadius) {
+  const topo::Grid2D grid(8, 8, false);
+  const workload::FibWorkload wl(12, costs());
+  for (std::uint32_t radius : {1u, 3u, 6u}) {
+    CwnParams p;
+    p.radius = radius;
+    p.horizon = std::min(p.horizon, radius);
+    const auto r = run_cwn(grid, wl, p);
+    EXPECT_EQ(r.goal_hops.buckets() - 1, radius) << "radius " << radius;
+    for (std::size_t h = radius + 1; h < r.goal_hops.buckets(); ++h)
+      EXPECT_EQ(r.goal_hops.count(h), 0u);
+  }
+}
+
+TEST(Cwn, MinimumDistanceIsHorizonOrRadius) {
+  const topo::Grid2D grid(8, 8, false);
+  const workload::FibWorkload wl(11, costs());
+  CwnParams p;
+  p.radius = 6;
+  p.horizon = 3;
+  const auto r = run_cwn(grid, wl, p);
+  for (std::size_t h = 0; h < 3; ++h)
+    EXPECT_EQ(r.goal_hops.count(h), 0u) << "hops " << h;
+  EXPECT_GT(r.goal_hops.count(6) + r.goal_hops.count(3) +
+                r.goal_hops.count(4) + r.goal_hops.count(5),
+            0u);
+}
+
+TEST(Cwn, RadiusOneDegeneratesToNeighborPush) {
+  const topo::Grid2D grid(4, 4, false);
+  const workload::FibWorkload wl(9, costs());
+  CwnParams p;
+  p.radius = 1;
+  p.horizon = 1;
+  const auto r = run_cwn(grid, wl, p);
+  EXPECT_EQ(r.goal_hops.count(1), wl.summarize().total_goals);
+  EXPECT_DOUBLE_EQ(r.avg_goal_distance, 1.0);
+}
+
+TEST(Cwn, DeterministicForSeed) {
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(11, costs());
+  const auto a = run_cwn(grid, wl, CwnParams{}, 42);
+  const auto b = run_cwn(grid, wl, CwnParams{}, 42);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.goal_transmissions, b.goal_transmissions);
+  EXPECT_EQ(a.goal_hops.to_string(), b.goal_hops.to_string());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Cwn, DifferentSeedsUsuallyDiffer) {
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(11, costs());
+  const auto a = run_cwn(grid, wl, CwnParams{}, 1);
+  const auto b = run_cwn(grid, wl, CwnParams{}, 2);
+  // Tie-breaking differs; the exact message pattern should too.
+  EXPECT_NE(a.goal_hops.to_string(), b.goal_hops.to_string());
+}
+
+TEST(Cwn, SpreadsWorkAcrossPes) {
+  // Fast "rise-time" is CWN's signature; after a medium run on a 5x5 grid
+  // every PE should have executed something.
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(13, costs());
+  Cwn strategy{CwnParams{}};
+  machine::Machine m(grid, wl, strategy, cfg());
+  const auto r = m.run();
+  int touched = 0;
+  for (double u : r.pe_utilization)
+    if (u > 0.0) ++touched;
+  EXPECT_EQ(touched, 25);
+  EXPECT_GT(r.avg_utilization, 0.4);
+}
+
+TEST(Cwn, BroadcastDisabledStillWorksViaPiggyback) {
+  const topo::Grid2D grid(4, 4, false);
+  const workload::FibWorkload wl(10, costs());
+  CwnParams p;
+  p.broadcast_interval = 0;  // piggy-backing only
+  const auto r = run_cwn(grid, wl, p);
+  EXPECT_EQ(r.goals_executed, wl.summarize().total_goals);
+  // No periodic broadcasts: control traffic is zero.
+  EXPECT_EQ(r.control_transmissions, 0u);
+}
+
+TEST(Cwn, ControlTrafficScalesWithInterval) {
+  const topo::Grid2D grid(4, 4, false);
+  const workload::FibWorkload wl(10, costs());
+  CwnParams frequent, rare;
+  frequent.broadcast_interval = 10;
+  rare.broadcast_interval = 100;
+  const auto rf = run_cwn(grid, wl, frequent);
+  const auto rr = run_cwn(grid, wl, rare);
+  EXPECT_GT(rf.control_transmissions, rr.control_transmissions);
+}
+
+// --------------------------------------------------------------------------
+// NeighborLoadTable
+// --------------------------------------------------------------------------
+
+TEST(NeighborLoadTable, InitialEstimatesZero) {
+  const topo::Grid2D grid(3, 3, false);
+  NeighborLoadTable t;
+  t.init(grid);
+  EXPECT_EQ(t.min_load(4), 0);
+  EXPECT_EQ(t.estimate(4, 1), 0);
+  EXPECT_EQ(t.degree(4), 4u);
+}
+
+TEST(NeighborLoadTable, UpdateAndMin) {
+  const topo::Grid2D grid(3, 3, false);
+  NeighborLoadTable t;
+  t.init(grid);
+  t.update(4, 1, 5);
+  t.update(4, 3, 2);
+  t.update(4, 5, 7);
+  t.update(4, 7, 2);
+  EXPECT_EQ(t.estimate(4, 1), 5);
+  EXPECT_EQ(t.min_load(4), 2);  // all four neighbors (1,3,5,7) updated
+}
+
+TEST(NeighborLoadTable, MinAfterAllUpdated) {
+  const topo::Grid2D grid(3, 3, false);
+  NeighborLoadTable t;
+  t.init(grid);
+  for (topo::NodeId nb : grid.neighbors(4)) t.update(4, nb, 9);
+  t.update(4, 1, 3);
+  EXPECT_EQ(t.min_load(4), 3);
+  Rng rng(1);
+  EXPECT_EQ(t.least_loaded(4, rng), 1u);
+}
+
+TEST(NeighborLoadTable, LeastLoadedBreaksTiesUniformly) {
+  const topo::Grid2D grid(3, 3, false);
+  NeighborLoadTable t;
+  t.init(grid);  // all zero: 4-way tie at node 4
+  Rng rng(123);
+  int counts[9] = {};
+  for (int i = 0; i < 4000; ++i) ++counts[t.least_loaded(4, rng)];
+  for (topo::NodeId nb : grid.neighbors(4))
+    EXPECT_NEAR(counts[nb], 1000, 150);
+}
+
+TEST(NeighborLoadTable, IgnoresNonNeighborUpdates) {
+  const topo::Grid2D grid(3, 3, false);
+  NeighborLoadTable t;
+  t.init(grid);
+  t.update(4, 8, 99);  // 8 is not adjacent to 4
+  EXPECT_EQ(t.min_load(4), 0);
+}
+
+TEST(NeighborLoadTable, CornerDegree) {
+  const topo::Grid2D grid(3, 3, false);
+  NeighborLoadTable t;
+  t.init(grid);
+  EXPECT_EQ(t.degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace oracle::lb

@@ -1,0 +1,167 @@
+// Tests for the extension features: k-ary tree topology, heterogeneous
+// (slow) PEs, and the distribution-quality metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "topo/factory.hpp"
+#include "topo/graph_algos.hpp"
+#include "topo/tree.hpp"
+#include "util/error.hpp"
+#include "workload/fib.hpp"
+
+namespace oracle {
+namespace {
+
+// --------------------------------------------------------------------------
+// KaryTree
+// --------------------------------------------------------------------------
+
+TEST(KaryTree, NodeCounts) {
+  EXPECT_EQ(topo::KaryTree::node_count(2, 1), 1u);
+  EXPECT_EQ(topo::KaryTree::node_count(2, 3), 7u);
+  EXPECT_EQ(topo::KaryTree::node_count(2, 5), 31u);
+  EXPECT_EQ(topo::KaryTree::node_count(3, 3), 13u);
+  EXPECT_EQ(topo::KaryTree::node_count(4, 4), 85u);
+}
+
+TEST(KaryTree, StructureBinaryDepth3) {
+  const topo::KaryTree t(2, 3);
+  EXPECT_EQ(t.num_nodes(), 7u);
+  EXPECT_EQ(t.num_links(), 6u);  // n - 1 edges
+  EXPECT_EQ(t.neighbors(0).size(), 2u);   // root: two children
+  EXPECT_EQ(t.neighbors(1).size(), 3u);   // internal: parent + 2 children
+  EXPECT_EQ(t.neighbors(3).size(), 1u);   // leaf: parent only
+  EXPECT_TRUE(topo::is_connected(t));
+}
+
+TEST(KaryTree, DiameterIsTwiceDepth) {
+  // Leaf -> root -> other leaf.
+  EXPECT_EQ(topo::DistanceMatrix(topo::KaryTree(2, 4)).diameter(), 6u);
+  EXPECT_EQ(topo::DistanceMatrix(topo::KaryTree(3, 3)).diameter(), 4u);
+}
+
+TEST(KaryTree, FactoryParsesTreeSpec) {
+  EXPECT_EQ(topo::make_topology("tree:2:5")->num_nodes(), 31u);
+  EXPECT_THROW(topo::make_topology("tree:2"), ConfigError);
+  EXPECT_THROW(topo::make_topology("tree:0:3"), ConfigError);
+}
+
+TEST(KaryTree, StrategiesRunOnTrees) {
+  for (const char* strat : {"cwn:radius=6,horizon=1", "gm", "steal"}) {
+    core::ExperimentConfig cfg;
+    cfg.topology = "tree:2:5";
+    cfg.strategy = strat;
+    cfg.workload = "fib:10";
+    const auto r = core::run_experiment(cfg);
+    EXPECT_EQ(r.goals_executed, workload::FibWorkload::tree_size(10)) << strat;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Heterogeneous PEs
+// --------------------------------------------------------------------------
+
+TEST(SlowPes, HomogeneousByDefault) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:3x3";
+  cfg.workload = "fib:9";
+  const auto r = core::run_experiment(cfg);
+  // Work conservation holds exactly when homogeneous.
+  EXPECT_EQ(r.total_work,
+            workload::FibWorkload(9, cfg.costs).summarize().total_work);
+}
+
+TEST(SlowPes, AllSlowScalesCompletionExactly) {
+  core::ExperimentConfig base, slow;
+  for (auto* c : {&base, &slow}) {
+    c->topology = "grid:3x3";
+    c->strategy = "local";  // sequential: completion == total work
+    c->workload = "fib:8";
+  }
+  slow.machine.slow_pe_percent = 100;
+  slow.machine.slow_factor = 3;
+  const auto rb = core::run_experiment(base);
+  const auto rs = core::run_experiment(slow);
+  EXPECT_EQ(rs.completion_time, 3 * rb.completion_time);
+}
+
+TEST(SlowPes, DeterministicSelection) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:4x4";
+  cfg.strategy = "cwn:radius=4,horizon=1";
+  cfg.workload = "fib:10";
+  cfg.machine.slow_pe_percent = 25;
+  cfg.machine.seed = 5;
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(SlowPes, DegradationSlowsTheRun) {
+  core::ExperimentConfig base;
+  base.topology = "grid:4x4";
+  base.strategy = "cwn:radius=4,horizon=1";
+  base.workload = "fib:12";
+  core::ExperimentConfig slow = base;
+  slow.machine.slow_pe_percent = 50;
+  slow.machine.slow_factor = 4;
+  const auto rb = core::run_experiment(base);
+  const auto rs = core::run_experiment(slow);
+  EXPECT_GT(rs.completion_time, rb.completion_time);
+}
+
+TEST(SlowPes, RejectsBadPercent) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:2x2";
+  cfg.workload = "fib:5";
+  cfg.machine.slow_pe_percent = 150;
+  EXPECT_THROW(core::run_experiment(cfg), ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// Distribution-quality metrics
+// --------------------------------------------------------------------------
+
+TEST(Imbalance, LocalOnlyIsMaximallyImbalanced) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:3x3";
+  cfg.strategy = "local";
+  cfg.workload = "fib:10";
+  const auto r = core::run_experiment(cfg);
+  // One PE did everything.
+  EXPECT_NEAR(r.max_min_utilization_gap, 1.0, 1e-9);
+  EXPECT_GT(r.utilization_cv, 2.0);
+  EXPECT_EQ(r.pe_goals[0], r.goals_executed);
+}
+
+TEST(Imbalance, CwnSpreadsGoalsBroadly) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:3x3";
+  cfg.strategy = "cwn:radius=4,horizon=1";
+  cfg.workload = "fib:13";
+  const auto r = core::run_experiment(cfg);
+  EXPECT_LT(r.utilization_cv, 0.5);
+  std::uint64_t sum = 0;
+  for (auto g : r.pe_goals) {
+    EXPECT_GT(g, 0u);  // everyone worked
+    sum += g;
+  }
+  EXPECT_EQ(sum, r.goals_executed);
+}
+
+TEST(Imbalance, CvOrderingMatchesIntuition) {
+  auto cv = [](const char* strat) {
+    core::ExperimentConfig cfg;
+    cfg.topology = "grid:4x4";
+    cfg.strategy = strat;
+    cfg.workload = "fib:13";
+    return core::run_experiment(cfg).utilization_cv;
+  };
+  EXPECT_LT(cv("cwn:radius=4,horizon=1"), cv("local"));
+  EXPECT_LT(cv("random"), cv("local"));
+}
+
+}  // namespace
+}  // namespace oracle

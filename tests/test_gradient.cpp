@@ -1,0 +1,145 @@
+// Tests of the Gradient Model: state computation, proximity propagation,
+// single-hop transfers, and the paper-documented behaviours (work kept
+// locally by default; re-distribution is possible; low average distance).
+
+#include <gtest/gtest.h>
+
+#include "lb/gradient.hpp"
+#include "machine/machine.hpp"
+#include "topo/factory.hpp"
+#include "topo/grid.hpp"
+#include "util/error.hpp"
+#include "workload/fib.hpp"
+
+namespace oracle::lb {
+namespace {
+
+workload::CostModel costs() { return workload::CostModel{100, 40, 40}; }
+
+machine::MachineConfig cfg(std::uint64_t seed = 1) {
+  machine::MachineConfig c;
+  c.seed = seed;
+  return c;
+}
+
+stats::RunResult run_gm(const topo::Topology& topo,
+                        const workload::Workload& wl, GmParams params,
+                        std::uint64_t seed = 1) {
+  GradientModel strategy(params);
+  machine::Machine m(topo, wl, strategy, cfg(seed));
+  return m.run();
+}
+
+TEST(GradientModel, ParamValidation) {
+  GmParams p;
+  p.interval = 0;
+  EXPECT_THROW(GradientModel{p}, ConfigError);
+  p = GmParams{};
+  p.low_water_mark = 5;
+  p.high_water_mark = 2;
+  EXPECT_THROW(GradientModel{p}, ConfigError);
+}
+
+TEST(GradientModel, CompletesAndConservesGoals) {
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(11, costs());
+  const auto r = run_gm(grid, wl, GmParams{});
+  EXPECT_EQ(r.goals_executed, wl.summarize().total_goals);
+  EXPECT_GT(r.avg_utilization, 0.0);
+}
+
+TEST(GradientModel, ManyGoalsNeverMove) {
+  // "A significant number of goals just stay at the PE they were created
+  // on" — the 0-hop bucket dominates.
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(13, costs());
+  const auto r = run_gm(grid, wl, GmParams{});
+  EXPECT_GT(r.goal_hops.count(0), r.goal_hops.total() / 4);
+  EXPECT_LT(r.avg_goal_distance, 3.0);
+}
+
+TEST(GradientModel, LowerCommunicationThanCwnStyleFlooding) {
+  // GM moves far fewer goal messages than the tree has goals * hops.
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(12, costs());
+  const auto r = run_gm(grid, wl, GmParams{});
+  EXPECT_LT(r.goal_transmissions, 3 * wl.summarize().total_goals);
+}
+
+TEST(GradientModel, DeterministicForSeed) {
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(11, costs());
+  const auto a = run_gm(grid, wl, GmParams{}, 5);
+  const auto b = run_gm(grid, wl, GmParams{}, 5);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.goal_transmissions, b.goal_transmissions);
+  EXPECT_EQ(a.control_transmissions, b.control_transmissions);
+}
+
+TEST(GradientModel, ProximityUpdatesAreBroadcast) {
+  const topo::Grid2D grid(4, 4, false);
+  const workload::FibWorkload wl(10, costs());
+  const auto r = run_gm(grid, wl, GmParams{});
+  // At minimum, the PEs that became non-idle broadcast a proximity change.
+  EXPECT_GT(r.control_transmissions, 0u);
+}
+
+TEST(GradientModel, HigherHwmHoardsMore) {
+  // Raising the high-water-mark makes PEs hoard (fewer goal transfers).
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(12, costs());
+  GmParams low, high;
+  low.high_water_mark = 1;
+  high.high_water_mark = 20;
+  const auto rl = run_gm(grid, wl, low);
+  const auto rh = run_gm(grid, wl, high);
+  EXPECT_LT(rh.goal_transmissions, rl.goal_transmissions);
+}
+
+TEST(GradientModel, ShorterIntervalIsMoreAgile) {
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(12, costs());
+  GmParams fast, slow;
+  fast.interval = 10;
+  slow.interval = 200;
+  const auto rf = run_gm(grid, wl, fast);
+  const auto rs = run_gm(grid, wl, slow);
+  EXPECT_GT(rf.avg_utilization, rs.avg_utilization);
+}
+
+TEST(GradientModel, EveryMoveIsOneHopPerCycle) {
+  // All transfers are neighbor hops: the hop histogram never exceeds the
+  // number of gradient cycles, and distances stay small relative to CWN.
+  const topo::Grid2D grid(4, 4, false);
+  const workload::FibWorkload wl(10, costs());
+  const auto r = run_gm(grid, wl, GmParams{});
+  // goal_transmissions == total weighted distance (each move = 1 hop).
+  std::uint64_t weighted = 0;
+  for (std::size_t h = 0; h < r.goal_hops.buckets(); ++h)
+    weighted += h * r.goal_hops.count(h);
+  EXPECT_EQ(weighted, r.goal_transmissions);
+}
+
+TEST(GradientModel, RequireGradientReducesBlindSends) {
+  const topo::Grid2D grid(5, 5, false);
+  const workload::FibWorkload wl(12, costs());
+  GmParams strict, blind;
+  strict.require_gradient = true;
+  blind.require_gradient = false;
+  const auto rs = run_gm(grid, wl, strict);
+  const auto rb = run_gm(grid, wl, blind);
+  EXPECT_LE(rs.goal_transmissions, rb.goal_transmissions);
+}
+
+TEST(GradientModel, StaggerOffDeterministicToo) {
+  const topo::Grid2D grid(4, 4, false);
+  const workload::FibWorkload wl(10, costs());
+  GmParams p;
+  p.stagger = false;
+  const auto a = run_gm(grid, wl, p, 3);
+  const auto b = run_gm(grid, wl, p, 3);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+}
+
+}  // namespace
+}  // namespace oracle::lb

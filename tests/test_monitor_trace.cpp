@@ -1,0 +1,196 @@
+// Tests for the load monitor (per-PE utilization frames), the machine
+// trace facility, and the message-size channel model.
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "lb/strategy.hpp"
+#include "machine/machine.hpp"
+#include "machine/trace.hpp"
+#include "stats/load_monitor.hpp"
+#include "topo/grid.hpp"
+#include "workload/fib.hpp"
+
+namespace oracle {
+namespace {
+
+// --------------------------------------------------------------------------
+// LoadMonitor
+// --------------------------------------------------------------------------
+
+TEST(LoadMonitor, AddAndAccessFrames) {
+  stats::LoadMonitor m(4);
+  m.add_frame(10, {0.0, 0.5, 1.0, 0.25});
+  m.add_frame(20, {1.0, 1.0, 0.0, 0.0});
+  EXPECT_EQ(m.frames(), 2u);
+  EXPECT_EQ(m.time_of(1), 20);
+  EXPECT_DOUBLE_EQ(m.frame(0)[2], 1.0);
+  EXPECT_EQ(m.pe_series(1), (std::vector<double>{0.5, 1.0}));
+}
+
+TEST(LoadMonitor, ShadeRampMonotone) {
+  char prev = stats::LoadMonitor::shade(0.0);
+  for (double u = 0.05; u <= 1.0; u += 0.05) {
+    const char c = stats::LoadMonitor::shade(u);
+    (void)prev;
+    prev = c;
+  }
+  EXPECT_EQ(stats::LoadMonitor::shade(0.0), '.');
+  EXPECT_EQ(stats::LoadMonitor::shade(1.0), '@');
+  EXPECT_EQ(stats::LoadMonitor::shade(2.0), '@');   // clamped
+  EXPECT_EQ(stats::LoadMonitor::shade(-1.0), '.');  // clamped
+}
+
+TEST(LoadMonitor, RenderFrameShape) {
+  stats::LoadMonitor m(6);
+  m.add_frame(5, {0, 0, 0, 1, 1, 1});
+  const std::string grid = m.render_frame(0, 2, 3);
+  EXPECT_EQ(grid, "...\n@@@\n");
+}
+
+TEST(LoadMonitor, MachineFillsMonitorWhenEnabled) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:3x3";
+  cfg.strategy = "cwn:radius=3,horizon=1";
+  cfg.workload = "fib:11";
+  cfg.machine.sample_interval = 40;
+  cfg.machine.monitor_per_pe = true;
+  const auto r = core::run_experiment(cfg);
+  ASSERT_GT(r.load_monitor.frames(), 1u);
+  EXPECT_EQ(r.load_monitor.num_pes(), 9u);
+  for (std::size_t f = 0; f < r.load_monitor.frames(); ++f) {
+    for (double u : r.load_monitor.frame(f)) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0 + 1e-9);
+    }
+  }
+  // Frame means should agree with the aggregate series (same sampling).
+  const auto& ts = r.utilization_series;
+  ASSERT_EQ(ts.size(), r.load_monitor.frames());
+  for (std::size_t f = 0; f < ts.size(); ++f) {
+    double sum = 0;
+    for (double u : r.load_monitor.frame(f)) sum += u;
+    EXPECT_NEAR(sum / 9.0 * 100.0, ts.value_at(f), 1e-6) << "frame " << f;
+  }
+}
+
+TEST(LoadMonitor, DisabledByDefault) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:3x3";
+  cfg.workload = "fib:8";
+  cfg.machine.sample_interval = 40;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_TRUE(r.load_monitor.empty());
+}
+
+// --------------------------------------------------------------------------
+// Trace
+// --------------------------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  machine::Trace t(0);
+  EXPECT_FALSE(t.enabled());
+  t.record(1, machine::TraceEvent::GoalSent, 0, 1, 5, 1);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trace, CapacityBounds) {
+  machine::Trace t(3);
+  for (int i = 0; i < 10; ++i)
+    t.record(i, machine::TraceEvent::GoalKept, 0, 1, 1, 0);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.full());
+}
+
+TEST(Trace, FilterByEvent) {
+  machine::Trace t(10);
+  t.record(1, machine::TraceEvent::GoalSent, 0, 1, 1, 1);
+  t.record(2, machine::TraceEvent::GoalKept, 0, 1, 1, 1);
+  t.record(3, machine::TraceEvent::GoalSent, 1, 2, 2, 2);
+  EXPECT_EQ(t.filter(machine::TraceEvent::GoalSent).size(), 2u);
+  EXPECT_EQ(t.filter(machine::TraceEvent::RootCompleted).size(), 0u);
+}
+
+TEST(Trace, RecordRendering) {
+  machine::TraceRecord rec{7, machine::TraceEvent::GoalSent, 2, 3, 11, 4};
+  const std::string s = rec.to_string();
+  EXPECT_NE(s.find("t=7"), std::string::npos);
+  EXPECT_NE(s.find("goal-sent"), std::string::npos);
+  EXPECT_NE(s.find("from=2"), std::string::npos);
+  EXPECT_NE(s.find("goal=11"), std::string::npos);
+}
+
+TEST(Trace, MachineTraceTellsTheGoalStory) {
+  const topo::Grid2D grid(3, 3, false);
+  const workload::FibWorkload wl(6, workload::CostModel{10, 4, 4});
+  const auto strategy = lb::make_strategy("cwn:radius=3,horizon=1");
+  machine::MachineConfig mc;
+  mc.trace_capacity = 100000;
+  machine::Machine m(grid, wl, *strategy, mc);
+  const auto r = m.run();
+  const auto& trace = m.trace();
+
+  // Every goal in the tree was created and executed exactly once.
+  EXPECT_EQ(trace.filter(machine::TraceEvent::GoalCreated).size(),
+            r.goals_executed);
+  EXPECT_EQ(trace.filter(machine::TraceEvent::GoalExecuted).size(),
+            r.goals_executed);
+  // Keeps == creations (each goal settles exactly once under CWN).
+  EXPECT_EQ(trace.filter(machine::TraceEvent::GoalKept).size(),
+            r.goals_executed);
+  // Sent count matches the transmission counter.
+  EXPECT_EQ(trace.filter(machine::TraceEvent::GoalSent).size(),
+            r.goal_transmissions);
+  // Exactly one completion, recorded last.
+  const auto done = trace.filter(machine::TraceEvent::RootCompleted);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].time, r.completion_time);
+}
+
+// --------------------------------------------------------------------------
+// Message-size channel model
+// --------------------------------------------------------------------------
+
+TEST(WordTimeModel, ZeroWordTimeMatchesFixedLatency) {
+  core::ExperimentConfig a, b;
+  for (auto* cfg : {&a, &b}) {
+    cfg->topology = "grid:4x4";
+    cfg->strategy = "cwn";
+    cfg->workload = "fib:10";
+  }
+  b.machine.word_time = 0;  // explicit default
+  const auto ra = core::run_experiment(a);
+  const auto rb = core::run_experiment(b);
+  EXPECT_EQ(ra.completion_time, rb.completion_time);
+}
+
+TEST(WordTimeModel, LargerGoalsSlowCommunication) {
+  core::ExperimentConfig small, large;
+  for (auto* cfg : {&small, &large}) {
+    cfg->topology = "grid:4x4";
+    cfg->strategy = "cwn";
+    cfg->workload = "fib:12";
+    cfg->machine.word_time = 1;
+  }
+  small.machine.goal_msg_size = 2;
+  large.machine.goal_msg_size = 64;
+  const auto rs = core::run_experiment(small);
+  const auto rl = core::run_experiment(large);
+  EXPECT_GT(rl.completion_time, rs.completion_time);
+  EXPECT_GT(rl.max_channel_utilization, rs.max_channel_utilization);
+}
+
+TEST(WordTimeModel, ControlTrafficStaysCheap) {
+  // ctrl size 1 vs goal size 8: GM's word-time-weighted channels should
+  // still complete, and control messages must not dominate.
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:4x4";
+  cfg.strategy = "gm";
+  cfg.workload = "fib:11";
+  cfg.machine.word_time = 2;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.goals_executed, workload::FibWorkload::tree_size(11));
+}
+
+}  // namespace
+}  // namespace oracle

@@ -1,0 +1,105 @@
+// Tests for the coroutine Process layer and the Simulation wrapper.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace oracle::sim {
+namespace {
+
+Process ticker(std::vector<SimTime>& log, Scheduler& sched, int n,
+               Duration step) {
+  for (int i = 0; i < n; ++i) {
+    co_await hold(step);
+    log.push_back(sched.now());
+  }
+}
+
+TEST(Process, HoldAdvancesSimTime) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(ticker(log, sim.scheduler(), 3, 10));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(Process, MultipleProcessesInterleave) {
+  Simulation sim;
+  std::vector<SimTime> a, b;
+  sim.spawn(ticker(a, sim.scheduler(), 2, 7));
+  sim.spawn(ticker(b, sim.scheduler(), 3, 5));
+  sim.run();
+  EXPECT_EQ(a, (std::vector<SimTime>{7, 14}));
+  EXPECT_EQ(b, (std::vector<SimTime>{5, 10, 15}));
+}
+
+Process zero_hold(bool& ran, Scheduler&) {
+  co_await hold(0);
+  ran = true;
+}
+
+TEST(Process, ZeroHoldStillRuns) {
+  Simulation sim;
+  bool ran = false;
+  sim.spawn(zero_hold(ran, sim.scheduler()));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+Process thrower(Scheduler&) {
+  co_await hold(1);
+  throw std::runtime_error("boom");
+}
+
+TEST(Process, ExceptionIsCaptured) {
+  Simulation sim;
+  sim.spawn(thrower(sim.scheduler()));
+  sim.run();  // the coroutine's exception is stored, not propagated here
+  // Re-running is fine; the failed process simply stopped.
+  SUCCEED();
+}
+
+Process body_only(int& count) {
+  ++count;
+  co_return;
+}
+
+TEST(Process, RunsToCompletionOnSpawnIfNoHold) {
+  Simulation sim;
+  int count = 0;
+  sim.spawn(body_only(count));
+  EXPECT_EQ(count, 1);  // ran eagerly at spawn
+}
+
+TEST(Simulation, SamplerFiresWhileWorkPending) {
+  Simulation sim;
+  std::vector<SimTime> samples;
+  // Keep the sim alive until t = 50 with a chain of events.
+  std::function<void()> chain = [&] {
+    if (sim.now() < 50) sim.scheduler().schedule_after(10, chain);
+  };
+  sim.scheduler().schedule_at(0, chain);
+  sim.add_sampler(10, [&](SimTime t) { samples.push_back(t); });
+  sim.run();
+  ASSERT_GE(samples.size(), 4u);
+  EXPECT_EQ(samples.front(), 0);
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_EQ(samples[i] - samples[i - 1], 10);
+}
+
+TEST(Simulation, MakeResourceOwnsResources) {
+  Simulation sim;
+  Resource& r = sim.make_resource("ch", 2);
+  EXPECT_EQ(r.capacity(), 2u);
+  EXPECT_EQ(sim.resources().size(), 1u);
+  r.acquire_for(5, nullptr);
+  sim.run();
+  EXPECT_EQ(r.busy_time(), 5);
+}
+
+}  // namespace
+}  // namespace oracle::sim

@@ -1,0 +1,60 @@
+// Golden-value regression suite. Runs are pure functions of their config
+// (DESIGN.md invariant 7), so these exact numbers must not drift unless a
+// strategy or machine-model change is *intentional* — in which case update
+// the constants and re-validate EXPERIMENTS.md against the paper.
+//
+// Scenario: grid:8x8, fib(13), seed 42, paper cost model.
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+
+namespace oracle {
+namespace {
+
+stats::RunResult golden_run(const char* strategy) {
+  core::ExperimentConfig cfg;  // defaults == paper::base_config values
+  cfg.topology = "grid:8x8";
+  cfg.strategy = strategy;
+  cfg.workload = "fib:13";
+  cfg.machine.seed = 42;
+  return core::run_experiment(cfg);
+}
+
+TEST(Regression, CwnGolden) {
+  const auto r = golden_run("cwn:radius=9,horizon=2");
+  EXPECT_EQ(r.completion_time, 2169);
+  EXPECT_EQ(r.goal_transmissions, 2206u);
+  EXPECT_EQ(r.goals_executed, 753u);
+  EXPECT_NEAR(r.avg_goal_distance, 2.93, 0.005);
+}
+
+TEST(Regression, GmGolden) {
+  const auto r = golden_run("gm:hwm=2,lwm=1,interval=20");
+  EXPECT_EQ(r.completion_time, 2780);
+  EXPECT_EQ(r.goal_transmissions, 1085u);
+  EXPECT_NEAR(r.avg_goal_distance, 1.44, 0.005);
+}
+
+TEST(Regression, AcwnGolden) {
+  const auto r = golden_run("acwn:radius=9,horizon=2");
+  EXPECT_EQ(r.completion_time, 2029);
+  EXPECT_EQ(r.goal_transmissions, 2177u);
+}
+
+TEST(Regression, StealGolden) {
+  const auto r = golden_run("steal:backoff=10");
+  EXPECT_EQ(r.completion_time, 16520);
+  EXPECT_EQ(r.goal_transmissions, 180u);
+}
+
+TEST(Regression, CwnBeatsGmHere) {
+  // And the headline ordering embedded as a regression anchor.
+  const auto cwn = golden_run("cwn:radius=9,horizon=2");
+  const auto gm = golden_run("gm:hwm=2,lwm=1,interval=20");
+  EXPECT_LT(cwn.completion_time, gm.completion_time);
+  EXPECT_GT(cwn.goal_transmissions, gm.goal_transmissions);
+}
+
+}  // namespace
+}  // namespace oracle

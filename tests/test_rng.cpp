@@ -1,0 +1,153 @@
+// Unit tests for the deterministic RNG substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace oracle {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (int bound : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto v = rng.below(static_cast<std::uint64_t>(bound));
+      ASSERT_LT(v, static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(23);
+  const double p = 0.25;
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.geometric(p));
+  // Mean of failures-before-success geometric: (1-p)/p = 3.
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng base(123);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng x(55), y(55);
+  Rng a = x.split(9), b = y.split(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace oracle

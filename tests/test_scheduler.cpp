@@ -1,0 +1,177 @@
+// Unit tests for the discrete-event scheduler: ordering, determinism,
+// cancellation, budgets, and stop requests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace oracle::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, SimultaneousEventsAreFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  SimTime inner_time = -1;
+  s.schedule_at(10, [&] {
+    s.schedule_after(5, [&] { inner_time = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(inner_time, 15);
+}
+
+TEST(Scheduler, ClockOnlyMovesForward) {
+  Scheduler s;
+  SimTime last = 0;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_at(i % 17, [&, ts = i % 17] {
+      EXPECT_GE(ts, last);
+      last = ts;
+    });
+  }
+  s.run();
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventHandle h = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelTwiceFails) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, CancelAfterFireFails) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(1, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, CancelInvalidHandleFails) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(EventHandle{}));
+}
+
+TEST(Scheduler, CancelledEventDoesNotBlockOthers) {
+  Scheduler s;
+  std::vector<int> order;
+  const EventHandle h = s.schedule_at(5, [&] { order.push_back(0); });
+  s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(6, [&] { order.push_back(2); });
+  s.cancel(h);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilHorizonStopsEarly) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(5, [&] { ++fired; });
+  s.schedule_at(15, [&] { ++fired; });
+  s.run(/*until=*/10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventBudgetThrows) {
+  Scheduler s;
+  std::function<void()> loop = [&] { s.schedule_after(1, loop); };
+  s.schedule_at(0, loop);
+  EXPECT_THROW(s.run(kTimeInfinity, 100), SimulationError);
+}
+
+TEST(Scheduler, RequestStopHaltsDispatch) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1, [&] {
+    ++fired;
+    s.request_stop();
+  });
+  s.schedule_at(2, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  std::vector<SimTime> fired;
+  s.schedule_at(1, [&] {
+    fired.push_back(s.now());
+    s.schedule_after(3, [&] { fired.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{1, 4}));
+}
+
+TEST(Scheduler, ExecutedCountTracks) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(3, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime t = (i * 7919) % 1000;
+    s.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executed(), 20000u);
+}
+
+}  // namespace
+}  // namespace oracle::sim

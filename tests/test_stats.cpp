@@ -1,0 +1,196 @@
+// Tests for the statistics substrate: accumulator, histogram, time series.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
+
+namespace oracle::stats {
+namespace {
+
+// --------------------------------------------------------------------------
+// Accumulator
+// --------------------------------------------------------------------------
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SampleVarianceBesselCorrected) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(a.sample_variance(), 2.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 42.0);
+  EXPECT_DOUBLE_EQ(a.max(), 42.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  Accumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Accumulator, ResetClears) {
+  Accumulator a;
+  a.add(5.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+TEST(Histogram, EmptyDefaults) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.count(5), 0u);
+}
+
+TEST(Histogram, AddAndCount) {
+  Histogram h;
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.buckets(), 4u);
+}
+
+TEST(Histogram, WeightedMean) {
+  // The paper's Table 3 statistic: mean hop distance.
+  Histogram h;
+  h.add(0, 4068);
+  h.add(1, 2372);
+  h.add(2, 1045);
+  h.add(3, 527);
+  h.add(4, 195);
+  h.add(5, 84);
+  h.add(6, 43);
+  h.add(7, 20);
+  h.add(8, 4);
+  h.add(9, 3);
+  EXPECT_EQ(h.total(), 8361u);
+  EXPECT_NEAR(h.mean(), 0.92, 0.005);  // the paper's GM average
+}
+
+TEST(Histogram, QuantileBasics) {
+  Histogram h;
+  for (std::size_t v = 0; v < 10; ++v) h.add(v, 10);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 4u);
+  EXPECT_EQ(h.quantile(1.0), 9u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(5, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(5), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, ToStringFormat) {
+  Histogram h;
+  h.add(0, 2);
+  h.add(2, 1);
+  EXPECT_EQ(h.to_string(), "0:2 1:0 2:1");
+}
+
+// --------------------------------------------------------------------------
+// TimeSeries
+// --------------------------------------------------------------------------
+
+TEST(TimeSeries, AddAndAccess) {
+  TimeSeries ts("util");
+  ts.add(0, 1.0);
+  ts.add(10, 3.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.time_at(1), 10);
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 3.0);
+  EXPECT_EQ(ts.name(), "util");
+}
+
+TEST(TimeSeries, MaxAndMean) {
+  TimeSeries ts;
+  ts.add(0, 1.0);
+  ts.add(1, 5.0);
+  ts.add(2, 3.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 3.0);
+}
+
+TEST(TimeSeries, InterpolateLinear) {
+  TimeSeries ts;
+  ts.add(0, 0.0);
+  ts.add(10, 100.0);
+  EXPECT_DOUBLE_EQ(ts.interpolate(5), 50.0);
+  EXPECT_DOUBLE_EQ(ts.interpolate(-5), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(ts.interpolate(99), 100.0);  // clamped
+}
+
+TEST(TimeSeries, CsvOutput) {
+  TimeSeries ts("u");
+  ts.add(1, 2.5);
+  EXPECT_EQ(ts.to_csv(), "time,u\n1,2.5\n");
+}
+
+}  // namespace
+}  // namespace oracle::stats

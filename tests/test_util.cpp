@@ -1,0 +1,173 @@
+// Tests for string helpers, the table printer, and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oracle {
+namespace {
+
+// --------------------------------------------------------------------------
+// string_util
+// --------------------------------------------------------------------------
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a:b:c", ':'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x "), "x");
+  EXPECT_EQ(trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, IEquals) {
+  EXPECT_TRUE(iequals("CWN", "cwn"));
+  EXPECT_FALSE(iequals("cwn", "gm"));
+  EXPECT_FALSE(iequals("ab", "abc"));
+}
+
+TEST(StringUtil, ToLower) { EXPECT_EQ(to_lower("GriD:5X5"), "grid:5x5"); }
+
+TEST(StringUtil, ParseIntValid) {
+  EXPECT_EQ(parse_int("42", "t"), 42);
+  EXPECT_EQ(parse_int(" -7 ", "t"), -7);
+}
+
+TEST(StringUtil, ParseIntInvalidThrows) {
+  EXPECT_THROW(parse_int("", "t"), ConfigError);
+  EXPECT_THROW(parse_int("12x", "t"), ConfigError);
+  EXPECT_THROW(parse_int("abc", "t"), ConfigError);
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5", "t"), 2.5);
+  EXPECT_THROW(parse_double("2.5.6", "t"), ConfigError);
+}
+
+TEST(StringUtil, Strfmt) {
+  EXPECT_EQ(strfmt("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(strfmt("%.2f", 1.239), "1.24");
+}
+
+TEST(StringUtil, Fixed) { EXPECT_EQ(fixed(3.14159, 3), "3.142"); }
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("dlm:5:10x10", "dlm"));
+  EXPECT_FALSE(starts_with("grid", "dlm"));
+  EXPECT_FALSE(starts_with("d", "dlm"));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+// --------------------------------------------------------------------------
+// TextTable
+// --------------------------------------------------------------------------
+
+TEST(TextTable, AlignsAndPads) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer", "10"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Numeric column right-aligned: "1.5" ends at the same column as "10".
+  EXPECT_NE(s.find("   1.5"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"col"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Header rule + inserted rule = at least two dashed lines.
+  std::size_t dashes = 0, pos = 0;
+  while ((pos = s.find("---", pos)) != std::string::npos) {
+    ++dashes;
+    const std::size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    pos = nl;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+// --------------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ThreadPool::parallel_for(hits.size(), 8,
+                           [&](std::size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItems) {
+  ThreadPool::parallel_for(0, 4, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  EXPECT_THROW(ThreadPool::parallel_for(
+                   10, 4,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, TasksSubmittedFromWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++count; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace oracle
