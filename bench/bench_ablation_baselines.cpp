@@ -14,23 +14,32 @@ int main() {
 
   TextTable t({"topology", "strategy", "util %", "speedup", "completion",
                "goal msgs", "ctrl msgs"});
+  const std::vector<std::string> topologies = {"grid:10x10", "dlm:5:10x10",
+                                               "complete:25"};
   const std::vector<std::string> strategies = {
       "local", "random", "roundrobin", "steal:backoff=10",
       "cwn:radius=9,horizon=2", "gm:hwm=2,lwm=1,interval=20",
       "acwn:radius=9,horizon=2"};
-  for (const char* topo : {"grid:10x10", "dlm:5:10x10", "complete:25"}) {
-    for (const auto& strat : strategies) {
-      ExperimentConfig cfg = core::paper::base_config();
-      cfg.topology = topo;
-      cfg.strategy = strat;
-      cfg.workload = "fib:15";
-      const auto r = core::run_experiment(cfg);
-      t.add_row({topo, r.strategy, fixed(r.utilization_percent(), 1),
-                 fixed(r.speedup, 1), std::to_string(r.completion_time),
-                 std::to_string(r.goal_transmissions),
-                 std::to_string(r.control_transmissions)});
-    }
-    t.add_rule();
+
+  // One declarative sweep, executed in parallel by the batch engine
+  // (row-major: topology varies slowest, matching the table layout).
+  const auto results = run_ensemble(core::SweepBuilder(
+                                        [] {
+                                          auto cfg = core::paper::base_config();
+                                          cfg.workload = "fib:15";
+                                          return cfg;
+                                        }())
+                                        .topologies(topologies)
+                                        .strategies(strategies)
+                                        .build());
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({r.topology, r.strategy, fixed(r.utilization_percent(), 1),
+               fixed(r.speedup, 1), std::to_string(r.completion_time),
+               std::to_string(r.goal_transmissions),
+               std::to_string(r.control_transmissions)});
+    if ((i + 1) % strategies.size() == 0) t.add_rule();
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("expected ordering: local << load-blind pushes < {steal, GM} "

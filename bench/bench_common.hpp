@@ -4,13 +4,17 @@
 // rendering paper-style tables and utilization-vs-time profiles.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/presets.hpp"
 #include "core/runner.hpp"
 #include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "exp/batch.hpp"
 #include "stats/run_result.hpp"
+#include "util/error.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -24,6 +28,26 @@ inline void print_header(const std::string& title, const std::string& detail) {
   std::printf("%s\n", title.c_str());
   if (!detail.empty()) std::printf("%s\n", detail.c_str());
   std::printf("================================================================\n\n");
+}
+
+/// Run an ensemble of configs on the batch experiment engine: sharded
+/// parallel workers, live jobs/s + ETA progress on stderr, results in
+/// config order. Set ORACLE_BENCH_JSONL=path to also stream every run to a
+/// JSONL store (fresh file per invocation; the bench tables need the full
+/// result vector, so benches never resume). Throws on any failed run.
+inline std::vector<stats::RunResult> run_ensemble(
+    const std::vector<ExperimentConfig>& configs) {
+  exp::BatchOptions opt;
+  opt.exec.progress = true;
+  if (const char* out = std::getenv("ORACLE_BENCH_JSONL")) opt.jsonl_path = out;
+  auto outcome = core::run_batch(configs, opt);
+  if (!outcome.report.ok()) {
+    throw SimulationError("bench ensemble failed: " +
+                          (outcome.report.errors.empty()
+                               ? std::string("unknown error")
+                               : outcome.report.errors.front()));
+  }
+  return std::move(outcome.results);
 }
 
 /// Build the CWN and GM configs for one sample point.

@@ -41,7 +41,9 @@ int main() {
       }
     }
   }
-  const auto results = core::run_all(configs);
+  // The full 240-run grid goes through the batch engine: sharded across
+  // all cores with live ETA, and dumpable to JSONL via ORACLE_BENCH_JSONL.
+  const auto results = run_ensemble(configs);
 
   std::vector<std::string> header = {"workload"};
   for (const auto& s : sizes) header.push_back(strfmt("grid %u", s.pes));

@@ -1,0 +1,181 @@
+// oracle_batch — drive cartesian experiment sweeps through the batch
+// engine from the command line: sharded parallel execution, a streaming
+// JSONL result store (plus optional CSV mirror), checkpointing, and
+// resumable interrupted runs.
+//
+// Usage:
+//   oracle_batch [options]
+//     --topologies A,B,..   topology spec axis   (default grid:6x6,grid:10x10,dlm:5:10x10)
+//     --strategies A,B,..   strategy spec axis   (default cwn,gm,random)
+//     --workloads A,B,..    workload spec axis   (default fib:13)
+//     --seeds N | A,B,..    N replications (seeds 1..N) or an explicit list
+//                           (default 1 replication, seed 1)
+//     --master-seed M       derive each job's seed from M via
+//                           Rng::derive_seed (independent reproducible
+//                           streams); --seeds N still sets how many
+//                           replications run, but its values are ignored
+//     --jobs N              worker threads (default: all hardware threads)
+//     --shard N             jobs claimed per shard (default: auto)
+//     --out PATH            JSONL result store   (default results.jsonl;
+//                           "-" streams records to stdout, no store)
+//     --csv PATH            CSV mirror of the store
+//     --resume              skip jobs already completed in the store /
+//                           checkpoint, append the rest
+//     --sample N            utilization sampling interval (default off)
+//     --hop-latency N       channel units per goal/response hop
+//     --no-progress         disable the jobs/s + ETA progress lines
+//
+// Examples:
+//   oracle_batch --topologies grid:10x10,dlm:5:10x10 --strategies cwn,gm
+//                --seeds 8 --jobs 8 --out sweep.jsonl
+//   # killed half-way? finish the remaining jobs only:
+//   oracle_batch ... --out sweep.jsonl --resume
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "oracle.hpp"
+#include "stats/csv.hpp"
+
+namespace {
+
+using namespace oracle;
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "oracle_batch: %s\n(run with --help for usage)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+void print_usage() {
+  std::printf(
+      "usage: oracle_batch [--topologies A,B,..] [--strategies A,B,..]\n"
+      "                    [--workloads A,B,..] [--seeds N|A,B,..]\n"
+      "                    [--master-seed M] [--jobs N] [--shard N]\n"
+      "                    [--out PATH|-] [--csv PATH] [--resume]\n"
+      "                    [--sample N] [--hop-latency N] [--no-progress]\n");
+}
+
+std::vector<std::string> parse_list(const std::string& value,
+                                    const std::string& what) {
+  std::vector<std::string> out;
+  for (const auto& item : split(value, ',')) {
+    const auto t = trim(item);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  if (out.empty()) usage_error(what + " needs at least one entry");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig base = core::paper::base_config();
+  std::vector<std::string> topologies = {"grid:6x6", "grid:10x10",
+                                         "dlm:5:10x10"};
+  std::vector<std::string> strategies = {"cwn", "gm", "random"};
+  std::vector<std::string> workloads = {"fib:13"};
+  std::vector<std::uint64_t> seeds = {1};
+  exp::BatchOptions opt;
+  opt.jsonl_path = "results.jsonl";
+  opt.exec.progress = true;
+  bool stdout_records = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return 0;
+      } else if (arg == "--topologies") {
+        topologies = parse_list(value(), arg);
+      } else if (arg == "--strategies") {
+        strategies = parse_list(value(), arg);
+      } else if (arg == "--workloads") {
+        workloads = parse_list(value(), arg);
+      } else if (arg == "--seeds") {
+        const std::string v = value();
+        seeds.clear();
+        if (v.find(',') != std::string::npos) {
+          for (const auto& s : parse_list(v, arg))
+            seeds.push_back(static_cast<std::uint64_t>(parse_int(s, arg)));
+        } else {
+          const auto n = parse_int(v, arg);
+          if (n < 1) usage_error("--seeds must be >= 1");
+          for (std::int64_t s = 1; s <= n; ++s)
+            seeds.push_back(static_cast<std::uint64_t>(s));
+        }
+      } else if (arg == "--master-seed") {
+        const auto m = parse_int(value(), arg);
+        // 0 is the engine's "disabled" sentinel — reject rather than
+        // silently falling back to the raw seeds axis.
+        if (m < 1) usage_error("--master-seed must be >= 1");
+        opt.master_seed = static_cast<std::uint64_t>(m);
+      } else if (arg == "--jobs") {
+        opt.exec.workers = static_cast<std::size_t>(parse_int(value(), arg));
+      } else if (arg == "--shard") {
+        opt.exec.shard_size = static_cast<std::size_t>(parse_int(value(), arg));
+      } else if (arg == "--out") {
+        opt.jsonl_path = value();
+      } else if (arg == "--csv") {
+        opt.csv_path = value();
+      } else if (arg == "--resume") {
+        opt.resume = true;
+      } else if (arg == "--sample") {
+        base.machine.sample_interval = parse_int(value(), arg);
+      } else if (arg == "--hop-latency") {
+        base.machine.hop_latency = parse_int(value(), arg);
+      } else if (arg == "--no-progress") {
+        opt.exec.progress = false;
+      } else {
+        usage_error("unknown option '" + arg + "'");
+      }
+    } catch (const ConfigError& e) {
+      usage_error(e.what());
+    }
+  }
+
+  if (opt.jsonl_path == "-") {
+    if (opt.resume)
+      usage_error(
+          "--resume needs a JSONL store to resume from; it cannot be "
+          "combined with --out -");
+    opt.jsonl_path.clear();
+    stdout_records = true;
+    opt.jsonl_stream = &std::cout;
+    opt.exec.progress = false;  // keep stdout pure JSONL
+  }
+
+  try {
+    core::SweepBuilder sweep(base);
+    sweep.topologies(topologies).strategies(strategies).workloads(workloads);
+    // The seeds axis always contributes the replication count; with
+    // --master-seed the axis values are then overwritten per job by
+    // Rng::derive_seed(master, index) in the engine.
+    sweep.seeds(seeds);
+    opt.collect = false;  // sweeps can be huge; the store is the output
+
+    const auto outcome = sweep.run_batch(opt);
+    const auto& rep = outcome.report;
+    if (!stdout_records) {
+      std::printf("%s\n", rep.summary().c_str());
+      if (!opt.jsonl_path.empty())
+        std::printf("store: %s (+ checkpoint %s)\n", opt.jsonl_path.c_str(),
+                    exp::Checkpoint::default_path(opt.jsonl_path).c_str());
+      if (!opt.csv_path.empty())
+        std::printf("csv:   %s\n", opt.csv_path.c_str());
+    }
+    for (const auto& err : rep.errors)
+      std::fprintf(stderr, "oracle_batch: failed: %s\n", err.c_str());
+    return rep.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
+    return 1;
+  }
+}

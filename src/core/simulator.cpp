@@ -29,4 +29,9 @@ stats::RunResult run_experiment(const ExperimentConfig& config) {
   return result;
 }
 
+exp::BatchOutcome run_batch(const std::vector<ExperimentConfig>& configs,
+                            const exp::BatchOptions& options) {
+  return exp::run_batch(configs, options);
+}
+
 }  // namespace oracle::core

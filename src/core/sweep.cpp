@@ -76,4 +76,9 @@ std::vector<ExperimentConfig> SweepBuilder::build() const {
   }
 }
 
+exp::BatchOutcome SweepBuilder::run_batch(
+    const exp::BatchOptions& options) const {
+  return exp::run_batch(build(), options);
+}
+
 }  // namespace oracle::core

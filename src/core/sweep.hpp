@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "exp/batch.hpp"
 
 namespace oracle::core {
 
@@ -38,6 +39,10 @@ class SweepBuilder {
   /// Materialize the cartesian product. Order: the first axis added varies
   /// slowest; later axes vary faster (row-major).
   std::vector<ExperimentConfig> build() const;
+
+  /// Materialize and execute the sweep on the batch experiment engine
+  /// (sharded parallel execution, JSONL/CSV stores, checkpointed resume).
+  exp::BatchOutcome run_batch(const exp::BatchOptions& options = {}) const;
 
  private:
   ExperimentConfig base_;

@@ -1,0 +1,70 @@
+#include "exp/batch.hpp"
+
+#include <memory>
+
+#include "exp/checkpoint.hpp"
+
+namespace oracle::exp {
+
+BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
+                       const BatchOptions& options) {
+  JobQueue queue(configs);
+  if (options.master_seed != 0) queue.derive_seeds(options.master_seed);
+
+  std::string ckpt_path = options.checkpoint_path;
+  if (ckpt_path.empty() && !options.jsonl_path.empty())
+    ckpt_path = Checkpoint::default_path(options.jsonl_path);
+  // CSV-only sweeps get a checkpoint beside the CSV, so resume works (and
+  // cannot silently duplicate rows) without a JSONL store.
+  if (ckpt_path.empty() && !options.csv_path.empty())
+    ckpt_path = Checkpoint::default_path(options.csv_path);
+  Checkpoint checkpoint(ckpt_path);
+
+  std::size_t skipped = 0;
+  if (options.resume) {
+    checkpoint.load();
+    if (!options.jsonl_path.empty())
+      checkpoint.merge(load_completed_hashes(options.jsonl_path));
+    if (!options.csv_path.empty())
+      checkpoint.merge(load_completed_hashes_csv(options.csv_path));
+    skipped = queue.skip_completed(checkpoint.completed());
+  }
+
+  // A fresh (non-resume) run starts a fresh checkpoint too, and must do so
+  // *before* the sinks truncate the stores: killed between the two, a stale
+  // checkpoint over empty stores would make a later --resume skip jobs
+  // whose records no longer exist.
+  if (!options.resume && checkpoint.enabled()) {
+    std::ofstream truncate(checkpoint.path(), std::ios::out | std::ios::trunc);
+  }
+
+  TeeSink tee;
+  std::unique_ptr<JsonlSink> jsonl_file;
+  std::unique_ptr<JsonlSink> jsonl_stream;
+  std::unique_ptr<CsvSink> csv_file;
+  MemorySink memory;
+  if (!options.jsonl_path.empty()) {
+    jsonl_file =
+        std::make_unique<JsonlSink>(options.jsonl_path, options.resume);
+    tee.add(*jsonl_file);
+  }
+  if (options.jsonl_stream) {
+    jsonl_stream = std::make_unique<JsonlSink>(*options.jsonl_stream);
+    tee.add(*jsonl_stream);
+  }
+  if (!options.csv_path.empty()) {
+    csv_file = std::make_unique<CsvSink>(options.csv_path, options.resume);
+    tee.add(*csv_file);
+  }
+  if (options.collect) tee.add(memory);
+
+  Executor executor(options.exec);
+  BatchOutcome outcome;
+  outcome.report = executor.run(queue, tee, &checkpoint);
+  outcome.report.total_jobs = configs.size();
+  outcome.report.skipped = skipped;
+  if (options.collect) outcome.results = memory.results();
+  return outcome;
+}
+
+}  // namespace oracle::exp

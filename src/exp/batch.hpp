@@ -1,0 +1,58 @@
+#pragma once
+// One-call façade over the batch engine: configs in, results out, with
+// optional JSONL/CSV stores, checkpointing, and resume. This is what
+// core::run_batch / SweepBuilder::run_batch and the oracle_batch CLI sit
+// on; use the JobQueue/Executor/ResultSink pieces directly for custom
+// pipelines (extra sinks, pre-filtered queues, ...).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "exp/executor.hpp"
+
+namespace oracle::exp {
+
+struct BatchOptions {
+  ExecutorOptions exec;
+
+  /// Primary result store ("" = none). When set, a checkpoint file
+  /// (`jsonl_path + ".ckpt"` unless overridden) is maintained alongside.
+  std::string jsonl_path;
+
+  /// Secondary CSV mirror ("" = none).
+  std::string csv_path;
+
+  /// Explicit checkpoint path; "" derives from jsonl_path.
+  std::string checkpoint_path;
+
+  /// Resume: load the checkpoint and scan the existing JSONL store, skip
+  /// jobs whose content hash is already completed, and append the rest.
+  /// When false, existing store/checkpoint files are truncated.
+  bool resume = false;
+
+  /// When nonzero, re-seed each job with Rng::derive_seed(master_seed, i)
+  /// — independent reproducible streams without enumerating seeds by hand.
+  std::uint64_t master_seed = 0;
+
+  /// Also collect results in memory and return them (in job order;
+  /// resumed-over jobs are absent). Disable for huge disk-only sweeps.
+  bool collect = true;
+
+  /// Test/piping hook: additionally stream JSONL records here.
+  std::ostream* jsonl_stream = nullptr;
+};
+
+struct BatchOutcome {
+  BatchReport report;
+  std::vector<stats::RunResult> results;  ///< only when collect = true
+};
+
+/// Execute every config as one batch. Throws SimulationError on store I/O
+/// failure; individual simulation failures land in outcome.report instead.
+BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
+                       const BatchOptions& options = {});
+
+}  // namespace oracle::exp

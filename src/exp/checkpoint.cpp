@@ -1,0 +1,46 @@
+#include "exp/checkpoint.hpp"
+
+#include "exp/job.hpp"
+#include "exp/result_sink.hpp"
+#include "util/error.hpp"
+
+namespace oracle::exp {
+
+std::size_t Checkpoint::load() {
+  if (!enabled()) return 0;
+  std::ifstream in(path_);
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::uint64_t hash = 0;
+    if (parse_hash_hex(line, hash) && completed_.insert(hash).second)
+      ++loaded;
+  }
+  return loaded;
+}
+
+void Checkpoint::merge(const std::unordered_set<std::uint64_t>& hashes) {
+  completed_.insert(hashes.begin(), hashes.end());
+}
+
+void Checkpoint::record(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_.insert(hash);
+  if (!enabled()) return;
+  if (!out_.is_open()) open_for_append();
+  out_ << hash_hex(hash) << '\n';
+  out_.flush();
+  if (!out_) throw SimulationError("checkpoint write to '" + path_ + "' failed");
+}
+
+void Checkpoint::open_for_append() {
+  const bool partial_tail = has_partial_last_line(path_);
+  out_.open(path_, std::ios::out | std::ios::app);
+  if (!out_)
+    throw SimulationError("cannot open checkpoint '" + path_ + "' for writing");
+  // Terminate a killed run's partial final hash line before appending.
+  if (partial_tail) out_ << '\n';
+}
+
+}  // namespace oracle::exp

@@ -1,0 +1,65 @@
+#pragma once
+// Crash-safe sweep checkpoint: an append-only file of content hashes, one
+// per completed job, flushed at every commit. Resuming a killed sweep
+// costs one linear scan of this file (plus, for belt-and-braces, the JSONL
+// store itself via load_completed_hashes) instead of re-running anything.
+//
+// The checkpoint deliberately stores *content* hashes, not job indices: if
+// the sweep definition changes between invocations, stale entries simply
+// match nothing and the changed jobs re-run.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace oracle::exp {
+
+class Checkpoint {
+ public:
+  /// Disabled checkpoint: contains() is always false, record() is a no-op.
+  Checkpoint() = default;
+
+  /// Backed by `path`; call load() to ingest previous progress before
+  /// opening for appending via open_for_append().
+  explicit Checkpoint(std::string path) : path_(std::move(path)) {}
+
+  /// Conventional checkpoint path for a result store: "<out>.ckpt".
+  static std::string default_path(const std::string& out_path) {
+    return out_path + ".ckpt";
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Read previously completed hashes from the file (missing file is fine;
+  /// malformed lines are ignored). Returns the number of hashes loaded.
+  std::size_t load();
+
+  /// Fold externally discovered completions (e.g. hashes recovered from an
+  /// existing JSONL store) into the completed set.
+  void merge(const std::unordered_set<std::uint64_t>& hashes);
+
+  bool contains(std::uint64_t hash) const {
+    return completed_.contains(hash);
+  }
+
+  const std::unordered_set<std::uint64_t>& completed() const noexcept {
+    return completed_;
+  }
+
+  /// Mark a job completed and (when enabled) append + flush its hash.
+  /// Thread-safe; the executor calls this at the ordered-commit point.
+  void record(std::uint64_t hash);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  std::unordered_set<std::uint64_t> completed_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace oracle::exp

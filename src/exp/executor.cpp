@@ -1,0 +1,181 @@
+#include "exp/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/simulator.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oracle::exp {
+
+namespace {
+
+std::string format_eta(double seconds) {
+  if (seconds < 0) return "?";
+  const auto s = static_cast<long long>(seconds + 0.5);
+  if (s < 60) return strfmt("%llds", s);
+  if (s < 3600) return strfmt("%lldm%02llds", s / 60, s % 60);
+  return strfmt("%lldh%02lldm", s / 3600, (s % 3600) / 60);
+}
+
+}  // namespace
+
+std::string BatchReport::summary() const {
+  return strfmt(
+      "%zu jobs: %zu executed, %zu skipped (cached), %zu failed in %.2fs "
+      "(%.1f jobs/s)",
+      total_jobs, executed, skipped, failed, elapsed_seconds,
+      jobs_per_second);
+}
+
+BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
+                          Checkpoint* checkpoint) {
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t n = queue.size();
+  BatchReport report;
+  report.total_jobs = n;
+  if (n == 0) return report;
+
+  std::size_t workers = opts_.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+
+  std::size_t shard_size = opts_.shard_size;
+  if (shard_size == 0) shard_size = std::max<std::size_t>(1, n / workers / 8);
+
+  // Ordered-commit state, guarded by commit_mutex. Slot i corresponds to
+  // queue position i (ascending job index); a slot holds the finished
+  // result, or nullopt + failed flag for a job that threw. `draining`
+  // marks that one thread is currently writing the committable prefix to
+  // the sink *outside* the lock, so workers never queue up behind disk
+  // I/O — they deposit their slot and go claim the next shard.
+  std::mutex commit_mutex;
+  std::vector<std::optional<stats::RunResult>> pending(n);
+  std::vector<char> failed(n, 0);
+  std::vector<char> finished(n, 0);
+  std::size_t next_commit = 0;
+  std::size_t committed = 0;
+  bool draining = false;
+  // Set when a sink/checkpoint write throws: workers stop claiming work so
+  // a dead store fails the run fast instead of simulating the whole
+  // remaining queue into memory nobody will ever drain.
+  std::atomic<bool> aborted{false};
+
+  const auto start = Clock::now();
+  auto last_progress = start;
+  std::ostream* prog =
+      opts_.progress_stream ? opts_.progress_stream : &std::cerr;
+
+  auto maybe_report_progress = [&](bool force) {
+    if (!opts_.progress) return;
+    const auto now = Clock::now();
+    const double since_last =
+        std::chrono::duration<double>(now - last_progress).count();
+    if (!force && since_last < opts_.progress_interval_s) return;
+    last_progress = now;
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    const double rate = elapsed > 0 ? static_cast<double>(committed) / elapsed
+                                    : 0.0;
+    const double eta =
+        rate > 0 ? static_cast<double>(n - committed) / rate : -1.0;
+    *prog << strfmt("[exp] %zu/%zu jobs (%.1f%%) | %.1f jobs/s | ETA %s\n",
+                    committed, n, 100.0 * static_cast<double>(committed) / n,
+                    rate, format_eta(eta).c_str());
+  };
+
+  // Called with `lock` held after slot `pos` is filled: advance the commit
+  // frontier as far as contiguous finished slots allow. Only one thread
+  // drains at a time; it extracts the committable batch under the lock but
+  // performs the sink/checkpoint I/O with the lock released, then rechecks
+  // for slots that finished meanwhile.
+  auto drain_commits = [&](std::unique_lock<std::mutex>& lock) {
+    if (draining) return;  // the active drainer will pick our slot up
+    draining = true;
+    while (true) {
+      std::vector<std::pair<const ExperimentJob*, stats::RunResult>> batch;
+      while (next_commit < n && finished[next_commit]) {
+        const std::size_t pos = next_commit++;
+        ++committed;
+        if (failed[pos]) continue;
+        batch.emplace_back(&queue.job(pos), std::move(*pending[pos]));
+        pending[pos].reset();  // free the result memory promptly
+      }
+      if (batch.empty()) {
+        draining = false;
+        maybe_report_progress(false);
+        return;
+      }
+      lock.unlock();
+      try {
+        for (const auto& [job, result] : batch) sink.write(*job, result);
+        // Durability order matters: the store is flushed *before* the
+        // checkpoint claims the jobs. A crash in between leaves records in
+        // the store that the checkpoint misses — resume re-discovers them
+        // by scanning the store. The reverse order would let the checkpoint
+        // claim jobs whose records never reached disk, silently losing
+        // them.
+        sink.flush();
+        if (checkpoint)
+          for (const auto& [job, result] : batch)
+            checkpoint->record(job->content_hash);
+      } catch (...) {
+        aborted.store(true, std::memory_order_relaxed);
+        lock.lock();
+        draining = false;
+        throw;  // propagates through parallel_for (first exception wins)
+      }
+      lock.lock();
+    }
+  };
+
+  ThreadPool::parallel_for(workers, workers, [&](std::size_t) {
+    while (!aborted.load(std::memory_order_relaxed)) {
+      const auto shard = queue.claim(shard_size);
+      if (shard.empty()) return;
+      for (std::size_t pos = shard.begin;
+           pos < shard.end && !aborted.load(std::memory_order_relaxed);
+           ++pos) {
+        std::optional<stats::RunResult> result;
+        std::string error;
+        try {
+          result = core::run_experiment(queue.job(pos).config);
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
+        std::unique_lock<std::mutex> lock(commit_mutex);
+        if (result) {
+          pending[pos] = std::move(result);
+        } else {
+          failed[pos] = 1;
+          ++report.failed;
+          if (report.errors.size() < opts_.max_errors) {
+            report.errors.push_back(strfmt(
+                "job %zu (%s): %s", queue.job(pos).index,
+                queue.job(pos).config.label().c_str(), error.c_str()));
+          }
+        }
+        finished[pos] = 1;
+        drain_commits(lock);
+      }
+    }
+  });
+
+  report.executed = n - report.failed;
+  report.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.jobs_per_second =
+      report.elapsed_seconds > 0
+          ? static_cast<double>(committed) / report.elapsed_seconds
+          : 0.0;
+  maybe_report_progress(true);
+  return report;
+}
+
+}  // namespace oracle::exp

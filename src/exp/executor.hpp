@@ -1,0 +1,73 @@
+#pragma once
+// Sharded parallel executor for batch experiments.
+//
+// Workers (util/thread_pool.hpp threads, one single-threaded Machine per
+// job as machine.hpp prescribes) claim contiguous shards from the JobQueue
+// and run core::run_experiment on each. Finished runs pass through an
+// *ordered commit* stage: results are buffered until every earlier job has
+// committed, then written to the sink and recorded in the checkpoint. Two
+// consequences:
+//   1. the JSONL/CSV output of a sweep is byte-identical whatever the
+//      worker count (--jobs 1 vs --jobs 8), and
+//   2. an interrupted run leaves a clean job-order prefix on disk, so
+//      resume only ever re-runs a suffix plus the in-flight window.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/job_queue.hpp"
+#include "exp/result_sink.hpp"
+
+namespace oracle::exp {
+
+struct ExecutorOptions {
+  /// Worker threads; 0 = hardware concurrency (capped at the job count).
+  std::size_t workers = 0;
+
+  /// Jobs claimed per shard; 0 = auto (queue size / workers / 8, min 1) —
+  /// coarse enough to amortize the claim, fine enough to load-balance the
+  /// heavy tail of large-topology runs.
+  std::size_t shard_size = 0;
+
+  /// Emit live jobs/s + ETA lines (to `progress_stream` or stderr).
+  bool progress = false;
+  std::ostream* progress_stream = nullptr;
+  double progress_interval_s = 0.5;
+
+  /// Keep at most this many failure messages in the report.
+  std::size_t max_errors = 8;
+};
+
+struct BatchReport {
+  std::size_t total_jobs = 0;  ///< sweep size before resume skipping
+  std::size_t skipped = 0;     ///< satisfied by the checkpoint/result cache
+  std::size_t executed = 0;    ///< simulations actually run and committed
+  std::size_t failed = 0;      ///< jobs whose simulation threw
+  double elapsed_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  std::vector<std::string> errors;  ///< first max_errors failure messages
+
+  bool ok() const noexcept { return failed == 0; }
+  std::string summary() const;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions opts = {}) : opts_(opts) {}
+
+  /// Run every job remaining in `queue`. Sink writes and checkpoint
+  /// records happen in ascending job-index order, serialized internally
+  /// (sinks need no locking). A job that throws is reported in the
+  /// BatchReport and neither written nor checkpointed (so a later resume
+  /// retries it); sink/checkpoint I/O errors propagate.
+  BatchReport run(JobQueue& queue, ResultSink& sink,
+                  Checkpoint* checkpoint = nullptr);
+
+ private:
+  ExecutorOptions opts_;
+};
+
+}  // namespace oracle::exp

@@ -1,0 +1,22 @@
+#pragma once
+// Umbrella header for the batch experiment engine (src/exp/): sharded
+// parallel sweep execution with streaming JSONL/CSV result stores,
+// content-hash checkpointing, and resume.
+//
+// Quickstart:
+//   auto configs = oracle::core::SweepBuilder(base)
+//                      .topologies({"grid:10x10", "dlm:5:10x10"})
+//                      .strategies({"cwn", "gm"})
+//                      .seeds({1, 2, 3})
+//                      .build();
+//   oracle::exp::BatchOptions opt;
+//   opt.jsonl_path = "results.jsonl";
+//   opt.resume = true;  // safe on first run too: nothing to skip yet
+//   auto outcome = oracle::exp::run_batch(configs, opt);
+
+#include "exp/batch.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/executor.hpp"
+#include "exp/job.hpp"
+#include "exp/job_queue.hpp"
+#include "exp/result_sink.hpp"

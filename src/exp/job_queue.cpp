@@ -1,0 +1,57 @@
+#include "exp/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace oracle::exp {
+
+JobQueue::JobQueue(const std::vector<core::ExperimentConfig>& configs) {
+  jobs_.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ExperimentJob job;
+    job.index = i;
+    job.config = configs[i];
+    job.content_hash = job_content_hash(job.config);
+    jobs_.push_back(std::move(job));
+  }
+}
+
+JobQueue::JobQueue(JobQueue&& other) noexcept
+    : jobs_(std::move(other.jobs_)),
+      cursor_(other.cursor_.load(std::memory_order_relaxed)) {}
+
+JobQueue& JobQueue::operator=(JobQueue&& other) noexcept {
+  jobs_ = std::move(other.jobs_);
+  cursor_.store(other.cursor_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
+void JobQueue::derive_seeds(std::uint64_t master) {
+  for (auto& job : jobs_) {
+    job.config.machine.seed = Rng::derive_seed(master, job.index);
+    job.content_hash = job_content_hash(job.config);
+  }
+}
+
+std::size_t JobQueue::skip_completed(
+    const std::unordered_set<std::uint64_t>& completed) {
+  const std::size_t before = jobs_.size();
+  std::erase_if(jobs_, [&](const ExperimentJob& job) {
+    return completed.contains(job.content_hash);
+  });
+  reset_cursor();
+  return before - jobs_.size();
+}
+
+JobQueue::Shard JobQueue::claim(std::size_t max_jobs) noexcept {
+  if (max_jobs == 0) max_jobs = 1;
+  const std::size_t begin =
+      cursor_.fetch_add(max_jobs, std::memory_order_relaxed);
+  if (begin >= jobs_.size()) return {};
+  return {begin, std::min(begin + max_jobs, jobs_.size())};
+}
+
+}  // namespace oracle::exp

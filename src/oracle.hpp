@@ -16,6 +16,8 @@
 #include "core/presets.hpp"
 #include "core/runner.hpp"
 #include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "exp/exp.hpp"
 #include "lb/acwn.hpp"
 #include "lb/baselines.hpp"
 #include "lb/cwn.hpp"

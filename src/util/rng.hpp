@@ -115,6 +115,25 @@ class Rng {
     return Rng(next() ^ (0x94d049bb133111ebULL * (tag + 1)));
   }
 
+  /// Deterministically derive the seed for job `index` of a batch from a
+  /// master seed: a pure function (no generator state involved), so the
+  /// same (master, index) always yields the same seed no matter how many
+  /// workers execute the sweep or in which order. Distinct indices yield
+  /// independent streams (double SplitMix64 mix).
+  static std::uint64_t derive_seed(std::uint64_t master,
+                                   std::uint64_t index) noexcept {
+    SplitMix64 outer(master);
+    SplitMix64 inner(outer.next() ^ (index + 0x9E3779B97F4A7C15ULL));
+    return inner.next();
+  }
+
+  /// Derive an independent child generator by index *without* advancing
+  /// this generator (const counterpart of split(), for fan-out points that
+  /// must not perturb the parent stream).
+  Rng derive(std::uint64_t index) const noexcept {
+    return Rng(derive_seed(state_[0] ^ rotl(state_[2], 31), index));
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,500 @@
+// Tests for the batch experiment engine (src/exp/): job identity hashing,
+// per-job seed derivation, the sharded job queue, JSONL/CSV sinks and
+// round-trips, checkpointed resume, and the engine's determinism guarantee
+// (byte-identical JSONL regardless of worker count).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "exp/exp.hpp"
+#include "util/rng.hpp"
+
+namespace oracle {
+namespace {
+
+core::ExperimentConfig small_config(std::uint64_t seed = 1) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:5x5";
+  cfg.strategy = "cwn:radius=4,horizon=1";
+  cfg.workload = "fib:9";
+  cfg.machine.seed = seed;
+  return cfg;
+}
+
+/// A fast 3 (topology) x 3 (strategy) x 2 (seed) sweep = 18 jobs.
+std::vector<core::ExperimentConfig> small_sweep() {
+  return core::SweepBuilder(small_config())
+      .topologies({"grid:5x5", "grid:6x6", "dlm:5:5x5"})
+      .strategies({"cwn:radius=4,horizon=1", "gm:hwm=2,lwm=1", "random"})
+      .seeds({1, 2})
+      .build();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "oracle_batch_" + name;
+}
+
+std::size_t line_count(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+// ----------------------------------------------------------- seed derive --
+
+TEST(RngDerive, DeriveSeedIsPureAndDeterministic) {
+  EXPECT_EQ(Rng::derive_seed(42, 0), Rng::derive_seed(42, 0));
+  EXPECT_EQ(Rng::derive_seed(42, 7), Rng::derive_seed(42, 7));
+  EXPECT_NE(Rng::derive_seed(42, 0), Rng::derive_seed(42, 1));
+  EXPECT_NE(Rng::derive_seed(42, 0), Rng::derive_seed(43, 0));
+}
+
+TEST(RngDerive, DerivedStreamsAreIndependent) {
+  Rng a(Rng::derive_seed(9, 0)), b(Rng::derive_seed(9, 1));
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngDerive, MemberDeriveDoesNotAdvanceParent) {
+  Rng x(77), y(77);
+  Rng child = x.derive(3);
+  (void)child.next();
+  // x must still be in lockstep with the untouched y.
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(x.next(), y.next());
+  // And deriving the same index twice yields the same stream.
+  Rng c1 = y.derive(3), c2 = y.derive(3);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(c1.next(), c2.next());
+}
+
+// ------------------------------------------------------------ job hashes --
+
+TEST(JobHash, SensitiveToEveryAxisAndSeed) {
+  const auto base = small_config();
+  EXPECT_EQ(exp::job_content_hash(base), exp::job_content_hash(base));
+
+  auto topo = base;
+  topo.topology = "grid:6x6";
+  auto strat = base;
+  strat.strategy = "gm";
+  auto wl = base;
+  wl.workload = "fib:10";
+  auto seed = base;
+  seed.machine.seed = 2;
+  auto cost = base;
+  cost.costs.leaf_cost += 1;
+  const auto h = exp::job_content_hash(base);
+  EXPECT_NE(h, exp::job_content_hash(topo));
+  EXPECT_NE(h, exp::job_content_hash(strat));
+  EXPECT_NE(h, exp::job_content_hash(wl));
+  EXPECT_NE(h, exp::job_content_hash(seed));
+  EXPECT_NE(h, exp::job_content_hash(cost));
+}
+
+TEST(JobHash, HexRoundTrips) {
+  for (std::uint64_t v : {0ULL, 1ULL, 0xdeadbeefcafef00dULL,
+                          0xffffffffffffffffULL}) {
+    std::uint64_t back = 0;
+    ASSERT_TRUE(exp::parse_hash_hex(exp::hash_hex(v), back));
+    EXPECT_EQ(back, v);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(exp::parse_hash_hex("xyz", out));
+  EXPECT_FALSE(exp::parse_hash_hex("00112233445566", out));  // too short
+}
+
+// -------------------------------------------------------------- JobQueue --
+
+TEST(JobQueue, AssignsStableIndicesAndHashes) {
+  exp::JobQueue queue(small_sweep());
+  ASSERT_EQ(queue.size(), 18u);
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    EXPECT_EQ(queue.job(i).index, i);
+    EXPECT_EQ(queue.job(i).content_hash,
+              exp::job_content_hash(queue.job(i).config));
+  }
+}
+
+TEST(JobQueue, DeriveSeedsIsReproduciblePerIndex) {
+  exp::JobQueue a(small_sweep()), b(small_sweep());
+  a.derive_seeds(99);
+  b.derive_seeds(99);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.job(i).config.machine.seed, Rng::derive_seed(99, i));
+    EXPECT_EQ(a.job(i).content_hash, b.job(i).content_hash);
+  }
+}
+
+TEST(JobQueue, SkipCompletedPreservesOriginalIndices) {
+  exp::JobQueue queue(small_sweep());
+  const auto skip_hash = queue.job(4).content_hash;
+  EXPECT_EQ(queue.skip_completed({skip_hash}), 1u);
+  ASSERT_EQ(queue.size(), 17u);
+  // Index 4 is gone; every surviving job keeps its sweep index.
+  for (std::size_t pos = 0; pos < queue.size(); ++pos)
+    EXPECT_EQ(queue.job(pos).index, pos < 4 ? pos : pos + 1);
+}
+
+TEST(JobQueue, ConcurrentClaimsPartitionTheQueue) {
+  exp::JobQueue queue(small_sweep());
+  std::vector<char> seen(queue.size(), 0);
+  std::mutex m;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (true) {
+        const auto shard = queue.claim(3);
+        if (shard.empty()) return;
+        std::lock_guard<std::mutex> lock(m);
+        for (auto i = shard.begin; i < shard.end; ++i) {
+          EXPECT_EQ(seen[i], 0) << "position claimed twice";
+          seen[i] = 1;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const char s : seen) EXPECT_EQ(s, 1);
+}
+
+// ------------------------------------------------------- JSONL round trip --
+
+TEST(Jsonl, RecordRoundTrips) {
+  exp::ExperimentJob job;
+  job.index = 7;
+  job.config = small_config();
+  job.content_hash = exp::job_content_hash(job.config);
+  const auto result = core::run_experiment(job.config);
+
+  const auto rec = exp::parse_jsonl_record(exp::jsonl_record(job, result));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->job_index, 7u);
+  EXPECT_EQ(rec->content_hash, job.content_hash);
+  const auto& r = rec->result;
+  EXPECT_EQ(r.topology, result.topology);
+  EXPECT_EQ(r.strategy, result.strategy);
+  EXPECT_EQ(r.workload, result.workload);
+  EXPECT_EQ(r.num_pes, result.num_pes);
+  EXPECT_EQ(r.seed, result.seed);
+  EXPECT_EQ(r.completion_time, result.completion_time);
+  EXPECT_EQ(r.goals_executed, result.goals_executed);
+  EXPECT_EQ(r.total_work, result.total_work);
+  EXPECT_EQ(r.critical_path, result.critical_path);
+  EXPECT_DOUBLE_EQ(r.avg_utilization, result.avg_utilization);
+  EXPECT_DOUBLE_EQ(r.speedup, result.speedup);
+  EXPECT_DOUBLE_EQ(r.utilization_cv, result.utilization_cv);
+  EXPECT_DOUBLE_EQ(r.avg_goal_distance, result.avg_goal_distance);
+  EXPECT_EQ(r.goal_transmissions, result.goal_transmissions);
+  EXPECT_EQ(r.response_transmissions, result.response_transmissions);
+  EXPECT_EQ(r.control_transmissions, result.control_transmissions);
+  EXPECT_DOUBLE_EQ(r.avg_channel_utilization, result.avg_channel_utilization);
+  EXPECT_DOUBLE_EQ(r.max_channel_utilization, result.max_channel_utilization);
+  EXPECT_EQ(r.events_executed, result.events_executed);
+}
+
+TEST(Jsonl, RejectsTruncatedAndMalformedLines) {
+  exp::ExperimentJob job;
+  job.config = small_config();
+  job.content_hash = exp::job_content_hash(job.config);
+  const auto line = exp::jsonl_record(job, core::run_experiment(job.config));
+
+  EXPECT_FALSE(exp::parse_jsonl_record("").has_value());
+  EXPECT_FALSE(exp::parse_jsonl_record("not json").has_value());
+  EXPECT_FALSE(exp::parse_jsonl_record("{}").has_value());
+  // A record cut off mid-write (the kill -9 case).
+  EXPECT_FALSE(
+      exp::parse_jsonl_record(line.substr(0, line.size() / 2)).has_value());
+}
+
+TEST(Jsonl, LoadCompletedHashesSkipsCorruptLines) {
+  exp::ExperimentJob job;
+  job.config = small_config();
+  job.content_hash = exp::job_content_hash(job.config);
+  const auto line = exp::jsonl_record(job, core::run_experiment(job.config));
+
+  const auto path = temp_path("corrupt.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << line << "\ngarbage\n" << line.substr(0, 30);  // truncated tail
+  }
+  const auto done = exp::load_completed_hashes(path);
+  EXPECT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done.contains(job.content_hash));
+  EXPECT_TRUE(exp::load_completed_hashes(temp_path("missing.jsonl")).empty());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- CSV sink --
+
+TEST(CsvSink, EmitsHeaderOnceAndOneRowPerRun) {
+  exp::ExperimentJob job;
+  job.config = small_config();
+  job.content_hash = exp::job_content_hash(job.config);
+  const auto result = core::run_experiment(job.config);
+
+  std::ostringstream os;
+  exp::CsvSink sink(os);
+  sink.write(job, result);
+  job.index = 1;
+  sink.write(job, result);
+
+  std::istringstream in(os.str());
+  std::string header, row1, row2, extra;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row1));
+  ASSERT_TRUE(std::getline(in, row2));
+  EXPECT_FALSE(std::getline(in, extra));
+  EXPECT_EQ(header, exp::CsvSink::header());
+  EXPECT_TRUE(header.starts_with("job,hash,topology,"));
+  EXPECT_TRUE(row1.starts_with("0," + exp::hash_hex(job.content_hash)));
+  EXPECT_TRUE(row2.starts_with("1," + exp::hash_hex(job.content_hash)));
+}
+
+// ------------------------------------------- engine determinism & resume --
+
+TEST(BatchEngine, JsonlByteIdenticalAcrossWorkerCounts) {
+  const auto configs = small_sweep();
+  std::ostringstream one, eight;
+
+  exp::BatchOptions opt;
+  opt.collect = false;
+  opt.jsonl_stream = &one;
+  opt.exec.workers = 1;
+  exp::run_batch(configs, opt);
+
+  opt.jsonl_stream = &eight;
+  opt.exec.workers = 8;
+  opt.exec.shard_size = 1;  // maximize interleaving
+  exp::run_batch(configs, opt);
+
+  EXPECT_FALSE(one.str().empty());
+  EXPECT_EQ(one.str(), eight.str());
+}
+
+TEST(BatchEngine, CollectedResultsMatchSerialRuns) {
+  const auto configs = small_sweep();
+  exp::BatchOptions opt;
+  opt.exec.workers = 4;
+  const auto outcome = exp::run_batch(configs, opt);
+  ASSERT_TRUE(outcome.report.ok());
+  ASSERT_EQ(outcome.results.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto serial = core::run_experiment(configs[i]);
+    EXPECT_EQ(outcome.results[i].completion_time, serial.completion_time);
+    EXPECT_EQ(outcome.results[i].goals_executed, serial.goals_executed);
+    EXPECT_EQ(outcome.results[i].seed, serial.seed);
+  }
+}
+
+TEST(BatchEngine, ResumeSkipsCompletedJobsAndCompletesTheSweep) {
+  const auto configs = small_sweep();
+  const auto store = temp_path("resume.jsonl");
+  const auto ckpt = exp::Checkpoint::default_path(store);
+
+  // "Interrupted" run: only the first 5 jobs ever executed.
+  {
+    const std::vector<core::ExperimentConfig> partial(configs.begin(),
+                                                      configs.begin() + 5);
+    exp::BatchOptions opt;
+    opt.jsonl_path = store;
+    opt.collect = false;
+    const auto outcome = exp::run_batch(partial, opt);
+    ASSERT_TRUE(outcome.report.ok());
+    ASSERT_EQ(line_count(store), 5u);
+    ASSERT_EQ(line_count(ckpt), 5u);
+  }
+
+  // Resume over the full sweep: 5 skipped, 13 executed, store complete.
+  exp::BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.resume = true;
+  opt.exec.workers = 4;
+  const auto outcome = exp::run_batch(configs, opt);
+  EXPECT_TRUE(outcome.report.ok());
+  EXPECT_EQ(outcome.report.total_jobs, 18u);
+  EXPECT_EQ(outcome.report.skipped, 5u);
+  EXPECT_EQ(outcome.report.executed, 13u);
+  EXPECT_EQ(line_count(store), 18u);
+
+  // Every job of the sweep appears exactly once in the final store.
+  std::unordered_set<std::uint64_t> hashes;
+  std::ifstream in(store);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto rec = exp::parse_jsonl_record(line);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(hashes.insert(rec->content_hash).second) << "duplicate record";
+  }
+  for (const auto& cfg : configs)
+    EXPECT_TRUE(hashes.contains(exp::job_content_hash(cfg)));
+
+  // A second resume is a no-op: everything cached.
+  const auto again = exp::run_batch(configs, opt);
+  EXPECT_EQ(again.report.skipped, 18u);
+  EXPECT_EQ(again.report.executed, 0u);
+  EXPECT_EQ(line_count(store), 18u);
+
+  std::remove(store.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(BatchEngine, ResumeAfterMidWriteKillDoesNotGlueRecords) {
+  const auto configs = small_sweep();
+  const auto store = temp_path("midwrite.jsonl");
+  const auto ckpt = exp::Checkpoint::default_path(store);
+  {
+    const std::vector<core::ExperimentConfig> partial(configs.begin(),
+                                                      configs.begin() + 3);
+    exp::BatchOptions opt;
+    opt.jsonl_path = store;
+    opt.collect = false;
+    ASSERT_TRUE(exp::run_batch(partial, opt).report.ok());
+  }
+  // Simulate kill -9 mid-write: the store's (and checkpoint's) last line
+  // is cut off with no trailing newline.
+  auto truncate_tail = [](const std::string& path, std::size_t drop) {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    content.resize(content.size() - drop);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  };
+  truncate_tail(store, 40);
+  truncate_tail(ckpt, 5);
+
+  exp::BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.resume = true;
+  const auto outcome = exp::run_batch(configs, opt);
+  EXPECT_TRUE(outcome.report.ok());
+  EXPECT_EQ(outcome.report.skipped, 2u);  // the cut-off third job re-runs
+
+  // Every line except the orphaned partial one parses; all 18 jobs have a
+  // well-formed record (nothing glued onto the partial tail).
+  std::size_t parsed = 0, unparsed = 0;
+  std::ifstream in(store);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (exp::parse_jsonl_record(line)) {
+      ++parsed;
+    } else {
+      ++unparsed;
+    }
+  }
+  EXPECT_EQ(parsed, 18u);
+  EXPECT_EQ(unparsed, 1u);
+  EXPECT_EQ(exp::load_completed_hashes(store).size(), 18u);
+
+  std::remove(store.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(BatchEngine, ResumeRecoversFromCheckpointAloneAndStoreAlone) {
+  const auto configs = small_sweep();
+  const auto store = temp_path("recover.jsonl");
+  const auto ckpt = exp::Checkpoint::default_path(store);
+  {
+    const std::vector<core::ExperimentConfig> partial(configs.begin(),
+                                                      configs.begin() + 4);
+    exp::BatchOptions opt;
+    opt.jsonl_path = store;
+    opt.collect = false;
+    ASSERT_TRUE(exp::run_batch(partial, opt).report.ok());
+  }
+
+  // Checkpoint missing (deleted): the JSONL store alone still resumes.
+  std::remove(ckpt.c_str());
+  exp::BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.resume = true;
+  const auto outcome = exp::run_batch(configs, opt);
+  EXPECT_EQ(outcome.report.skipped, 4u);
+  EXPECT_EQ(line_count(store), 18u);
+
+  std::remove(store.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(BatchEngine, CsvOnlyResumeSkipsCompletedJobsWithoutDuplicateRows) {
+  const auto configs = small_sweep();
+  const auto csv = temp_path("csvonly.csv");
+  const auto ckpt = exp::Checkpoint::default_path(csv);
+  {
+    const std::vector<core::ExperimentConfig> partial(configs.begin(),
+                                                      configs.begin() + 6);
+    exp::BatchOptions opt;
+    opt.csv_path = csv;
+    opt.collect = false;
+    ASSERT_TRUE(exp::run_batch(partial, opt).report.ok());
+  }
+  exp::BatchOptions opt;
+  opt.csv_path = csv;
+  opt.resume = true;
+  const auto outcome = exp::run_batch(configs, opt);
+  EXPECT_TRUE(outcome.report.ok());
+  EXPECT_EQ(outcome.report.skipped, 6u);
+  EXPECT_EQ(outcome.report.executed, 12u);
+  EXPECT_EQ(line_count(csv), 19u);  // header + 18 rows, no duplicates
+
+  // Even with the checkpoint gone, the CSV rows alone carry the hashes.
+  std::remove(ckpt.c_str());
+  const auto again = exp::run_batch(configs, opt);
+  EXPECT_EQ(again.report.skipped, 18u);
+  EXPECT_EQ(line_count(csv), 19u);
+
+  std::remove(csv.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(BatchEngine, FailedJobsAreReportedAndRetriedOnResume) {
+  auto configs = small_sweep();
+  configs[3].topology = "nonsense:9q";  // parses at run time → job fails
+  const auto store = temp_path("failures.jsonl");
+
+  exp::BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.collect = true;
+  const auto outcome = exp::run_batch(configs, opt);
+  EXPECT_FALSE(outcome.report.ok());
+  EXPECT_EQ(outcome.report.failed, 1u);
+  ASSERT_EQ(outcome.report.errors.size(), 1u);
+  EXPECT_NE(outcome.report.errors[0].find("job 3"), std::string::npos);
+  EXPECT_EQ(outcome.results.size(), 17u);  // failed job has no record
+  EXPECT_EQ(line_count(store), 17u);
+
+  // The failed job was not checkpointed: a resume retries exactly it.
+  opt.resume = true;
+  const auto retry = exp::run_batch(configs, opt);
+  EXPECT_EQ(retry.report.skipped, 17u);
+  EXPECT_EQ(retry.report.failed, 1u);
+
+  std::remove(store.c_str());
+  std::remove(exp::Checkpoint::default_path(store).c_str());
+}
+
+TEST(BatchEngine, SweepBuilderRunBatchEndToEnd) {
+  exp::BatchOptions opt;
+  opt.exec.workers = 2;
+  const auto outcome = core::SweepBuilder(small_config())
+                           .topologies({"grid:5x5", "grid:6x6"})
+                           .strategies({"random", "roundrobin"})
+                           .run_batch(opt);
+  EXPECT_TRUE(outcome.report.ok());
+  EXPECT_EQ(outcome.report.executed, 4u);
+  EXPECT_EQ(outcome.results.size(), 4u);
+}
+
+}  // namespace
+}  // namespace oracle
