@@ -13,8 +13,10 @@ namespace {
 
 void sweep(Family family, const std::string& topo, const char* wl) {
   std::printf("-- %s, %s --\n", topo.c_str(), wl);
-  TextTable t({"radius", "horizon", "util %", "speedup", "avg goal dist",
-               "goal msgs"});
+  // Build the whole (radius, horizon) plane up front and run it as one
+  // ensemble on the batch engine (sharded workers, shared topology build).
+  std::vector<std::pair<int, int>> points;
+  std::vector<ExperimentConfig> configs;
   for (const int radius : {1, 2, 3, 5, 7, 9, 12, 18}) {
     for (const int horizon : {0, 1, 2, 4}) {
       if (horizon > radius) continue;
@@ -22,12 +24,21 @@ void sweep(Family family, const std::string& topo, const char* wl) {
       cfg.topology = topo;
       cfg.strategy = strfmt("cwn:radius=%d,horizon=%d", radius, horizon);
       cfg.workload = wl;
-      const auto r = core::run_experiment(cfg);
-      t.add_row({std::to_string(radius), std::to_string(horizon),
-                 fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
-                 fixed(r.avg_goal_distance, 2),
-                 std::to_string(r.goal_transmissions)});
+      points.emplace_back(radius, horizon);
+      configs.push_back(std::move(cfg));
     }
+  }
+  const auto results = run_ensemble(configs);
+
+  TextTable t({"radius", "horizon", "util %", "speedup", "avg goal dist",
+               "goal msgs"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({std::to_string(points[i].first),
+               std::to_string(points[i].second),
+               fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+               fixed(r.avg_goal_distance, 2),
+               std::to_string(r.goal_transmissions)});
   }
   std::printf("%s\n", t.to_string().c_str());
   (void)family;

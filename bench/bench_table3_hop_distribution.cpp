@@ -15,7 +15,7 @@ int main() {
 
   auto [cwn_cfg, gm_cfg] =
       paired_configs(Family::Grid, "grid:10x10", "fib:18");
-  const auto results = core::run_all({cwn_cfg, gm_cfg});
+  const auto results = run_ensemble({cwn_cfg, gm_cfg});
   const auto& cwn = results[0];
   const auto& gm = results[1];
 

@@ -1,0 +1,129 @@
+#pragma once
+// The PR-1 event engine, frozen verbatim as the benchmark baseline:
+// std::function callbacks over a std::push_heap/std::pop_heap binary heap,
+// with O(n) cancellation (heap scan + lazy tombstone list). The live engine
+// in sim/scheduler.hpp replaced this with inline callbacks and an indexed
+// 4-ary heap + generation-stamped slot map; bench_engine_micro runs both so
+// every build reports the before/after ratio on identical workloads.
+//
+// Do not "fix" or modernize this copy — its value is being the unchanged
+// baseline.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace oracle::bench::legacy {
+
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  sim::SimTime now() const noexcept { return now_; }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  EventHandle schedule_at(sim::SimTime when, Callback cb) {
+    ORACLE_ASSERT_MSG(when >= now_, "scheduling into the past");
+    Entry entry{when, next_seq_++, next_id_++, std::move(cb)};
+    const EventHandle handle{entry.id};
+    heap_.push_back(std::move(entry));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_events_;
+    return handle;
+  }
+
+  EventHandle schedule_after(sim::Duration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  bool cancel(EventHandle handle) {
+    if (!handle.valid()) return false;
+    const bool present =
+        std::any_of(heap_.begin(), heap_.end(),
+                    [&](const Entry& e) { return e.id == handle.id; });
+    if (!present || is_cancelled(handle.id)) return false;
+    cancelled_.push_back(handle.id);
+    --live_events_;
+    return true;
+  }
+
+  bool empty() const noexcept { return live_events_ == 0; }
+  std::size_t pending() const noexcept { return live_events_; }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  bool step() {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Entry entry = std::move(heap_.back());
+      heap_.pop_back();
+      if (is_cancelled(entry.id)) {
+        forget_cancelled(entry.id);
+        continue;
+      }
+      now_ = entry.time;
+      --live_events_;
+      ++executed_;
+      entry.cb();
+      return true;
+    }
+    return false;
+  }
+
+  sim::SimTime run() {
+    while (!heap_.empty()) {
+      if (!step()) break;
+    }
+    return now_;
+  }
+
+ private:
+  struct Entry {
+    sim::SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool is_cancelled(std::uint64_t id) const {
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+  }
+
+  void forget_cancelled(std::uint64_t id) {
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    ORACLE_ASSERT(it != cancelled_.end());
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint64_t> cancelled_;
+  std::size_t live_events_ = 0;
+  sim::SimTime now_ = sim::kTimeZero;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace oracle::bench::legacy

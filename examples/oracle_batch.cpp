@@ -165,6 +165,12 @@ int main(int argc, char** argv) {
     const auto& rep = outcome.report;
     if (!stdout_records) {
       std::printf("%s\n", rep.summary().c_str());
+      std::printf(
+          "throughput: %.1f jobs/s, %.3fM events/s (%llu simulation events "
+          "in %.2fs)\n",
+          rep.jobs_per_second, rep.events_per_second() / 1e6,
+          static_cast<unsigned long long>(rep.total_events),
+          rep.elapsed_seconds);
       if (!opt.jsonl_path.empty())
         std::printf("store: %s (+ checkpoint %s)\n", opt.jsonl_path.c_str(),
                     exp::Checkpoint::default_path(opt.jsonl_path).c_str());

@@ -1,12 +1,27 @@
 #include "core/runner.hpp"
 
+#include <string>
+#include <vector>
+
 #include "core/simulator.hpp"
+#include "topo/factory.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oracle::core {
 
+void prewarm_topologies(const std::vector<ExperimentConfig>& configs) {
+  std::vector<std::string> specs;
+  specs.reserve(configs.size());
+  for (const auto& config : configs) specs.push_back(config.topology);
+  topo::prewarm_topology_cache(specs);
+}
+
 std::vector<stats::RunResult> run_all(const std::vector<ExperimentConfig>& configs,
                                       std::size_t threads) {
+  // Build each distinct topology (and its routing table) once up front so
+  // worker threads start with warm cache hits instead of redundantly
+  // building the same tables in parallel.
+  prewarm_topologies(configs);
   std::vector<stats::RunResult> results(configs.size());
   ThreadPool::parallel_for(configs.size(), threads, [&](std::size_t i) {
     results[i] = run_experiment(configs[i]);

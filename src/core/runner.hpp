@@ -16,4 +16,10 @@ namespace oracle::core {
 std::vector<stats::RunResult> run_all(const std::vector<ExperimentConfig>& configs,
                                       std::size_t threads = 0);
 
+/// Build every distinct topology named by `configs` into the shared
+/// topology cache (topo::prewarm_topology_cache; distinct specs build in
+/// parallel). Called by run_all and the batch engine before fanning out
+/// workers.
+void prewarm_topologies(const std::vector<ExperimentConfig>& configs);
+
 }  // namespace oracle::core

@@ -13,11 +13,15 @@ std::string ExperimentConfig::label() const {
 }
 
 stats::RunResult run_experiment(const ExperimentConfig& config) {
-  const auto topology = topo::make_topology(config.topology);
+  // Topology + routing come from the process-wide shared cache: jobs in a
+  // sweep that differ only in seed/strategy/workload reuse one immutable
+  // build instead of re-running BFS per replication.
+  const topo::SharedTopology topology =
+      topo::make_topology_shared(config.topology);
   const auto workload = workload::make_workload(config.workload, config.costs);
   const auto strategy = lb::make_strategy(config.strategy);
 
-  machine::Machine machine(*topology, *workload, *strategy, config.machine);
+  machine::Machine machine(topology, *workload, *strategy, config.machine);
   stats::RunResult result = machine.run();
 
   // Static tree facts: fill from the workload so results are self-contained.

@@ -1,8 +1,11 @@
 #include "exp/batch.hpp"
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "exp/checkpoint.hpp"
+#include "topo/factory.hpp"
 
 namespace oracle::exp {
 
@@ -57,6 +60,17 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
     tee.add(*csv_file);
   }
   if (options.collect) tee.add(memory);
+
+  // Pre-build each distinct topology remaining in the queue into the
+  // shared cache, so workers hit warm routing tables instead of racing to
+  // build the same ones (a 64-seed ensemble builds each topology once).
+  {
+    std::vector<std::string> specs;
+    specs.reserve(queue.size());
+    for (std::size_t pos = 0; pos < queue.size(); ++pos)
+      specs.push_back(queue.job(pos).config.topology);
+    topo::prewarm_topology_cache(specs);
+  }
 
   Executor executor(options.exec);
   BatchOutcome outcome;

@@ -104,6 +104,7 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
         const std::size_t pos = next_commit++;
         ++committed;
         if (failed[pos]) continue;
+        report.total_events += pending[pos]->events_executed;
         batch.emplace_back(&queue.job(pos), std::move(*pending[pos]));
         pending[pos].reset();  // free the result memory promptly
       }

@@ -46,11 +46,19 @@ struct BatchReport {
   std::size_t skipped = 0;     ///< satisfied by the checkpoint/result cache
   std::size_t executed = 0;    ///< simulations actually run and committed
   std::size_t failed = 0;      ///< jobs whose simulation threw
+  /// Simulation events dispatched across all committed jobs (the sum of
+  /// Scheduler::executed() per run) — the engine-level throughput measure.
+  std::uint64_t total_events = 0;
   double elapsed_seconds = 0.0;
   double jobs_per_second = 0.0;
   std::vector<std::string> errors;  ///< first max_errors failure messages
 
   bool ok() const noexcept { return failed == 0; }
+  double events_per_second() const noexcept {
+    return elapsed_seconds > 0
+               ? static_cast<double>(total_events) / elapsed_seconds
+               : 0.0;
+  }
   std::string summary() const;
 };
 

@@ -33,13 +33,7 @@ std::string job_canonical_string(const core::ExperimentConfig& config) {
 }
 
 std::uint64_t job_content_hash(const core::ExperimentConfig& config) {
-  // FNV-1a 64-bit.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char ch : job_canonical_string(config)) {
-    h ^= static_cast<unsigned char>(ch);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return fnv1a64(job_canonical_string(config));
 }
 
 std::string hash_hex(std::uint64_t hash) {

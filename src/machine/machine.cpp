@@ -14,14 +14,44 @@ Machine::Machine(const topo::Topology& topo, const workload::Workload& workload,
       strategy_(strategy),
       config_(config),
       rng_(config.seed),
-      routing_(topo),
+      routing_(std::make_shared<const topo::RoutingTable>(topo)),
       diameter_(topo::DistanceMatrix(topo).diameter()),
       trace_(config.trace_capacity),
       util_series_("utilization_percent") {
+  init();
+}
+
+Machine::Machine(topo::SharedTopology shared,
+                 const workload::Workload& workload, lb::Strategy& strategy,
+                 const MachineConfig& config)
+    : topo_owner_(shared.topology),
+      topo_(*topo_owner_),
+      workload_(workload),
+      strategy_(strategy),
+      config_(config),
+      rng_(config.seed),
+      routing_(std::move(shared.routing)),
+      diameter_(shared.diameter),
+      trace_(config.trace_capacity),
+      util_series_("utilization_percent") {
+  ORACLE_REQUIRE(routing_ != nullptr && routing_->num_nodes() == topo_.num_nodes(),
+                 "shared routing table does not match the topology");
+  init();
+}
+
+void Machine::init() {
   ORACLE_REQUIRE(config_.start_pe < topo_.num_nodes(),
                  "start_pe outside the topology");
   ORACLE_REQUIRE(config_.hop_latency >= 0 && config_.ctrl_latency >= 0,
                  "latencies must be non-negative");
+
+  // Pre-size the event engine so the steady state never reallocates: at
+  // most one execution event per PE plus one in-service event per channel
+  // server are outstanding, with headroom for strategy timers (periodic
+  // broadcasts, steal backoffs) and the sampler.
+  const std::size_t links = topo_.links().size();
+  sim_.scheduler().reserve(8 * topo_.num_nodes() + 2 * links + 64);
+  msg_pool_.reserve(2 * links + 64);
 
   pes_.reserve(topo_.num_nodes());
   for (topo::NodeId id = 0; id < topo_.num_nodes(); ++id)
@@ -44,6 +74,7 @@ Machine::Machine(const topo::Topology& topo, const workload::Workload& workload,
   for (const topo::Link& link : topo_.links()) {
     channels_.push_back(&sim_.make_resource(
         strfmt("%s-link-%u", link.is_bus() ? "bus" : "p2p", link.id)));
+    channels_.back()->reserve(32);
   }
 
   strategy_.attach(*this);
@@ -64,6 +95,15 @@ void Machine::keep_goal(topo::NodeId pe, const Message& msg) {
 }
 
 void Machine::transmit(topo::NodeId from, topo::NodeId to, Message msg) {
+  // Park the payload in the pool: the completion event carries a 4-byte
+  // slot index, keeping the callback inline (and the hop allocation-free).
+  // The message stays pooled across every hop of a multi-hop route.
+  transmit_pooled(from, to, msg_pool_.put(std::move(msg)));
+}
+
+void Machine::transmit_pooled(topo::NodeId from, topo::NodeId to,
+                              std::uint32_t slot) {
+  Message& msg = msg_pool_.at(slot);
   msg.src = from;
   if (config_.piggyback_load && msg.kind != MsgKind::Control)
     msg.piggyback_load = load_of(from);
@@ -95,7 +135,7 @@ void Machine::transmit(topo::NodeId from, topo::NodeId to, Message msg) {
       break;
   }
   channel_for(from, to).acquire_for(
-      latency, [this, msg = std::move(msg), to] { deliver(msg, to); });
+      latency, [this, slot, to] { deliver_pooled(slot, to); });
 }
 
 void Machine::send_goal(topo::NodeId from, topo::NodeId to, Message msg) {
@@ -124,9 +164,13 @@ void Machine::broadcast_control(topo::NodeId from, std::uint32_t tag,
     if (config_.word_time > 0)
       occupancy += config_.word_time *
                    static_cast<sim::Duration>(config_.ctrl_msg_size);
-    channels_[lid]->acquire_for(occupancy, [this, msg, lid, from] {
+    // [this, slot, lid] is exactly the 16-byte inline budget of
+    // Resource::Callback; the sender rides in msg.src.
+    const std::uint32_t slot = msg_pool_.put(std::move(msg));
+    channels_[lid]->acquire_for(occupancy, [this, slot, lid] {
+      const Message delivered = msg_pool_.take(slot);
       for (const topo::NodeId member : topo_.links()[lid].members)
-        if (member != from) deliver(msg, member);
+        if (member != delivered.src) deliver(delivered, member);
     });
   }
 }
@@ -139,27 +183,60 @@ void Machine::send_response(topo::NodeId from, topo::NodeId to,
     return;
   }
   Message msg = Message::response(parent_id, to);
-  transmit(from, routing_.next_hop(from, to), std::move(msg));
+  transmit(from, routing_->next_hop(from, to), std::move(msg));
 }
 
-void Machine::deliver(Message msg, topo::NodeId to) {
+// Copy-based delivery, used by broadcasts (one payload, many receivers).
+void Machine::deliver(const Message& msg, topo::NodeId to) {
   if (root_done_) return;  // run is over; drop in-flight traffic
   if (msg.piggyback_load >= 0 && msg.src != topo::kInvalidNode)
     strategy_.on_neighbor_load(to, msg.src, msg.piggyback_load);
 
   switch (msg.kind) {
     case MsgKind::Goal:
-      strategy_.on_goal_arrived(to, std::move(msg));
+      strategy_.on_goal_arrived(to, msg);
       return;
     case MsgKind::Response:
       if (msg.dst == to) {
         pes_[to]->deliver_response(msg.parent_id);
       } else {
-        transmit(to, routing_.next_hop(to, msg.dst), std::move(msg));
+        transmit(to, routing_->next_hop(to, msg.dst), msg);
       }
       return;
     case MsgKind::Control:
       strategy_.on_control(to, msg);
+      return;
+  }
+}
+
+// Pooled unicast delivery: the message is only copied out of the pool at
+// its terminal hop (goal arrival); response forwarding re-transmits the
+// same slot with zero copies.
+void Machine::deliver_pooled(std::uint32_t slot, topo::NodeId to) {
+  if (root_done_) {  // run is over; drop in-flight traffic
+    msg_pool_.release(slot);
+    return;
+  }
+  Message& msg = msg_pool_.at(slot);
+  if (msg.piggyback_load >= 0 && msg.src != topo::kInvalidNode)
+    strategy_.on_neighbor_load(to, msg.src, msg.piggyback_load);
+
+  switch (msg.kind) {
+    case MsgKind::Goal:
+      strategy_.on_goal_arrived(to, msg_pool_.take(slot));
+      return;
+    case MsgKind::Response:
+      if (msg.dst == to) {
+        const workload::GoalId parent_id = msg.parent_id;
+        msg_pool_.release(slot);
+        pes_[to]->deliver_response(parent_id);
+      } else {
+        transmit_pooled(to, routing_->next_hop(to, msg.dst), slot);
+      }
+      return;
+    case MsgKind::Control:
+      strategy_.on_control(to, msg);
+      msg_pool_.release(slot);
       return;
   }
 }
@@ -233,10 +310,11 @@ stats::RunResult Machine::run() {
   }
 
   // Inject the root goal: it is *created* on start_pe, so the strategy
-  // makes the same placement decision it would for any subgoal.
-  Message root = Message::goal(next_goal_id(), workload_.root(),
-                               workload::kInvalidGoal, topo::kInvalidNode);
-  scheduler().schedule_at(0, [this, root = std::move(root)]() mutable {
+  // makes the same placement decision it would for any subgoal. Built
+  // inside the event so the capture stays inline-sized.
+  scheduler().schedule_at(0, [this] {
+    Message root = Message::goal(next_goal_id(), workload_.root(),
+                                 workload::kInvalidGoal, topo::kInvalidNode);
     place_new_goal(config_.start_pe, std::move(root));
   });
 

@@ -14,6 +14,7 @@
 #include "machine/trace.hpp"
 #include "sim/simulation.hpp"
 #include "stats/run_result.hpp"
+#include "topo/factory.hpp"
 #include "topo/graph_algos.hpp"
 #include "topo/topology.hpp"
 #include "util/rng.hpp"
@@ -21,10 +22,79 @@
 
 namespace oracle::machine {
 
+/// Recycling slot pool for in-flight Messages. A network hop parks its
+/// payload here and the channel-completion event captures only the 4-byte
+/// slot index, so a hop's scheduler callback fits inline (sizeof(Message)
+/// would blow the 48-byte budget) and steady-state routing allocates
+/// nothing: slots are reused as soon as their message is delivered.
+///
+/// Storage is chunked so message addresses never move: delivery code holds
+/// `at()` references across strategy hooks, and a hook may transmit (i.e.
+/// put() into this pool) — growth must not invalidate outstanding
+/// references.
+class MessagePool {
+ public:
+  void reserve(std::size_t n) {
+    while (chunks_.size() * kChunkSize < n)
+      chunks_.push_back(std::make_unique<Message[]>(kChunkSize));
+    free_.reserve(n);
+  }
+
+  std::uint32_t put(Message&& msg) {
+    std::uint32_t idx;
+    if (free_.empty()) {
+      if (count_ == chunks_.size() * kChunkSize)
+        chunks_.push_back(std::make_unique<Message[]>(kChunkSize));
+      idx = count_++;
+    } else {
+      idx = free_.back();
+      free_.pop_back();
+    }
+    at(idx) = std::move(msg);
+    return idx;
+  }
+
+  /// Remove and return the message, releasing the slot for reuse.
+  Message take(std::uint32_t idx) {
+    Message out = std::move(at(idx));
+    free_.push_back(idx);
+    return out;
+  }
+
+  /// In-place access while the message stays pooled: multi-hop routing
+  /// updates transport fields here instead of copying the payload out and
+  /// back per hop. The reference stays valid across put() calls.
+  Message& at(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  /// Release the slot without reading the message (terminal delivery that
+  /// already consumed what it needed, or dropped in-flight traffic).
+  void release(std::uint32_t idx) { free_.push_back(idx); }
+
+  std::size_t in_flight() const noexcept { return count_ - free_.size(); }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 6;  // 64 messages per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  std::vector<std::unique_ptr<Message[]>> chunks_;
+  std::uint32_t count_ = 0;  // slots handed out across all chunks
+  std::vector<std::uint32_t> free_;
+};
+
 class Machine {
  public:
-  /// The topology, workload and strategy must outlive the Machine.
+  /// The topology, workload and strategy must outlive the Machine. Routing
+  /// structures are built privately (one BFS sweep per destination).
   Machine(const topo::Topology& topo, const workload::Workload& workload,
+          lb::Strategy& strategy, const MachineConfig& config);
+
+  /// Share pre-built routing structures: every Machine in a batch that
+  /// names the same topology spec reuses one immutable topology + routing
+  /// table (see topo::make_topology_shared) instead of rebuilding them
+  /// per seed. The shared_ptrs keep the bundle alive for this Machine.
+  Machine(topo::SharedTopology shared, const workload::Workload& workload,
           lb::Strategy& strategy, const MachineConfig& config);
 
   Machine(const Machine&) = delete;
@@ -105,11 +175,17 @@ class Machine {
   const Trace& trace() const noexcept { return trace_; }
 
  private:
-  void deliver(Message msg, topo::NodeId to);
+  void deliver(const Message& msg, topo::NodeId to);
+  void deliver_pooled(std::uint32_t slot, topo::NodeId to);
   sim::Resource& channel_for(topo::NodeId from, topo::NodeId to);
   void transmit(topo::NodeId from, topo::NodeId to, Message msg);
+  void transmit_pooled(topo::NodeId from, topo::NodeId to, std::uint32_t slot);
   double busy_fraction_since_last_sample();
+  void init();
 
+  // Keeps a cache-shared topology alive; null when the caller owns the
+  // topology (reference-only constructor).
+  std::shared_ptr<const topo::Topology> topo_owner_;
   const topo::Topology& topo_;
   const workload::Workload& workload_;
   lb::Strategy& strategy_;
@@ -117,8 +193,9 @@ class Machine {
 
   sim::Simulation sim_;
   Rng rng_;
-  topo::RoutingTable routing_;
+  std::shared_ptr<const topo::RoutingTable> routing_;
   std::uint32_t diameter_;
+  MessagePool msg_pool_;
 
   std::vector<std::unique_ptr<PE>> pes_;
   std::vector<sim::Resource*> channels_;  // one per topology link, owned by sim_

@@ -5,7 +5,10 @@
 
 namespace oracle::machine {
 
-PE::PE(Machine& machine, topo::NodeId id) : machine_(machine), id_(id) {}
+PE::PE(Machine& machine, topo::NodeId id) : machine_(machine), id_(id) {
+  ready_.reserve(64);
+  waiting_.reserve(64);
+}
 
 void PE::enqueue_goal(const Message& msg) {
   ORACLE_ASSERT(msg.kind == MsgKind::Goal);
@@ -31,18 +34,19 @@ std::optional<Message> PE::take_transferable_goal(bool newest) {
   // Only fresh goals can move; combine activations belong to goals that
   // already spawned children here ("it is prohibitively expensive to move a
   // task from a PE to another after it has spawned sub-tasks").
-  auto take = [&](auto it) {
-    Message msg = Message::goal(it->id, it->spec, it->parent_id, it->parent_pe);
-    msg.hops = it->hops;
-    ready_.erase(it);
+  auto take = [&](std::size_t i) {
+    const Activation& act = ready_[i];
+    Message msg = Message::goal(act.id, act.spec, act.parent_id, act.parent_pe);
+    msg.hops = act.hops;
+    ready_.erase_at(i);
     return msg;
   };
   if (newest) {
-    for (auto it = ready_.rbegin(); it != ready_.rend(); ++it)
-      if (!it->is_combine) return take(std::next(it).base());
+    for (std::size_t i = ready_.size(); i-- > 0;)
+      if (!ready_[i].is_combine) return take(i);
   } else {
-    for (auto it = ready_.begin(); it != ready_.end(); ++it)
-      if (!it->is_combine) return take(it);
+    for (std::size_t i = 0; i < ready_.size(); ++i)
+      if (!ready_[i].is_combine) return take(i);
   }
   return std::nullopt;
 }
@@ -58,16 +62,15 @@ sim::Duration PE::busy_time_through(sim::SimTime now) const noexcept {
 
 void PE::try_dispatch() {
   if (executing_ || ready_.empty()) return;
-  Activation act = ready_.front();
-  ready_.pop_front();
+  current_ = ready_.pop_front();
 
   sim::Duration cost;
-  if (act.is_combine) {
-    cost = act.cost;
+  if (current_.is_combine) {
+    cost = current_.cost;
   } else {
     // Expansion is cheap and pure; expanding at dispatch keeps queued goals
     // transferable as plain specs.
-    const workload::Expansion exp = machine_.expand(act.spec);
+    const workload::Expansion exp = machine_.expand(current_.spec);
     cost = exp.exec_cost;
   }
   cost *= static_cast<sim::Duration>(machine_.speed_factor(id_));
@@ -78,12 +81,14 @@ void PE::try_dispatch() {
   executing_ = true;
   exec_started_ = machine_.now();
   exec_cost_ = cost;
-  machine_.scheduler().schedule_after(
-      cost, [this, act = std::move(act)]() mutable { finish_activation(std::move(act)); });
+  // The in-flight activation lives in current_, so the completion event
+  // captures only `this` and stays inline in the scheduler slot.
+  machine_.scheduler().schedule_after(cost, [this] { finish_current(); });
 }
 
-void PE::finish_activation(Activation act) {
+void PE::finish_current() {
   ORACLE_ASSERT(executing_);
+  const Activation act = current_;
   executing_ = false;
   busy_time_ += exec_cost_;
 

@@ -5,13 +5,13 @@
 // executes one activation at a time, charging simulated time per phase.
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 
 #include "machine/message.hpp"
 #include "sim/time.hpp"
 #include "topo/topology.hpp"
+#include "util/ring_queue.hpp"
 #include "workload/goal.hpp"
 
 namespace oracle::machine {
@@ -85,7 +85,7 @@ class PE {
   friend class Machine;
 
   void try_dispatch();
-  void finish_activation(Activation act);
+  void finish_current();
   void respond_to_parent(const Activation& act);
 
   struct WaitingGoal {
@@ -99,8 +99,13 @@ class PE {
 
   Machine& machine_;
   topo::NodeId id_;
-  std::deque<Activation> ready_;
+  // Pre-reserved ring buffer: the dispatch hot loop pushes/pops activations
+  // with zero allocation (see Machine::init for the reserve call).
+  util::RingQueue<Activation> ready_;
   std::unordered_map<workload::GoalId, WaitingGoal> waiting_;
+  // The activation being executed (valid while executing_): storing it here
+  // keeps the completion event's capture to just `this`.
+  Activation current_;
   bool executing_ = false;
   sim::Duration pending_overhead_ = 0;
   sim::SimTime exec_started_ = 0;

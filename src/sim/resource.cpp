@@ -9,7 +9,7 @@ Resource::Resource(Scheduler& sched, std::string name, std::uint32_t capacity)
   ORACLE_ASSERT_MSG(capacity_ > 0, "resource capacity must be positive");
 }
 
-void Resource::acquire_for(Duration service, std::function<void()> on_complete) {
+void Resource::acquire_for(Duration service, Callback on_complete) {
   ORACLE_ASSERT_MSG(service >= 0, "negative service time");
   Request req{service, std::move(on_complete), sched_.now()};
   if (in_service_ < capacity_) {
@@ -30,15 +30,13 @@ void Resource::start_service(Request req) {
                         });
 }
 
-void Resource::finish_service(Duration service, std::function<void()> on_complete) {
+void Resource::finish_service(Duration service, Callback on_complete) {
   ORACLE_ASSERT(in_service_ > 0);
   --in_service_;
   busy_time_ += service;
   ++completed_;
   if (!queue_.empty() && in_service_ < capacity_) {
-    Request next = std::move(queue_.front());
-    queue_.pop_front();
-    start_service(std::move(next));
+    start_service(queue_.pop_front());
   }
   if (on_complete) on_complete();
 }

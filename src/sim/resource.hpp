@@ -6,13 +6,13 @@
 // resources of a parallel system").
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 #include "stats/accumulator.hpp"
+#include "util/inline_function.hpp"
+#include "util/ring_queue.hpp"
 
 namespace oracle::sim {
 
@@ -22,6 +22,12 @@ namespace oracle::sim {
 /// units, then invokes the completion callback and starts the next waiter.
 class Resource {
  public:
+  /// Completion callbacks are inline and move-only, capped at 16 bytes of
+  /// capture (an object pointer plus two 32-bit indices) so a whole
+  /// in-service record (this + service + callback) still fits one 48-byte
+  /// scheduler event. Pass pool indices, not payloads.
+  using Callback = util::InlineFunction<void(), 16>;
+
   Resource(Scheduler& sched, std::string name, std::uint32_t capacity = 1);
 
   Resource(const Resource&) = delete;
@@ -34,7 +40,10 @@ class Resource {
 
   /// Request a server for `service` units; `on_complete` runs when service
   /// finishes (may be null). FIFO among waiters.
-  void acquire_for(Duration service, std::function<void()> on_complete);
+  void acquire_for(Duration service, Callback on_complete);
+
+  /// Pre-size the wait queue so steady-state queueing never allocates.
+  void reserve(std::size_t waiters) { queue_.reserve(waiters); }
 
   /// Total busy server-time accumulated so far (updated on completion).
   Duration busy_time() const noexcept { return busy_time_; }
@@ -50,19 +59,19 @@ class Resource {
 
  private:
   struct Request {
-    Duration service;
-    std::function<void()> on_complete;
-    SimTime enqueued_at;
+    Duration service = 0;
+    Callback on_complete;
+    SimTime enqueued_at = 0;
   };
 
   void start_service(Request req);
-  void finish_service(Duration service, std::function<void()> on_complete);
+  void finish_service(Duration service, Callback on_complete);
 
   Scheduler& sched_;
   std::string name_;
   std::uint32_t capacity_;
   std::uint32_t in_service_ = 0;
-  std::deque<Request> queue_;
+  util::RingQueue<Request> queue_;
   Duration busy_time_ = 0;
   std::uint64_t completed_ = 0;
   stats::Accumulator queue_delay_;

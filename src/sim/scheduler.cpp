@@ -6,68 +6,246 @@
 
 namespace oracle::sim {
 
-EventHandle Scheduler::schedule_at(SimTime when, Callback cb) {
-  ORACLE_ASSERT_MSG(when >= now_, "scheduling into the past");
-  ORACLE_ASSERT(cb != nullptr);
-  Entry entry{when, next_seq_++, next_id_++, std::move(cb)};
-  const EventHandle handle{entry.id};
-  heap_.push_back(std::move(entry));
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_events_;
-  return handle;
+namespace {
+
+constexpr std::uint32_t handle_slot(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffULL) - 1;
 }
 
-bool Scheduler::is_cancelled(std::uint64_t id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-         cancelled_.end();
+constexpr std::uint32_t handle_gen(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32);
 }
 
-void Scheduler::forget_cancelled(std::uint64_t id) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  ORACLE_ASSERT(it != cancelled_.end());
-  // Order doesn't matter; swap-and-pop.
-  *it = cancelled_.back();
-  cancelled_.pop_back();
+}  // namespace
+
+Scheduler::Scheduler() : ring_(kRingTicks) {}
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slot(idx).next;
+    return idx;
+  }
+  ORACLE_ASSERT_MSG(slot_count_ < kNoSlot, "event slot map exhausted");
+  if (slot_count_ == chunks_.size() * kSlotChunkSize)
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  return slot_count_++;
+}
+
+void Scheduler::release_slot(std::uint32_t idx) noexcept {
+  Slot& s = slot(idx);
+  s.next = free_head_;
+  free_head_ = idx;
 }
 
 bool Scheduler::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  // The id is only known to the heap if it hasn't fired. Scan the heap to
-  // verify liveness; cancellation is rare (timer resets), so O(n) is fine
-  // and keeps the hot path allocation-free.
-  const bool present =
-      std::any_of(heap_.begin(), heap_.end(),
-                  [&](const Entry& e) { return e.id == handle.id; });
-  if (!present || is_cancelled(handle.id)) return false;
-  cancelled_.push_back(handle.id);
+  const std::uint32_t idx = handle_slot(handle.id);
+  if (idx >= slot_count_) return false;
+  Slot& s = slot(idx);
+  // One generation compare answers "is this exact event still pending":
+  // fired, cancelled, and slot-reused handles all carry a stale generation.
+  if (!s.live || s.gen != handle_gen(handle.id)) return false;
+  s.live = false;
+  ++s.gen;
+  s.cb.reset();  // free captured resources now, not at pop time
   --live_events_;
+  // The wheel/heap entry stays as a tombstone, dropped in O(1) amortized
+  // when it surfaces — no scan.
   return true;
 }
 
-bool Scheduler::step() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry entry = std::move(heap_.back());
-    heap_.pop_back();
-    if (is_cancelled(entry.id)) {
-      forget_cancelled(entry.id);
-      continue;  // lazily dropped
+void Scheduler::sift_up(std::size_t i) noexcept {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Scheduler::pop_top() noexcept {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void Scheduler::ring_insert(SimTime when, std::uint32_t idx) {
+  const std::uint32_t tick = static_cast<std::uint32_t>(when) & kRingMask;
+  Bucket& b = ring_[tick];
+  slot(idx).next = kNoSlot;
+  if (b.tail == kNoSlot) {
+    b.head = idx;
+    bits_[tick >> 6] |= 1ULL << (tick & 63);
+  } else {
+    slot(b.tail).next = idx;
+  }
+  b.tail = idx;
+  ++ring_count_;
+}
+
+void Scheduler::migrate_overflow() {
+  while (!heap_.empty() && heap_.front().time < base_ + kRingTicks) {
+    const HeapEntry top = heap_.front();
+    pop_top();
+    if (!slot(top.slot).live) {
+      release_slot(top.slot);
+      continue;
     }
-    ORACLE_ASSERT(entry.time >= now_);
-    now_ = entry.time;
-    --live_events_;
-    ++executed_;
-    entry.cb();
-    return true;
+    // Heap pops arrive in (time, seq) order and any future direct insert
+    // for these ticks carries a larger seq, so appending preserves FIFO.
+    ring_insert(top.time, top.slot);
+  }
+}
+
+bool Scheduler::find_next_tick(SimTime& out) const noexcept {
+  const std::uint32_t start = static_cast<std::uint32_t>(base_) & kRingMask;
+  std::uint32_t word_i = start >> 6;
+  std::uint64_t word = bits_[word_i] & (~0ULL << (start & 63));
+  for (std::uint32_t scanned = 0; scanned <= kBitWords; ++scanned) {
+    if (word != 0) {
+      const std::uint32_t bit =
+          word_i * 64 +
+          static_cast<std::uint32_t>(__builtin_ctzll(word));
+      out = base_ + static_cast<SimTime>((bit - start) & kRingMask);
+      return true;
+    }
+    word_i = (word_i + 1) & (kBitWords - 1);
+    word = bits_[word_i];
   }
   return false;
 }
 
+bool Scheduler::peek_next_time(SimTime& out) {
+  // Like the dispatch scan in step(), but without moving base_: a peek
+  // that moved the wheel past `until` would leave later inserts behind the
+  // cursor. The wheel invariant (overflow top >= base_ + kRingTicks) makes
+  // the ring candidate, when present, always the earlier one.
+  for (;;) {
+    if (ring_count_ > 0) {
+      SimTime t;
+      const bool found = find_next_tick(t);
+      ORACLE_ASSERT(found);
+      const std::uint32_t tick = static_cast<std::uint32_t>(t) & kRingMask;
+      Bucket& b = ring_[tick];
+      while (b.head != kNoSlot && !slot(b.head).live) {
+        const std::uint32_t dead = b.head;
+        b.head = slot(dead).next;
+        release_slot(dead);
+        --ring_count_;
+      }
+      if (b.head == kNoSlot) {
+        clear_tick(tick);
+        continue;
+      }
+      out = t;
+      return true;
+    }
+    while (!heap_.empty() && !slot(heap_.front().slot).live) {
+      release_slot(heap_.front().slot);
+      pop_top();
+    }
+    if (heap_.empty()) return false;
+    out = heap_.front().time;
+    return true;
+  }
+}
+
+void Scheduler::reserve(std::size_t n) {
+  heap_.reserve(n);
+  while (chunks_.size() * kSlotChunkSize < n)
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+}
+
+bool Scheduler::step() {
+  std::uint32_t idx;
+  for (;;) {
+    if (ring_count_ == 0) {
+      // Drop tombstones parked at the heap top, then jump the wheel to the
+      // earliest far-future event and pull its cohort in.
+      while (!heap_.empty() && !slot(heap_.front().slot).live) {
+        release_slot(heap_.front().slot);
+        pop_top();
+      }
+      if (heap_.empty()) return false;
+      base_ = heap_.front().time;
+      migrate_overflow();
+      continue;
+    }
+    SimTime t;
+    const bool found = find_next_tick(t);
+    ORACLE_ASSERT(found);
+    if (t != base_) {
+      base_ = t;
+      // The horizon moved: admit overflow events it now covers *before*
+      // anything else can append to their buckets.
+      if (!heap_.empty()) migrate_overflow();
+    }
+    const std::uint32_t tick = static_cast<std::uint32_t>(t) & kRingMask;
+    Bucket& b = ring_[tick];
+    for (;;) {
+      if (b.head == kNoSlot) {
+        clear_tick(tick);
+        break;  // bucket held only tombstones; rescan
+      }
+      idx = b.head;
+      Slot& s = slot(idx);
+      b.head = s.next;
+      --ring_count_;
+      if (!s.live) {
+        release_slot(idx);
+        continue;
+      }
+      if (b.head == kNoSlot) {
+        clear_tick(tick);
+      } else {
+        // Overlap the next event's slot fetch with this callback's work:
+        // intrusive links otherwise serialize the loads.
+        __builtin_prefetch(&slot(b.head));
+      }
+      ORACLE_ASSERT(t >= now_);
+      // Retire the event before invoking, but run the callback *in place*:
+      // chunked slots never move, and the slot is not released (hence not
+      // reusable by events the callback schedules) until the call returns.
+      s.live = false;
+      ++s.gen;
+      now_ = t;
+      --live_events_;
+      ++executed_;
+      s.cb();
+      s.cb.reset();
+      release_slot(idx);
+      return true;
+    }
+  }
+}
+
 SimTime Scheduler::run(SimTime until, std::uint64_t max_events) {
   stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    // Peek: don't dispatch events beyond the horizon.
-    if (heap_.front().time > until) break;
+  // With a horizon, peek so no event beyond `until` is dispatched;
+  // unbounded runs skip the peek entirely.
+  const bool bounded = until != kTimeInfinity;
+  while (!stop_requested_) {
+    if (bounded) {
+      SimTime next;
+      if (!peek_next_time(next) || next > until) break;
+    }
     if (!step()) break;
     if (max_events != 0 && executed_ > max_events) {
       throw SimulationError(strfmt(

@@ -3,22 +3,57 @@
 //
 // The sequence number gives FIFO ordering among simultaneous events, which
 // makes runs deterministic (DESIGN.md invariant 7) — SIMSCRIPT makes the
-// same guarantee for its event set. Cancellation is supported by handle;
-// cancelled entries are dropped lazily when they reach the top of the heap.
+// same guarantee for its event set. Every pop takes the minimum (time, seq)
+// pair and seq is unique, so the dispatch order is a total order independent
+// of the container: swapping the queue implementation can never reorder a
+// run. That invariant is what lets the batch engine promise byte-identical
+// JSONL output for any worker count.
+//
+// Engine layout (allocation-free steady state):
+//   - Callbacks are util::InlineFunction<void(), 48>: 48 bytes of inline
+//     storage, move-only, no heap fallback — an oversized capture fails to
+//     compile instead of silently allocating (park payloads in a pool and
+//     capture the index; see machine::MessagePool).
+//   - Pending events live in a *generation-stamped slot map*: fixed-size
+//     chunks of slots plus an intrusive free list. A slot holds the
+//     callback and a 32-bit generation counter; EventHandle packs
+//     (generation, slot) into 64 bits, so liveness checks are one compare
+//     and cancel() is O(1): it invalidates the slot (destroying the
+//     callback immediately) and leaves a tombstone to be dropped lazily.
+//     No scan, ever. Chunked storage means slot addresses never move, so
+//     the dispatcher invokes callbacks in place with no per-event copy.
+//   - Near-future events (the simulation hot path: hop latencies and
+//     activation costs are small integers) go into a timing wheel — a ring
+//     of per-tick FIFO buckets with a bitmap index, one bit per tick, so
+//     schedule and dispatch are O(1) with no comparisons at all. Bucket
+//     append order equals seq order, preserving the FIFO tie-break.
+//   - Events at or beyond the wheel horizon (base + kRingTicks) wait in an
+//     *indexed 4-ary heap* of 24-byte (time, seq, slot) triples — small
+//     PODs, shallow tree, cache-friendly sifts. Whenever the wheel's base
+//     advances, every overflow event that falls inside the new horizon
+//     migrates into its bucket *before* any later (higher-seq) event can be
+//     appended there, so the (time, seq) total order is preserved across
+//     the two structures.
+//   - reserve(n) pre-sizes the slot map and overflow heap so a run whose
+//     peak pending-event count is known never reallocates mid-run.
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "util/error.hpp"
+#include "util/inline_function.hpp"
 
 namespace oracle::sim {
 
 /// Identifies a scheduled event so it can be cancelled. Valid until the
-/// event fires or is cancelled.
+/// event fires or is cancelled; a stale handle (even one whose slot has
+/// been reused by a later event) is detected via the generation stamp.
 struct EventHandle {
-  std::uint64_t id = 0;
+  std::uint64_t id = 0;  // (generation << 32) | (slot + 1)
   bool valid() const noexcept { return id != 0; }
 };
 
@@ -26,26 +61,56 @@ struct EventHandle {
 /// to exactly one simulation run (parallelism happens across runs).
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Inline, move-only, never heap-allocates. Captures larger than 48
+  /// bytes are a compile error: pass pool indices or pointers instead of
+  /// by-value payloads (see machine::Machine's message pool).
+  using Callback = util::InlineFunction<void(), 48>;
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulated time. Advances only inside run()/step().
   SimTime now() const noexcept { return now_; }
 
-  /// Schedule `cb` to run at absolute time `when` (>= now()).
-  EventHandle schedule_at(SimTime when, Callback cb);
-
-  /// Schedule `cb` after `delay` (>= 0) units.
-  EventHandle schedule_after(Duration delay, Callback cb) {
-    ORACLE_ASSERT_MSG(delay >= 0, "negative event delay");
-    return schedule_at(now_ + delay, std::move(cb));
+  /// Schedule `f` to run at absolute time `when` (>= now()). The callable
+  /// is constructed directly in its event slot (no intermediate moves).
+  template <typename F>
+  EventHandle schedule_at(SimTime when, F&& f) {
+    ORACLE_ASSERT_MSG(when >= now_, "scheduling into the past");
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      ORACLE_ASSERT(f != nullptr);
+      s.cb = std::forward<F>(f);
+    } else {
+      s.cb.emplace(std::forward<F>(f));
+    }
+    s.live = true;
+    const std::uint64_t seq = next_seq_++;
+    if (when < base_ + kRingTicks) {
+      ring_insert(when, idx);
+    } else {
+      heap_.push_back(HeapEntry{when, seq, idx});
+      sift_up(heap_.size() - 1);
+    }
+    ++live_events_;
+    return EventHandle{(static_cast<std::uint64_t>(s.gen) << 32) |
+                       (static_cast<std::uint64_t>(idx) + 1)};
   }
 
-  /// Cancel a pending event. Returns false if it already fired, was already
-  /// cancelled, or the handle is invalid.
+  /// Schedule `f` after `delay` (>= 0) units.
+  template <typename F>
+  EventHandle schedule_after(Duration delay, F&& f) {
+    ORACLE_ASSERT_MSG(delay >= 0, "negative event delay");
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
+
+  /// Cancel a pending event in O(1): the handle's generation is checked
+  /// against the slot (stale/fired/cancelled handles fail the compare) and
+  /// the callback is destroyed immediately; the queue entry is dropped
+  /// lazily when it surfaces. Returns false if it already fired, was
+  /// already cancelled, or the handle is invalid.
   bool cancel(EventHandle handle);
 
   /// True if no runnable events remain.
@@ -56,6 +121,11 @@ class Scheduler {
 
   /// Total events executed so far.
   std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Pre-size the slot map and overflow heap for `n` simultaneous pending
+  /// events, so the steady state never reallocates. Machine setup calls
+  /// this with its worst-case in-flight estimate.
+  void reserve(std::size_t n);
 
   /// Execute the next event, advancing the clock. Returns false when the
   /// event list is empty.
@@ -71,33 +141,91 @@ class Scheduler {
   void request_stop() noexcept { stop_requested_ = true; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
-    std::uint64_t id;
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  // Slots live in fixed-size chunks so their addresses never move: the
+  // dispatch loop can invoke a callback *in place* (no per-event move-out)
+  // even if the callback schedules events that grow the slot map.
+  static constexpr std::uint32_t kSlotChunkShift = 8;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+  // Timing-wheel span: events within [base_, base_ + kRingTicks) sit in
+  // per-tick buckets; later ones wait in the overflow heap.
+  static constexpr std::uint32_t kRingTicks = 1024;
+  static constexpr std::uint32_t kRingMask = kRingTicks - 1;
+  static constexpr std::uint32_t kBitWords = kRingTicks / 64;
+
+  /// One pending (or tombstoned) event. `gen` advances whenever the slot's
+  /// current event dies (fires or is cancelled), invalidating old handles.
+  /// `next` is an intrusive link with two mutually-exclusive uses: the
+  /// bucket FIFO chain while the event is queued in the wheel, and the
+  /// free-list chain while the slot is unallocated — so buckets need no
+  /// storage of their own and queue links ride on already-hot slot lines.
+  struct Slot {
     Callback cb;
+    std::uint32_t gen = 0;
+    bool live = false;          // scheduled and not yet fired/cancelled
+    std::uint32_t next = kNoSlot;
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// Overflow-heap entries are small PODs so sifts never touch callbacks;
+  /// ordering is (time, seq), identical to the dispatch order.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
-  // Binary heap managed with std::push_heap/std::pop_heap over a vector:
-  // cache-friendlier than std::priority_queue and allows inspection.
-  std::vector<Entry> heap_;
-  std::vector<std::uint64_t> cancelled_;  // ids cancelled but still in heap_
+  /// One wheel tick: an intrusive FIFO threaded through Slot::next.
+  struct Bucket {
+    std::uint32_t head = kNoSlot;
+    std::uint32_t tail = kNoSlot;
+  };
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  Slot& slot(std::uint32_t idx) noexcept {
+    return chunks_[idx >> kSlotChunkShift][idx & (kSlotChunkSize - 1)];
+  }
+  const Slot& slot(std::uint32_t idx) const noexcept {
+    return chunks_[idx >> kSlotChunkShift][idx & (kSlotChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx) noexcept;
+  void sift_up(std::size_t i) noexcept;
+  void pop_top() noexcept;
+
+  void ring_insert(SimTime when, std::uint32_t idx);
+  void clear_tick(std::uint32_t tick) noexcept {
+    ring_[tick].tail = kNoSlot;
+    bits_[tick >> 6] &= ~(1ULL << (tick & 63));
+  }
+  /// Pull every overflow event inside the wheel horizon into its bucket
+  /// (in (time, seq) order), dropping tombstones on the way.
+  void migrate_overflow();
+  /// Find the earliest occupied tick >= base_; false if the ring is empty.
+  bool find_next_tick(SimTime& out) const noexcept;
+  /// Next live event's time without moving base_ (horizon peeks must not
+  /// move the wheel, or inserts between runs could land behind it).
+  bool peek_next_time(SimTime& out);
+
+  // Timing wheel.
+  std::vector<Bucket> ring_;     // kRingTicks buckets
+  std::uint64_t bits_[kBitWords] = {};  // per-tick occupancy bitmap
+  SimTime base_ = 0;             // earliest time the wheel can hold
+  std::size_t ring_count_ = 0;   // entries (live + tombstones) in the wheel
+
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap of far-future events
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;  // slots constructed across all chunks
+  std::uint32_t free_head_ = kNoSlot;
   std::size_t live_events_ = 0;
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
-
-  bool is_cancelled(std::uint64_t id) const;
-  void forget_cancelled(std::uint64_t id);
 };
 
 }  // namespace oracle::sim

@@ -1,12 +1,16 @@
 #include "topo/factory.hpp"
 
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "topo/dlm.hpp"
 #include "topo/grid.hpp"
 #include "topo/hypercube.hpp"
 #include "topo/tree.hpp"
 #include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oracle::topo {
 
@@ -83,6 +87,99 @@ std::unique_ptr<Topology> make_topology(std::string_view spec) {
   }
   throw ConfigError("unknown topology kind '" + kind +
                     "' (expected grid|torus|dlm|hypercube|ring|complete)");
+}
+
+namespace {
+
+// Process-wide shared-topology cache. Keyed by the canonicalized spec's
+// content hash (the map still compares full spec strings, so a hash
+// collision costs a rebuild, never a wrong topology). Bounded: topologies
+// are a few hundred KB each with their routing tables, so an unbounded
+// cache could pin real memory across many sweeps. On overflow, entries no
+// longer referenced by any Machine are evicted first; only if every entry
+// is still in use is the cache cleared outright.
+struct SpecContentHash {
+  std::size_t operator()(const std::string& s) const noexcept {
+    return static_cast<std::size_t>(fnv1a64(s));
+  }
+};
+
+constexpr std::size_t kTopologyCacheMax = 64;
+
+std::mutex g_topo_cache_mutex;
+std::unordered_map<std::string, SharedTopology, SpecContentHash>&
+topo_cache() {
+  static auto* cache =
+      new std::unordered_map<std::string, SharedTopology, SpecContentHash>();
+  return *cache;
+}
+
+}  // namespace
+
+SharedTopology make_topology_shared(std::string_view spec) {
+  // Key by the trimmed spec as written: lowercasing here would let a
+  // malformed spelling (e.g. "grid:5X5", which make_topology rejects) hit
+  // a warm cache and silently succeed. Distinct valid spellings caching
+  // separately is harmless.
+  const std::string key{trim(spec)};
+  {
+    std::lock_guard<std::mutex> lock(g_topo_cache_mutex);
+    const auto it = topo_cache().find(key);
+    if (it != topo_cache().end()) return it->second;
+  }
+
+  // Build outside the lock: concurrent first requests for *different*
+  // topologies proceed in parallel; a duplicate concurrent build of the
+  // same spec is harmless (both results are identical and immutable, the
+  // second insert is dropped).
+  SharedTopology built;
+  built.topology = std::shared_ptr<const Topology>(make_topology(spec));
+  built.routing = std::make_shared<const RoutingTable>(*built.topology);
+  built.diameter = DistanceMatrix(*built.topology).diameter();
+
+  std::lock_guard<std::mutex> lock(g_topo_cache_mutex);
+  if (topo_cache().size() >= kTopologyCacheMax) {
+    // Evict entries no live Machine references (the cache holds the only
+    // shared_ptr); clear wholesale only if everything is still in use.
+    for (auto it = topo_cache().begin(); it != topo_cache().end();) {
+      if (it->second.topology.use_count() == 1) {
+        it = topo_cache().erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (topo_cache().size() >= kTopologyCacheMax) topo_cache().clear();
+  }
+  const auto [it, inserted] = topo_cache().emplace(key, built);
+  return inserted ? built : it->second;
+}
+
+void prewarm_topology_cache(const std::vector<std::string>& specs) {
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string> seen;
+  for (const std::string& spec : specs)
+    if (seen.insert(spec).second) distinct.push_back(spec);
+  // Distinct specs build concurrently (the cache builds outside its lock);
+  // the point of prewarming is only that *identical* specs build once
+  // instead of once per racing worker.
+  ThreadPool::parallel_for(distinct.size(), 0, [&](std::size_t i) {
+    try {
+      (void)make_topology_shared(distinct[i]);
+    } catch (...) {
+      // A malformed spec fails the job that names it, with per-job
+      // reporting; prewarming must not fail a whole batch early.
+    }
+  });
+}
+
+std::size_t topology_cache_size() {
+  std::lock_guard<std::mutex> lock(g_topo_cache_mutex);
+  return topo_cache().size();
+}
+
+void clear_topology_cache() {
+  std::lock_guard<std::mutex> lock(g_topo_cache_mutex);
+  topo_cache().clear();
 }
 
 }  // namespace oracle::topo

@@ -38,4 +38,16 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// Join items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 
+/// FNV-1a 64-bit content hash. The batch engine's job identity and the
+/// shared-topology cache key both use it, so "same bytes, same identity"
+/// holds across both layers.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace oracle

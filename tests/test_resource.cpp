@@ -22,17 +22,22 @@ TEST(Resource, ServesImmediatelyWhenFree) {
 TEST(Resource, QueuesFifoUnderContention) {
   Scheduler s;
   Resource r(s, "ch");
-  std::vector<int> order;
-  std::vector<SimTime> times;
+  // Completion callbacks are inline-capped (Resource::Callback); capture
+  // one context pointer instead of three references.
+  struct Ctx {
+    Scheduler& s;
+    std::vector<int> order;
+    std::vector<SimTime> times;
+  } ctx{s, {}, {}};
   for (int i = 0; i < 3; ++i) {
-    r.acquire_for(10, [&, i] {
-      order.push_back(i);
-      times.push_back(s.now());
+    r.acquire_for(10, [&ctx, i] {
+      ctx.order.push_back(i);
+      ctx.times.push_back(ctx.s.now());
     });
   }
   s.run();
-  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
-  EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(ctx.order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ctx.times, (std::vector<SimTime>{10, 20, 30}));
 }
 
 TEST(Resource, MultiServerParallelism) {
