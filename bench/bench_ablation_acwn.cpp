@@ -12,8 +12,9 @@ int main() {
   print_header("Ablation — ACWN (paper §5 future work) vs CWN vs GM",
                "saturation control + bounded redistribution on CWN");
 
-  TextTable t({"topology", "workload", "strategy", "util %", "speedup",
-               "goal msgs", "avg dist"});
+  // Build the whole plane up front and run it as one engine batch.
+  std::vector<ExperimentConfig> configs;
+  std::size_t cells = 0;
   for (const char* topo : {"grid:10x10", "dlm:5:10x10"}) {
     const Family family =
         std::string(topo).rfind("dlm", 0) == 0 ? Family::Dlm : Family::Grid;
@@ -30,18 +31,29 @@ int main() {
           acwn_base + ",saturation=3,redistribute=4",   // both
           core::paper::gm_spec(family),
       };
+      ++cells;
       for (const auto& strat : strategies) {
         ExperimentConfig cfg = core::paper::base_config();
         cfg.topology = topo;
         cfg.strategy = strat;
         cfg.workload = wl;
-        const auto r = core::run_experiment(cfg);
-        t.add_row({topo, wl, r.strategy, fixed(r.utilization_percent(), 1),
-                   fixed(r.speedup, 1), std::to_string(r.goal_transmissions),
-                   fixed(r.avg_goal_distance, 2)});
+        configs.push_back(cfg);
       }
-      t.add_rule();
     }
+  }
+  const auto results = run_ensemble(configs);
+  // Rule placement tracks the generated list, not a hand-maintained count.
+  const std::size_t strategies_per_cell = configs.size() / cells;
+
+  TextTable t({"topology", "workload", "strategy", "util %", "speedup",
+               "goal msgs", "avg dist"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({configs[i].topology, configs[i].workload, r.strategy,
+               fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+               std::to_string(r.goal_transmissions),
+               fixed(r.avg_goal_distance, 2)});
+    if ((i + 1) % strategies_per_cell == 0) t.add_rule();
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("expected: saturation control preserves speedup with fewer "

@@ -30,7 +30,7 @@ int main() {
       configs.push_back(cwn_cfg);
       configs.push_back(gm_cfg);
     }
-    const auto results = core::run_all(configs);
+    const auto results = run_ensemble(configs);
     for (std::size_t i = 0; i < latencies.size(); ++i) {
       const auto& rc = results[2 * i];
       const auto& rg = results[2 * i + 1];

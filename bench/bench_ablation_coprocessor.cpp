@@ -15,13 +15,13 @@ int main() {
   print_header("Ablation — communication co-processor (paper §3.1 claim)",
                "LB overhead charged to the PE when no co-processor exists");
 
-  TextTable t({"topology", "strategy", "co-processor", "util %", "speedup",
-               "completion", "penalty %"});
+  // One engine batch over the whole (topology x scheme x co-processor)
+  // plane; the with/without pairing is recovered by index afterwards.
+  std::vector<ExperimentConfig> configs;
   for (const char* topo : {"grid:10x10", "dlm:5:10x10"}) {
     const Family family =
         std::string(topo).rfind("dlm", 0) == 0 ? Family::Dlm : Family::Grid;
     for (const bool cwn : {true, false}) {
-      sim::SimTime with_coproc = 0;
       for (const bool coproc : {true, false}) {
         ExperimentConfig cfg = core::paper::base_config();
         cfg.topology = topo;
@@ -29,22 +29,37 @@ int main() {
                            : core::paper::gm_spec(family);
         cfg.workload = "fib:15";
         cfg.machine.lb_coprocessor = coproc;
-        const auto r = core::run_experiment(cfg);
-        if (coproc) with_coproc = r.completion_time;
-        // Penalty = completion-time slowdown. (Utilization is misleading
-        // here: without a co-processor the LB overhead itself counts as
-        // PE busy time.)
-        const double penalty =
-            coproc ? 0.0
-                   : (static_cast<double>(r.completion_time) /
-                          static_cast<double>(with_coproc) -
-                      1.0) * 100.0;
-        t.add_row({topo, cwn ? "CWN" : "GM", coproc ? "yes" : "no",
-                   fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
-                   std::to_string(r.completion_time), fixed(penalty, 1)});
+        configs.push_back(cfg);
       }
     }
-    t.add_rule();
+  }
+  const auto results = run_ensemble(configs);
+
+  TextTable t({"topology", "strategy", "co-processor", "util %", "speedup",
+               "completion", "penalty %"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const bool coproc = configs[i].machine.lb_coprocessor;
+    // Penalty = completion-time slowdown vs the with-co-processor run of
+    // the same pair, which generation order puts immediately before this
+    // one (checked, so a reordering of the loops above cannot silently
+    // pair the wrong runs). Utilization is misleading here: without a
+    // co-processor the LB overhead itself counts as PE busy time.
+    double penalty = 0.0;
+    if (!coproc) {
+      ORACLE_REQUIRE(i > 0 && configs[i - 1].machine.lb_coprocessor &&
+                         configs[i - 1].strategy == configs[i].strategy &&
+                         configs[i - 1].topology == configs[i].topology,
+                     "config generation no longer pairs coproc runs");
+      penalty = (static_cast<double>(r.completion_time) /
+                     static_cast<double>(results[i - 1].completion_time) -
+                 1.0) * 100.0;
+    }
+    const bool cwn = configs[i].strategy.rfind("cwn", 0) == 0;
+    t.add_row({configs[i].topology, cwn ? "CWN" : "GM", coproc ? "yes" : "no",
+               fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+               std::to_string(r.completion_time), fixed(penalty, 1)});
+    if ((i + 1) % 4 == 0) t.add_rule();
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("expected: both schemes slow down without the co-processor; "

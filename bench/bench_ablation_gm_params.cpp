@@ -14,53 +14,76 @@ int main() {
   print_header("Ablation — Gradient Model parameters",
                "grid:10x10 and dlm:5:10x10, fib(15)");
 
+  // Each sweep runs as one batch on the experiment engine.
+  const auto gm_config = [](const char* topo, const std::string& strategy) {
+    ExperimentConfig cfg = core::paper::base_config();
+    cfg.topology = topo;
+    cfg.strategy = strategy;
+    cfg.workload = "fib:15";
+    return cfg;
+  };
+
+  const std::vector<int> intervals = {5, 10, 20, 40, 80, 160, 320};
   for (const char* topo : {"grid:10x10", "dlm:5:10x10"}) {
     std::printf("-- interval sweep on %s (hwm=2, lwm=1) --\n", topo);
+    std::vector<ExperimentConfig> configs;
+    for (const int interval : intervals)
+      configs.push_back(
+          gm_config(topo, strfmt("gm:hwm=2,lwm=1,interval=%d", interval)));
+    const auto results = run_ensemble(configs);
+
     TextTable t({"interval", "util %", "speedup", "goal msgs", "ctrl msgs"});
-    for (const int interval : {5, 10, 20, 40, 80, 160, 320}) {
-      ExperimentConfig cfg = core::paper::base_config();
-      cfg.topology = topo;
-      cfg.strategy = strfmt("gm:hwm=2,lwm=1,interval=%d", interval);
-      cfg.workload = "fib:15";
-      const auto r = core::run_experiment(cfg);
-      t.add_row({std::to_string(interval), fixed(r.utilization_percent(), 1),
-                 fixed(r.speedup, 1), std::to_string(r.goal_transmissions),
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      t.add_row({std::to_string(intervals[i]),
+                 fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+                 std::to_string(r.goal_transmissions),
                  std::to_string(r.control_transmissions)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
 
   std::printf("-- water-mark sweep on grid:10x10 (interval=20) --\n");
-  TextTable wm({"hwm", "lwm", "util %", "speedup", "goal msgs"});
+  std::vector<std::pair<int, int>> marks;
+  std::vector<ExperimentConfig> wm_configs;
   for (const int hwm : {1, 2, 3, 5, 8}) {
     for (const int lwm : {1, 2}) {
       if (lwm > hwm) continue;
-      ExperimentConfig cfg = core::paper::base_config();
-      cfg.topology = "grid:10x10";
-      cfg.strategy = strfmt("gm:hwm=%d,lwm=%d,interval=20", hwm, lwm);
-      cfg.workload = "fib:15";
-      const auto r = core::run_experiment(cfg);
-      wm.add_row({std::to_string(hwm), std::to_string(lwm),
-                  fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
-                  std::to_string(r.goal_transmissions)});
+      marks.emplace_back(hwm, lwm);
+      wm_configs.push_back(gm_config(
+          "grid:10x10", strfmt("gm:hwm=%d,lwm=%d,interval=20", hwm, lwm)));
     }
+  }
+  const auto wm_results = run_ensemble(wm_configs);
+  TextTable wm({"hwm", "lwm", "util %", "speedup", "goal msgs"});
+  for (std::size_t i = 0; i < wm_results.size(); ++i) {
+    const auto& r = wm_results[i];
+    wm.add_row({std::to_string(marks[i].first),
+                std::to_string(marks[i].second),
+                fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+                std::to_string(r.goal_transmissions)});
   }
   std::printf("%s\n", wm.to_string().c_str());
 
   std::printf("-- semantic toggles on grid:10x10 (hwm=2, lwm=1, i=20) --\n");
-  TextTable tg({"require_gradient", "send_newest", "util %", "goal msgs"});
+  std::vector<std::pair<bool, bool>> toggles;
+  std::vector<ExperimentConfig> tg_configs;
   for (const bool rg : {true, false}) {
     for (const bool sn : {true, false}) {
-      ExperimentConfig cfg = core::paper::base_config();
-      cfg.topology = "grid:10x10";
-      cfg.strategy = strfmt("gm:requiregradient=%d,sendnewest=%d", rg ? 1 : 0,
-                            sn ? 1 : 0);
-      cfg.workload = "fib:15";
-      const auto r = core::run_experiment(cfg);
-      tg.add_row({rg ? "yes" : "no", sn ? "yes" : "no",
-                  fixed(r.utilization_percent(), 1),
-                  std::to_string(r.goal_transmissions)});
+      toggles.emplace_back(rg, sn);
+      tg_configs.push_back(
+          gm_config("grid:10x10", strfmt("gm:requiregradient=%d,sendnewest=%d",
+                                         rg ? 1 : 0, sn ? 1 : 0)));
     }
+  }
+  const auto tg_results = run_ensemble(tg_configs);
+  TextTable tg({"require_gradient", "send_newest", "util %", "goal msgs"});
+  for (std::size_t i = 0; i < tg_results.size(); ++i) {
+    const auto& r = tg_results[i];
+    tg.add_row({toggles[i].first ? "yes" : "no",
+                toggles[i].second ? "yes" : "no",
+                fixed(r.utilization_percent(), 1),
+                std::to_string(r.goal_transmissions)});
   }
   std::printf("%s\n", tg.to_string().c_str());
   std::printf("expected: shorter intervals help GM (the paper gave it 20); "

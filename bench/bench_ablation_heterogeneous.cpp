@@ -14,25 +14,33 @@ int main() {
   print_header("Ablation — heterogeneous machines (degradation injection)",
                "grid:10x10, fib:15; slow PEs run every phase 4x slower");
 
-  TextTable t({"slow PEs %", "strategy", "util %", "speedup", "util CV",
-               "max-min util gap"});
+  // The whole degradation plane runs as one engine batch.
+  constexpr const char* kStrategies[] = {
+      "cwn:radius=9,horizon=2", "gm:hwm=2,lwm=1,interval=20",
+      "acwn:radius=9,horizon=2", "random", "local"};
+  std::vector<ExperimentConfig> configs;
   for (const int percent : {0, 10, 25, 50}) {
-    for (const char* strat :
-         {"cwn:radius=9,horizon=2", "gm:hwm=2,lwm=1,interval=20",
-          "acwn:radius=9,horizon=2", "random", "local"}) {
+    for (const char* strat : kStrategies) {
       ExperimentConfig cfg = core::paper::base_config();
       cfg.topology = "grid:10x10";
       cfg.strategy = strat;
       cfg.workload = "fib:15";
       cfg.machine.slow_pe_percent = percent;
       cfg.machine.slow_factor = 4;
-      const auto r = core::run_experiment(cfg);
-      t.add_row({std::to_string(percent), r.strategy,
-                 fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
-                 fixed(r.utilization_cv, 2),
-                 fixed(r.max_min_utilization_gap, 2)});
+      configs.push_back(cfg);
     }
-    t.add_rule();
+  }
+  const auto results = run_ensemble(configs);
+
+  TextTable t({"slow PEs %", "strategy", "util %", "speedup", "util CV",
+               "max-min util gap"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({std::to_string(configs[i].machine.slow_pe_percent), r.strategy,
+               fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+               fixed(r.utilization_cv, 2),
+               fixed(r.max_min_utilization_gap, 2)});
+    if ((i + 1) % std::size(kStrategies) == 0) t.add_rule();
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("reading: speedup is capacity-relative (busy time includes the "

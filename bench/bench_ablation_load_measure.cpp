@@ -14,8 +14,8 @@ int main() {
                "QueueLength (paper default) vs QueuePlusWaiting "
                "(+ tasks awaiting responses)");
 
-  TextTable t({"topology", "strategy", "load measure", "util %", "speedup",
-               "completion"});
+  // One engine batch over the (topology x scheme x load measure) plane.
+  std::vector<ExperimentConfig> configs;
   for (const char* topo : {"grid:10x10", "dlm:5:10x10"}) {
     const Family family =
         std::string(topo).rfind("dlm", 0) == 0 ? Family::Dlm : Family::Grid;
@@ -29,14 +29,24 @@ int main() {
         cfg.machine.load_measure = waiting
                                        ? machine::LoadMeasure::QueuePlusWaiting
                                        : machine::LoadMeasure::QueueLength;
-        const auto r = core::run_experiment(cfg);
-        t.add_row({topo, cwn ? "CWN" : "GM",
-                   waiting ? "queue+waiting" : "queue only",
-                   fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
-                   std::to_string(r.completion_time)});
+        configs.push_back(cfg);
       }
     }
-    t.add_rule();
+  }
+  const auto results = run_ensemble(configs);
+
+  TextTable t({"topology", "strategy", "load measure", "util %", "speedup",
+               "completion"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const bool cwn = configs[i].strategy.rfind("cwn", 0) == 0;
+    const bool waiting =
+        configs[i].machine.load_measure == machine::LoadMeasure::QueuePlusWaiting;
+    t.add_row({configs[i].topology, cwn ? "CWN" : "GM",
+               waiting ? "queue+waiting" : "queue only",
+               fixed(r.utilization_percent(), 1), fixed(r.speedup, 1),
+               std::to_string(r.completion_time)});
+    if ((i + 1) % 4 == 0) t.add_rule();
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("expected: counting future commitments shifts work away from "

@@ -34,7 +34,7 @@ int main() {
       configs.push_back(cwn);
       configs.push_back(gm);
     }
-    const auto results = core::run_all(configs);
+    const auto results = run_ensemble(configs);
 
     std::printf("-- Hypercube of dimension %u (%u PEs), query: Fibonacci --\n",
                 dim, 1u << dim);

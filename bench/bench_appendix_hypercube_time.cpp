@@ -18,7 +18,7 @@ int main() {
     cwn.machine.sample_interval = 50;
     ExperimentConfig gm = cwn;
     gm.strategy = core::paper::gm_spec(Family::Grid);
-    const auto results = core::run_all({cwn, gm});
+    const auto results = run_ensemble({cwn, gm});
 
     std::printf("-- query %s --\n", wl);
     print_time_profile(results[0]);

@@ -82,7 +82,7 @@ inline std::string spark(double percent, int width = 40) {
 /// rows of "t | util% | bar" downsampled to ~`max_rows` rows.
 inline void print_time_profile(const stats::RunResult& r,
                                std::size_t max_rows = 25) {
-  const auto& ts = r.utilization_series;
+  const auto ts = r.utilization_series();
   std::printf("-- %s on %s, %s: completion %lld, avg util %.1f%%\n",
               r.strategy.c_str(), r.topology.c_str(), r.workload.c_str(),
               static_cast<long long>(r.completion_time),

@@ -16,8 +16,24 @@ int main() {
                "reconstructed wiring: two bus lattices per dimension "
                "(local segments + strided skips)");
 
+  // One CWN fib(13) run per topology, executed as a single engine batch
+  // (shared topology cache + parallel shards), so the structural table can
+  // show the utilization consequence of each wiring next to its facts.
+  std::vector<ExperimentConfig> configs;
+  for (const auto& size : core::paper::size_points()) {
+    for (const Family family : {Family::Grid, Family::Dlm}) {
+      ExperimentConfig cfg = core::paper::base_config();
+      cfg.topology = family == Family::Grid ? size.grid_spec : size.dlm_spec;
+      cfg.strategy = core::paper::cwn_spec(family);
+      cfg.workload = "fib:13";
+      configs.push_back(cfg);
+    }
+  }
+  const auto results = run_ensemble(configs);
+
   TextTable t({"topology", "PEs", "links", "min deg", "max deg", "diameter",
-               "avg distance"});
+               "avg distance", "CWN fib(13) util %"});
+  std::size_t row = 0;
   for (const auto& size : core::paper::size_points()) {
     for (const std::string& spec : {size.grid_spec, size.dlm_spec}) {
       const auto topo = topo::make_topology(spec);
@@ -28,7 +44,8 @@ int main() {
       t.add_row({topo->name(), std::to_string(topo->num_nodes()),
                  std::to_string(topo->num_links()), std::to_string(min_deg),
                  std::to_string(topo->max_degree()),
-                 std::to_string(dm.diameter()), fixed(dm.average_distance(), 2)});
+                 std::to_string(dm.diameter()), fixed(dm.average_distance(), 2),
+                 fixed(results[row++].utilization_percent(), 1)});
     }
     t.add_rule();
   }

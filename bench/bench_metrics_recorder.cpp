@@ -1,0 +1,149 @@
+// Microbenchmarks for the columnar metrics pipeline: live
+// stats::MetricsRecorder sampling versus the frozen pre-refactor path
+// (bench/legacy_metrics.hpp, one heap-allocated vector per frame). Run by
+// the CI perf-smoke job; the JSON output is uploaded as BENCH_stats.json.
+//
+// Every benchmark also reports an `allocs_per_frame` counter measured with
+// a global operator-new hook: the recorder's steady state must report 0.00
+// while the legacy path reports >= 1 — the allocation the refactor exists
+// to eliminate.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "legacy_metrics.hpp"
+#include "stats/metrics_recorder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// The replacement operators pair malloc with free; GCC cannot see through
+// the replacement and warns at call sites.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using oracle::Rng;
+using oracle::sim::SimTime;
+
+constexpr std::size_t kFrames = 512;
+
+/// Live columnar path: one preallocated recorder reused across runs (one
+/// Machine reserves once and samples for the whole run; clear() models the
+/// run boundary and keeps the capacity). Reusing the recorder also keeps
+/// the timed region free of first-touch page faults, which would otherwise
+/// dominate and measure the kernel, not the sampling path.
+void BM_RecorderSampling(benchmark::State& state) {
+  const auto num_pes = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t sampled_allocs = 0;
+  std::uint64_t sampled_frames = 0;
+
+  oracle::stats::MetricsRecorder rec;
+  rec.reserve(num_pes, kFrames);
+  const auto series = rec.add_series("utilization_percent", kFrames);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    rec.clear();
+    Rng rng(1);
+    const std::uint64_t before = g_allocations.load();
+    state.ResumeTiming();
+
+    for (std::size_t f = 0; f < kFrames; ++f) {
+      const SimTime t = static_cast<SimTime>(50 * (f + 1));
+      const auto ref = rec.begin_frame(t);
+      double sum = 0.0;
+      for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+        const double u =
+            static_cast<double>(rng.below(10'000)) / 9'999.0;
+        ref.utilization[pe] = u;
+        ref.queue_depth[pe] = static_cast<std::int64_t>(pe & 3);
+        sum += u;
+      }
+      rec.append(series, t, sum / num_pes * 100.0);
+    }
+
+    benchmark::DoNotOptimize(rec.frames());
+    sampled_allocs += g_allocations.load() - before;
+    sampled_frames += kFrames;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFrames));
+  state.counters["allocs_per_frame"] =
+      static_cast<double>(sampled_allocs) /
+      static_cast<double>(sampled_frames);
+}
+
+/// Frozen pre-refactor path: a fresh std::vector per frame plus the
+/// growing owned containers.
+void BM_LegacySampling(benchmark::State& state) {
+  const auto num_pes = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t sampled_allocs = 0;
+  std::uint64_t sampled_frames = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    oracle::bench::legacy::LoadMonitor monitor(num_pes);
+    oracle::bench::legacy::TimeSeries series("utilization_percent");
+    Rng rng(1);
+    const std::uint64_t before = g_allocations.load();
+    state.ResumeTiming();
+
+    for (std::size_t f = 0; f < kFrames; ++f) {
+      const SimTime t = static_cast<SimTime>(50 * (f + 1));
+      std::vector<double> frame(num_pes);
+      double sum = 0.0;
+      for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+        const double u =
+            static_cast<double>(rng.below(10'000)) / 9'999.0;
+        frame[pe] = u;
+        sum += u;
+      }
+      monitor.add_frame(t, std::move(frame));
+      series.add(t, sum / num_pes * 100.0);
+    }
+
+    benchmark::DoNotOptimize(monitor.frames());
+    sampled_allocs += g_allocations.load() - before;
+    sampled_frames += kFrames;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFrames));
+  state.counters["allocs_per_frame"] =
+      static_cast<double>(sampled_allocs) /
+      static_cast<double>(sampled_frames);
+}
+
+BENCHMARK(BM_RecorderSampling)->Arg(25)->Arg(100)->Arg(400);
+BENCHMARK(BM_LegacySampling)->Arg(25)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -23,7 +23,7 @@ int main() {
       configs.push_back(cwn);
       configs.push_back(gm);
     }
-    const auto results = core::run_all(configs);
+    const auto results = run_ensemble(configs);
 
     std::printf("-- Plot %d: %s (%u PEs), query: divide and conquer --\n",
                 plot_no, it->dlm_spec.c_str(), it->pes);

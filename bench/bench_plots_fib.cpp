@@ -25,7 +25,7 @@ int main() {
         configs.push_back(cwn);
         configs.push_back(gm);
       }
-      const auto results = core::run_all(configs);
+      const auto results = run_ensemble(configs);
 
       std::printf("-- %s (%u PEs), query: Fibonacci --\n", topo.c_str(),
                   it->pes);

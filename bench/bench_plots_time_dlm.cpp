@@ -18,7 +18,7 @@ int main() {
     auto [cwn_cfg, gm_cfg] = paired_configs(Family::Dlm, "dlm:5:10x10", wl);
     cwn_cfg.machine.sample_interval = 50;
     gm_cfg.machine.sample_interval = 50;
-    const auto results = core::run_all({cwn_cfg, gm_cfg});
+    const auto results = run_ensemble({cwn_cfg, gm_cfg});
 
     std::printf("-- Plot %d: query %s --\n", plot_no++, wl);
     print_time_profile(results[0]);

@@ -6,6 +6,7 @@
 //
 // Sample points used here: fib(13) and dc(1,377) on the 100-PE grid and the
 // 100-PE DLM (mid-table cells). The score is mean speedup over the points.
+// Each parameter sweep runs as one batch on the experiment engine.
 
 #include <algorithm>
 
@@ -16,41 +17,59 @@ using namespace oracle::bench;
 
 namespace {
 
-double score(const std::string& strategy, Family family) {
+constexpr const char* kSamplePoints[] = {"fib:13", "dc:1:377"};
+constexpr std::size_t kPointsPerCell = std::size(kSamplePoints);
+
+/// Append one config per sample point for this strategy spec.
+void push_cell_configs(std::vector<ExperimentConfig>& configs,
+                       const std::string& strategy, Family family) {
   const auto& size = core::paper::size_points()[2];  // 100 PEs
   const std::string topo =
       family == Family::Grid ? size.grid_spec : size.dlm_spec;
-  std::vector<ExperimentConfig> configs;
-  for (const char* wl : {"fib:13", "dc:1:377"}) {
+  for (const char* wl : kSamplePoints) {
     ExperimentConfig cfg = core::paper::base_config();
     cfg.topology = topo;
     cfg.strategy = strategy;
     cfg.workload = wl;
     configs.push_back(cfg);
   }
-  const auto results = core::run_all(configs);
+}
+
+/// Mean speedup of one cell's sample-point results.
+double cell_score(const std::vector<stats::RunResult>& results,
+                  std::size_t cell) {
   double sum = 0;
-  for (const auto& r : results) sum += r.speedup;
-  return sum / static_cast<double>(results.size());
+  for (std::size_t p = 0; p < kPointsPerCell; ++p)
+    sum += results[cell * kPointsPerCell + p].speedup;
+  return sum / static_cast<double>(kPointsPerCell);
 }
 
 void sweep_cwn(Family family, const char* label) {
   std::printf("-- CWN parameter sweep on the %s --\n", label);
-  TextTable t({"radius", "horizon", "mean speedup"});
-  double best = -1;
-  std::string best_params;
+  std::vector<std::pair<int, int>> cells;
+  std::vector<ExperimentConfig> configs;
   for (const int radius : {2, 3, 5, 7, 9, 12}) {
     for (const int horizon : {0, 1, 2, 3}) {
       if (horizon > radius) continue;
-      const std::string spec =
-          strfmt("cwn:radius=%d,horizon=%d", radius, horizon);
-      const double s = score(spec, family);
-      t.add_row({std::to_string(radius), std::to_string(horizon),
-                 fixed(s, 1)});
-      if (s > best) {
-        best = s;
-        best_params = strfmt("radius=%d, horizon=%d", radius, horizon);
-      }
+      cells.emplace_back(radius, horizon);
+      push_cell_configs(
+          configs, strfmt("cwn:radius=%d,horizon=%d", radius, horizon),
+          family);
+    }
+  }
+  const auto results = run_ensemble(configs);
+
+  TextTable t({"radius", "horizon", "mean speedup"});
+  double best = -1;
+  std::string best_params;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double s = cell_score(results, i);
+    t.add_row({std::to_string(cells[i].first),
+               std::to_string(cells[i].second), fixed(s, 1)});
+    if (s > best) {
+      best = s;
+      best_params = strfmt("radius=%d, horizon=%d", cells[i].first,
+                           cells[i].second);
     }
   }
   std::printf("%s\nwinner: %s (paper Table 1: %s)\n\n",
@@ -61,24 +80,36 @@ void sweep_cwn(Family family, const char* label) {
 
 void sweep_gm(Family family, const char* label) {
   std::printf("-- Gradient Model parameter sweep on the %s --\n", label);
-  TextTable t({"hwm", "lwm", "interval", "mean speedup"});
-  double best = -1;
-  std::string best_params;
+  struct GmCell {
+    int hwm, lwm, interval;
+  };
+  std::vector<GmCell> cells;
+  std::vector<ExperimentConfig> configs;
   for (const int hwm : {1, 2, 4}) {
     for (const int lwm : {1, 2}) {
       if (lwm > hwm) continue;
       for (const int interval : {10, 20, 40, 80}) {
-        const std::string spec =
-            strfmt("gm:hwm=%d,lwm=%d,interval=%d", hwm, lwm, interval);
-        const double s = score(spec, family);
-        t.add_row({std::to_string(hwm), std::to_string(lwm),
-                   std::to_string(interval), fixed(s, 1)});
-        if (s > best) {
-          best = s;
-          best_params = strfmt("hwm=%d, lwm=%d, interval=%d", hwm, lwm,
-                               interval);
-        }
+        cells.push_back({hwm, lwm, interval});
+        push_cell_configs(
+            configs,
+            strfmt("gm:hwm=%d,lwm=%d,interval=%d", hwm, lwm, interval),
+            family);
       }
+    }
+  }
+  const auto results = run_ensemble(configs);
+
+  TextTable t({"hwm", "lwm", "interval", "mean speedup"});
+  double best = -1;
+  std::string best_params;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double s = cell_score(results, i);
+    t.add_row({std::to_string(cells[i].hwm), std::to_string(cells[i].lwm),
+               std::to_string(cells[i].interval), fixed(s, 1)});
+    if (s > best) {
+      best = s;
+      best_params = strfmt("hwm=%d, lwm=%d, interval=%d", cells[i].hwm,
+                           cells[i].lwm, cells[i].interval);
     }
   }
   std::printf("%s\nwinner: %s (paper Table 1: %s)\n\n",
@@ -92,7 +123,7 @@ void sweep_gm(Family family, const char* label) {
 int main() {
   print_header("Table 1 — Parameter optimization experiments",
                "sample points: fib(13) and dc(1,377) on 100-PE networks; "
-               "score = mean speedup");
+               "score = mean speedup; each sweep is one engine batch");
   sweep_cwn(Family::Grid, "10x10 grid");
   sweep_cwn(Family::Dlm, "DLM(5, 10x10)");
   sweep_gm(Family::Grid, "10x10 grid");

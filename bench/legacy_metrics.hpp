@@ -1,0 +1,130 @@
+#pragma once
+// Frozen pre-refactor stats layer: the heap-per-frame LoadMonitor and
+// TimeSeries exactly as they existed before the columnar MetricsRecorder
+// replaced them. Kept verbatim (modulo the namespace) as the comparison
+// baseline:
+//   - bench_metrics_recorder measures live-vs-legacy sampling cost and
+//     verifies the recorder's steady state allocates nothing while this
+//     path allocates one vector per frame, and
+//   - tests/test_metrics_recorder.cpp pins the recorder-backed views'
+//     render_frame()/to_csv() output byte-identical to this code.
+// Do not "improve" this file; its value is that it does not change.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace oracle::bench::legacy {
+
+/// Pre-refactor per-PE utilization frame store (one owned vector per frame).
+class LoadMonitor {
+ public:
+  LoadMonitor() = default;
+  explicit LoadMonitor(std::uint32_t num_pes) : num_pes_(num_pes) {}
+
+  std::uint32_t num_pes() const noexcept { return num_pes_; }
+  std::size_t frames() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  void add_frame(sim::SimTime t, std::vector<double> utilization) {
+    if (num_pes_ == 0) num_pes_ = static_cast<std::uint32_t>(utilization.size());
+    ORACLE_ASSERT_MSG(utilization.size() == num_pes_,
+                      "frame size does not match PE count");
+    ORACLE_ASSERT_MSG(times_.empty() || t >= times_.back(),
+                      "frames must be recorded in time order");
+    times_.push_back(t);
+    frames_.push_back(std::move(utilization));
+  }
+
+  sim::SimTime time_of(std::size_t frame) const { return times_.at(frame); }
+  const std::vector<double>& frame(std::size_t i) const { return frames_.at(i); }
+
+  std::vector<double> pe_series(std::uint32_t pe) const {
+    ORACLE_ASSERT(pe < num_pes_);
+    std::vector<double> series;
+    series.reserve(frames_.size());
+    for (const auto& f : frames_) series.push_back(f[pe]);
+    return series;
+  }
+
+  static char shade(double utilization) {
+    static const char kRamp[] = {'.', ':', '-', '=', '+',
+                                 'o', 'x', '*', '%', '@'};
+    if (utilization <= 0.0) return kRamp[0];
+    if (utilization >= 1.0) return kRamp[9];
+    return kRamp[static_cast<int>(utilization * 10.0)];
+  }
+
+  std::string render_frame(std::size_t i, std::uint32_t rows,
+                           std::uint32_t cols) const {
+    ORACLE_ASSERT(i < frames_.size());
+    ORACLE_ASSERT_MSG(static_cast<std::uint64_t>(rows) * cols == num_pes_,
+                      "rows*cols must equal the PE count");
+    const auto& f = frames_[i];
+    std::string out;
+    out.reserve(static_cast<std::size_t>(rows) * (cols + 1));
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      for (std::uint32_t c = 0; c < cols; ++c)
+        out += shade(f[static_cast<std::size_t>(r) * cols + c]);
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::uint32_t num_pes_ = 0;
+  std::vector<sim::SimTime> times_;
+  std::vector<std::vector<double>> frames_;
+};
+
+/// Pre-refactor owning time series.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(sim::SimTime t, double value) {
+    times_.push_back(t);
+    values_.push_back(value);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  sim::SimTime time_at(std::size_t i) const { return times_.at(i); }
+  double value_at(std::size_t i) const { return values_.at(i); }
+
+  double max_value() const noexcept {
+    double best = 0.0;
+    for (double v : values_) best = std::max(best, v);
+    return best;
+  }
+
+  double mean_value() const noexcept {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  std::string to_csv() const {
+    std::ostringstream os;
+    os << "time," << (name_.empty() ? "value" : name_) << '\n';
+    for (std::size_t i = 0; i < times_.size(); ++i)
+      os << times_[i] << ',' << values_[i] << '\n';
+    return os.str();
+  }
+
+ private:
+  std::string name_;
+  std::vector<sim::SimTime> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace oracle::bench::legacy

@@ -1,9 +1,17 @@
 // oracle_batch — drive cartesian experiment sweeps through the batch
 // engine from the command line: sharded parallel execution, a streaming
 // JSONL result store (plus optional CSV mirror), checkpointing, and
-// resumable interrupted runs.
+// resumable interrupted runs — plus a multi-seed aggregation/query mode
+// over existing stores.
 //
 // Usage:
+//   oracle_batch aggregate <store.jsonl> [options]
+//     --metric NAME         metric for the summary table (default speedup;
+//                           repeatable / comma lists; "all" prints every
+//                           metric). `--metric list` names the choices.
+//     --csv PATH            also write the full long-format summary CSV
+//                           (all metrics x grid points; "-" = stdout)
+//
 //   oracle_batch [options]
 //     --topologies A,B,..   topology spec axis   (default grid:6x6,grid:10x10,dlm:5:10x10)
 //     --strategies A,B,..   strategy spec axis   (default cwn,gm,random)
@@ -31,6 +39,7 @@
 //   # killed half-way? finish the remaining jobs only:
 //   oracle_batch ... --out sweep.jsonl --resume
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -55,7 +64,9 @@ void print_usage() {
       "                    [--workloads A,B,..] [--seeds N|A,B,..]\n"
       "                    [--master-seed M] [--jobs N] [--shard N]\n"
       "                    [--out PATH|-] [--csv PATH] [--resume]\n"
-      "                    [--sample N] [--hop-latency N] [--no-progress]\n");
+      "                    [--sample N] [--hop-latency N] [--no-progress]\n"
+      "       oracle_batch aggregate <store.jsonl> [--metric NAME|all|list]\n"
+      "                    [--csv PATH|-]\n");
 }
 
 std::vector<std::string> parse_list(const std::string& value,
@@ -69,9 +80,86 @@ std::vector<std::string> parse_list(const std::string& value,
   return out;
 }
 
+int aggregate_main(int argc, char** argv) {
+  std::string store;
+  std::vector<std::string> metrics;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--metric") {
+      for (const auto& m : parse_list(value(), arg)) metrics.push_back(m);
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown aggregate option '" + arg + "'");
+    } else if (store.empty()) {
+      store = arg;
+    } else {
+      usage_error("aggregate takes exactly one store path");
+    }
+  }
+  if (metrics.empty()) metrics.push_back("speedup");
+  if (metrics.size() == 1 && metrics[0] == "list") {
+    for (const auto& name : exp::Aggregator::metric_names())
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (std::find(metrics.begin(), metrics.end(), "all") != metrics.end())
+    metrics = exp::Aggregator::metric_names();
+  for (const auto& m : metrics) {
+    const auto& known = exp::Aggregator::metric_names();
+    if (std::find(known.begin(), known.end(), m) == known.end())
+      usage_error("unknown metric '" + m + "' (try --metric list)");
+  }
+  if (store.empty()) usage_error("aggregate needs a JSONL store path");
+
+  try {
+    const auto agg = exp::Aggregator::from_jsonl_file(store);
+    const auto groups = agg.summarize();
+    if (groups.empty()) {
+      std::fprintf(stderr, "oracle_batch: no parseable records in %s\n",
+                   store.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu runs, %zu grid points", store.c_str(), agg.rows(),
+                agg.groups());
+    if (agg.skipped_lines() > 0)
+      std::printf(" (%zu corrupt lines skipped)", agg.skipped_lines());
+    std::printf("\n\n");
+    for (const auto& m : metrics) {
+      std::printf("-- %s --\n%s\n", m.c_str(),
+                  exp::Aggregator::to_table(groups, m).c_str());
+    }
+    if (!csv_path.empty()) {
+      const std::string csv = exp::Aggregator::to_csv(groups);
+      if (csv_path == "-") {
+        std::fputs(csv.c_str(), stdout);
+      } else {
+        stats::write_file(csv_path, csv);
+        std::printf("csv: %s\n", csv_path.c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "aggregate")
+    return aggregate_main(argc - 1, argv + 1);
+
   core::ExperimentConfig base = core::paper::base_config();
   std::vector<std::string> topologies = {"grid:6x6", "grid:10x10",
                                          "dlm:5:10x10"};

@@ -4,14 +4,22 @@
 // by side so the rise-time difference (Plots 11-16) is visible spatially:
 // CWN floods the whole array early; GM grows a slow blob around the root.
 //
-//   ./visualize_load [RxC grid dims] [workload]
-//   e.g. ./visualize_load 10x10 fib:15
+// The heat maps render through the recorder-backed LoadMonitor view — a
+// non-owning window onto the run's preallocated utilization columns — and
+// --csv dumps those columns directly (one row per sampling interval, one
+// column per PE) for external plotting.
+//
+//   ./visualize_load [RxC grid dims] [workload] [--csv PREFIX]
+//   e.g. ./visualize_load 10x10 fib:15 --csv load
+//        (writes load_cwn.csv and load_gm.csv)
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "oracle.hpp"
+#include "stats/csv.hpp"
 
 namespace {
 
@@ -27,16 +35,45 @@ oracle::stats::RunResult run(const std::string& topology,
   return oracle::core::run_experiment(cfg);
 }
 
+/// The recorder's utilization columns as CSV: "time,pe0,pe1,...".
+std::string monitor_csv(const oracle::stats::LoadMonitor& monitor) {
+  std::ostringstream os;
+  os << "time";
+  for (std::uint32_t pe = 0; pe < monitor.num_pes(); ++pe) os << ",pe" << pe;
+  os << '\n';
+  for (std::size_t f = 0; f < monitor.frames(); ++f) {
+    os << monitor.time_of(f);
+    for (const double u : monitor.frame(f)) os << ',' << u;
+    os << '\n';
+  }
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace oracle;
 
-  const std::string dims = argc > 1 ? argv[1] : "10x10";
-  const std::string workload = argc > 2 ? argv[2] : "fib:15";
+  std::vector<std::string> positional;
+  std::string csv_prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "visualize_load: --csv needs a path prefix\n");
+        return 1;
+      }
+      csv_prefix = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const std::string dims = positional.size() > 0 ? positional[0] : "10x10";
+  const std::string workload = positional.size() > 1 ? positional[1] : "fib:15";
   const auto parts = split(dims, 'x');
-  if (parts.size() != 2) {
-    std::fprintf(stderr, "usage: visualize_load RxC [workload]\n");
+  if (parts.size() != 2 || positional.size() > 2) {
+    std::fprintf(stderr, "usage: visualize_load RxC [workload] [--csv PREFIX]\n");
     return 1;
   }
   const auto rows = static_cast<std::uint32_t>(parse_int(parts[0], "rows"));
@@ -44,6 +81,8 @@ int main(int argc, char** argv) {
 
   const auto cwn = run("grid:" + dims, "cwn:radius=9,horizon=2", workload);
   const auto gm = run("grid:" + dims, "gm:hwm=2,lwm=1,interval=20", workload);
+  const stats::LoadMonitor cwn_monitor = cwn.load_monitor();
+  const stats::LoadMonitor gm_monitor = gm.load_monitor();
 
   std::printf("Load monitor: grid:%s, %s  (shade ramp: . : - = + o x * %% @)\n\n",
               dims.c_str(), workload.c_str());
@@ -52,18 +91,18 @@ int main(int argc, char** argv) {
   const double fractions[] = {0.05, 0.15, 0.3, 0.5, 0.8};
   for (const double frac : fractions) {
     const std::size_t ci =
-        std::min(cwn.load_monitor.frames() - 1,
-                 static_cast<std::size_t>(frac * cwn.load_monitor.frames()));
+        std::min(cwn_monitor.frames() - 1,
+                 static_cast<std::size_t>(frac * cwn_monitor.frames()));
     const std::size_t gi =
-        std::min(gm.load_monitor.frames() - 1,
-                 static_cast<std::size_t>(frac * gm.load_monitor.frames()));
-    const std::string left = cwn.load_monitor.render_frame(ci, rows, cols);
-    const std::string right = gm.load_monitor.render_frame(gi, rows, cols);
+        std::min(gm_monitor.frames() - 1,
+                 static_cast<std::size_t>(frac * gm_monitor.frames()));
+    const std::string left = cwn_monitor.render_frame(ci, rows, cols);
+    const std::string right = gm_monitor.render_frame(gi, rows, cols);
 
     std::printf("t = %.0f%% of each run   CWN (t=%lld)%*s GM (t=%lld)\n",
-                frac * 100, static_cast<long long>(cwn.load_monitor.time_of(ci)),
+                frac * 100, static_cast<long long>(cwn_monitor.time_of(ci)),
                 static_cast<int>(cols) - 4, "",
-                static_cast<long long>(gm.load_monitor.time_of(gi)));
+                static_cast<long long>(gm_monitor.time_of(gi)));
     // Zip the two maps line by line.
     std::size_t lpos = 0, rpos = 0;
     while (lpos < left.size() && rpos < right.size()) {
@@ -75,6 +114,15 @@ int main(int argc, char** argv) {
       rpos = rend + 1;
     }
     std::printf("\n");
+  }
+
+  if (!csv_prefix.empty()) {
+    const std::string cwn_path = csv_prefix + "_cwn.csv";
+    const std::string gm_path = csv_prefix + "_gm.csv";
+    stats::write_file(cwn_path, monitor_csv(cwn_monitor));
+    stats::write_file(gm_path, monitor_csv(gm_monitor));
+    std::printf("utilization columns: %s, %s\n", cwn_path.c_str(),
+                gm_path.c_str());
   }
 
   std::printf("CWN completion %lld (util %.1f%%)  |  GM completion %lld "

@@ -1,7 +1,8 @@
 #pragma once
 // Umbrella header for the batch experiment engine (src/exp/): sharded
 // parallel sweep execution with streaming JSONL/CSV result stores,
-// content-hash checkpointing, and resume.
+// content-hash checkpointing, resume, and a multi-seed aggregation/query
+// layer over the stores (exp/aggregate.hpp).
 //
 // Quickstart:
 //   auto configs = oracle::core::SweepBuilder(base)
@@ -14,6 +15,7 @@
 //   opt.resume = true;  // safe on first run too: nothing to skip yet
 //   auto outcome = oracle::exp::run_batch(configs, opt);
 
+#include "exp/aggregate.hpp"
 #include "exp/batch.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/executor.hpp"

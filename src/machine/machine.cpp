@@ -7,6 +7,13 @@
 
 namespace oracle::machine {
 
+namespace {
+// Initial per-run capacity of the sampled columns (frames and series
+// samples). Covers a completion time of 512 sampling intervals without
+// reallocation; longer runs double geometrically.
+constexpr std::size_t kExpectedFrames = 512;
+}  // namespace
+
 Machine::Machine(const topo::Topology& topo, const workload::Workload& workload,
                  lb::Strategy& strategy, const MachineConfig& config)
     : topo_(topo),
@@ -16,8 +23,7 @@ Machine::Machine(const topo::Topology& topo, const workload::Workload& workload,
       rng_(config.seed),
       routing_(std::make_shared<const topo::RoutingTable>(topo)),
       diameter_(topo::DistanceMatrix(topo).diameter()),
-      trace_(config.trace_capacity),
-      util_series_("utilization_percent") {
+      trace_(config.trace_capacity) {
   init();
 }
 
@@ -32,8 +38,7 @@ Machine::Machine(topo::SharedTopology shared,
       rng_(config.seed),
       routing_(std::move(shared.routing)),
       diameter_(shared.diameter),
-      trace_(config.trace_capacity),
-      util_series_("utilization_percent") {
+      trace_(config.trace_capacity) {
   ORACLE_REQUIRE(routing_ != nullptr && routing_->num_nodes() == topo_.num_nodes(),
                  "shared routing table does not match the topology");
   init();
@@ -52,6 +57,18 @@ void Machine::init() {
   const std::size_t links = topo_.links().size();
   sim_.scheduler().reserve(8 * topo_.num_nodes() + 2 * links + 64);
   msg_pool_.reserve(2 * links + 64);
+
+  // Pre-size the metrics columns the same way: steady-state sampling then
+  // writes into preallocated frames instead of constructing vectors. The
+  // frame estimate is a capacity hint — longer runs grow geometrically.
+  const bool frames_on = config_.sample_interval > 0 && config_.monitor_per_pe;
+  metrics_.reserve(topo_.num_nodes(), frames_on ? kExpectedFrames : 0);
+  util_series_ = metrics_.add_series(
+      "utilization_percent",
+      config_.sample_interval > 0 ? kExpectedFrames : 1);
+  goal_tx_ = metrics_.add_counter("goal_transmissions");
+  response_tx_ = metrics_.add_counter("response_transmissions");
+  control_tx_ = metrics_.add_counter("control_transmissions");
 
   pes_.reserve(topo_.num_nodes());
   for (topo::NodeId id = 0; id < topo_.num_nodes(); ++id)
@@ -119,17 +136,17 @@ void Machine::transmit_pooled(topo::NodeId from, topo::NodeId to,
   }
   switch (msg.kind) {
     case MsgKind::Goal:
-      ++goal_transmissions_;
+      metrics_.add(goal_tx_);
       trace_.record(now(), TraceEvent::GoalSent, from, to, msg.goal_id,
                     msg.hops);
       break;
     case MsgKind::Response:
-      ++response_transmissions_;
+      metrics_.add(response_tx_);
       trace_.record(now(), TraceEvent::ResponseSent, from, to, msg.parent_id,
                     0);
       break;
     case MsgKind::Control:
-      ++control_transmissions_;
+      metrics_.add(control_tx_);
       trace_.record(now(), TraceEvent::ControlSent, from, to,
                     workload::kInvalidGoal, msg.ctrl_tag);
       break;
@@ -157,7 +174,7 @@ void Machine::broadcast_control(topo::NodeId from, std::uint32_t tag,
   for (const topo::LinkId lid : topo_.links_of(from)) {
     Message msg = Message::control(tag, value);
     msg.src = from;
-    ++control_transmissions_;
+    metrics_.add(control_tx_);
     trace_.record(now(), TraceEvent::ControlSent, from, topo::kInvalidNode,
                   workload::kInvalidGoal, tag);
     sim::Duration occupancy = config_.ctrl_latency;
@@ -291,20 +308,24 @@ stats::RunResult Machine::run() {
           if (t == 0) return;  // nothing elapsed yet
           if (config_.monitor_per_pe) {
             // Per-PE busy fraction over the elapsed interval (uses the
-            // pre-update last_sample_time_).
+            // pre-update last_sample_time_), written straight into the
+            // recorder's preallocated columns — no per-frame vector.
             const double span = static_cast<double>(t - last_sample_time_);
-            std::vector<double> frame(num_pes(), 0.0);
-            if (span > 0) {
-              for (std::uint32_t pe = 0; pe < num_pes(); ++pe) {
+            const stats::MetricsRecorder::FrameRef frame =
+                metrics_.begin_frame(t);
+            for (std::uint32_t pe = 0; pe < num_pes(); ++pe) {
+              double u = 0.0;
+              if (span > 0) {
                 const sim::Duration busy = pes_[pe]->busy_time_through(t);
-                frame[pe] =
-                    static_cast<double>(busy - last_pe_busy_[pe]) / span;
+                u = static_cast<double>(busy - last_pe_busy_[pe]) / span;
                 last_pe_busy_[pe] = busy;
               }
+              frame.utilization[pe] = u;
+              frame.queue_depth[pe] = pes_[pe]->load();
             }
-            monitor_.add_frame(t, std::move(frame));
           }
-          util_series_.add(t, busy_fraction_since_last_sample() * 100.0);
+          metrics_.append(util_series_, t,
+                          busy_fraction_since_last_sample() * 100.0);
         },
         config_.sample_interval);
   }
@@ -362,9 +383,9 @@ stats::RunResult Machine::run() {
 
   r.goal_hops = goal_hops_;
   r.avg_goal_distance = goal_hops_.mean();
-  r.goal_transmissions = goal_transmissions_;
-  r.response_transmissions = response_transmissions_;
-  r.control_transmissions = control_transmissions_;
+  r.goal_transmissions = metrics_.counter_value(goal_tx_);
+  r.response_transmissions = metrics_.counter_value(response_tx_);
+  r.control_transmissions = metrics_.counter_value(control_tx_);
 
   double channel_util_sum = 0.0;
   for (const sim::Resource* ch : channels_) {
@@ -376,8 +397,10 @@ stats::RunResult Machine::run() {
       channels_.empty() ? 0.0
                         : channel_util_sum / static_cast<double>(channels_.size());
 
-  r.utilization_series = util_series_;
-  r.load_monitor = monitor_;
+  // Hand the whole recorder to the result (trimmed to what was recorded):
+  // series and frame views stay valid for as long as the RunResult lives.
+  metrics_.compact();
+  r.metrics = std::move(metrics_);
   return r;
 }
 

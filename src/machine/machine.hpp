@@ -207,13 +207,15 @@ class Machine {
   bool ran_ = false;
   sim::SimTime completion_time_ = 0;
 
-  // Statistics.
+  // Statistics. The recorder owns every sampled column (utilization
+  // series, per-PE frames) and the transmission counters; it is sized in
+  // init() alongside Scheduler::reserve and moved into the RunResult.
   stats::Histogram goal_hops_;
-  std::uint64_t goal_transmissions_ = 0;
-  std::uint64_t response_transmissions_ = 0;
-  std::uint64_t control_transmissions_ = 0;
-  stats::TimeSeries util_series_;
-  stats::LoadMonitor monitor_;
+  stats::MetricsRecorder metrics_;
+  stats::SeriesId util_series_ = 0;
+  stats::CounterId goal_tx_ = 0;
+  stats::CounterId response_tx_ = 0;
+  stats::CounterId control_tx_ = 0;
   sim::Duration last_sample_busy_ = 0;
   sim::SimTime last_sample_time_ = 0;
   std::vector<sim::Duration> last_pe_busy_;

@@ -2,8 +2,7 @@
 
 namespace oracle::sim {
 
-void Simulation::add_sampler(Duration interval, std::function<void(SimTime)> fn,
-                             SimTime start) {
+void Simulation::add_sampler(Duration interval, SamplerFn fn, SimTime start) {
   ORACLE_ASSERT_MSG(interval > 0, "sampler interval must be positive");
   samplers_.push_back(Sampler{interval, std::move(fn)});
   arm_sampler(samplers_.size() - 1, start);
@@ -11,7 +10,7 @@ void Simulation::add_sampler(Duration interval, std::function<void(SimTime)> fn,
 
 void Simulation::arm_sampler(std::size_t idx, SimTime when) {
   sched_.schedule_at(when, [this, idx] {
-    const Sampler& s = samplers_[idx];
+    Sampler& s = samplers_[idx];
     s.fn(sched_.now());
     // Only re-arm while real work remains: the sampler's own event is the
     // one being executed, so "pending() > 0" means someone else is active.

@@ -2,7 +2,6 @@
 // Simulation: a Scheduler plus run-scoped services (named resources,
 // processes, periodic samplers). One Simulation == one ORACLE run.
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "util/inline_function.hpp"
 
 namespace oracle::sim {
 
@@ -41,12 +41,17 @@ class Simulation {
     processes_.back().spawn(sched_);
   }
 
+  /// Sampler hooks ride the same no-heap-fallback callable as scheduler
+  /// events: sampling is part of the engine's steady state (one firing per
+  /// interval for the whole run), so its callback must not reintroduce
+  /// allocation. Capture indices/pointers, not payloads.
+  using SamplerFn = util::InlineFunction<void(SimTime), 48>;
+
   /// Invoke `fn(now)` every `interval` units starting at `start`, until the
   /// event list would otherwise be empty. Sampler events never keep the
   /// simulation alive on their own: they are rescheduled only while other
   /// work is pending, mirroring ORACLE's output sampler.
-  void add_sampler(Duration interval, std::function<void(SimTime)> fn,
-                   SimTime start = 0);
+  void add_sampler(Duration interval, SamplerFn fn, SimTime start = 0);
 
   /// Run to completion (or the event budget). Returns the final time.
   SimTime run(std::uint64_t max_events = 0) {
@@ -56,7 +61,7 @@ class Simulation {
  private:
   struct Sampler {
     Duration interval;
-    std::function<void(SimTime)> fn;
+    SamplerFn fn;
   };
 
   void arm_sampler(std::size_t idx, SimTime when);

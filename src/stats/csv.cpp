@@ -57,7 +57,7 @@ std::string sweep_to_csv(const std::vector<RunResult>& results) {
 std::string series_to_csv(const RunResult& r) {
   std::ostringstream os;
   os << "time,utilization_percent\n";
-  const auto& ts = r.utilization_series;
+  const auto ts = r.utilization_series();
   for (std::size_t i = 0; i < ts.size(); ++i)
     os << ts.time_at(i) << ',' << ts.value_at(i) << '\n';
   return os.str();

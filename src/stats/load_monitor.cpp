@@ -1,24 +1,29 @@
 #include "stats/load_monitor.hpp"
 
+#include "stats/metrics_recorder.hpp"
 #include "util/error.hpp"
 
 namespace oracle::stats {
 
-void LoadMonitor::add_frame(sim::SimTime t, std::vector<double> utilization) {
-  if (num_pes_ == 0) num_pes_ = static_cast<std::uint32_t>(utilization.size());
-  ORACLE_ASSERT_MSG(utilization.size() == num_pes_,
-                    "frame size does not match PE count");
-  ORACLE_ASSERT_MSG(times_.empty() || t >= times_.back(),
-                    "frames must be recorded in time order");
-  times_.push_back(t);
-  frames_.push_back(std::move(utilization));
+LoadMonitor::LoadMonitor(const MetricsRecorder& recorder)
+    : LoadMonitor(recorder.load_monitor()) {}
+
+sim::SimTime LoadMonitor::time_of(std::size_t frame) const {
+  ORACLE_ASSERT(frame < frames_);
+  return times_[frame];
+}
+
+std::span<const double> LoadMonitor::frame(std::size_t i) const {
+  ORACLE_ASSERT(i < frames_);
+  return {utilization_ + i * num_pes_, num_pes_};
 }
 
 std::vector<double> LoadMonitor::pe_series(std::uint32_t pe) const {
   ORACLE_ASSERT(pe < num_pes_);
   std::vector<double> series;
-  series.reserve(frames_.size());
-  for (const auto& f : frames_) series.push_back(f[pe]);
+  series.reserve(frames_);
+  for (std::size_t f = 0; f < frames_; ++f)
+    series.push_back(utilization_[f * num_pes_ + pe]);
   return series;
 }
 
@@ -31,10 +36,10 @@ char LoadMonitor::shade(double utilization) {
 
 std::string LoadMonitor::render_frame(std::size_t i, std::uint32_t rows,
                                       std::uint32_t cols) const {
-  ORACLE_ASSERT(i < frames_.size());
+  ORACLE_ASSERT(i < frames_);
   ORACLE_ASSERT_MSG(static_cast<std::uint64_t>(rows) * cols == num_pes_,
                     "rows*cols must equal the PE count");
-  const auto& f = frames_[i];
+  const double* f = utilization_ + i * num_pes_;
   std::string out;
   out.reserve(static_cast<std::size_t>(rows) * (cols + 1));
   for (std::uint32_t r = 0; r < rows; ++r) {

@@ -4,10 +4,14 @@
 // data is displayed on the graphics device with a continuum of colors
 // representing relative activity on each PE. (red: busy, blue: idle)."
 //
-// We record the same data and render it as ASCII heat maps (terminal
-// stand-in for the graphics device; see examples/visualize_load.cpp).
+// LoadMonitor is a non-owning view over MetricsRecorder's columnar frame
+// store (stats/metrics_recorder.hpp): the recorder owns the preallocated
+// utilization columns, this class renders them as ASCII heat maps (terminal
+// stand-in for the graphics device; see examples/visualize_load.cpp). The
+// rendered output is byte-identical to the pre-recorder implementation.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,20 +19,32 @@
 
 namespace oracle::stats {
 
+class MetricsRecorder;
+
 class LoadMonitor {
  public:
+  /// Empty view (no frames).
   LoadMonitor() = default;
-  explicit LoadMonitor(std::uint32_t num_pes) : num_pes_(num_pes) {}
+
+  /// View over a recorder's utilization frames. The recorder must outlive
+  /// the view, and recording further frames invalidates it.
+  explicit LoadMonitor(const MetricsRecorder& recorder);
+
+  /// Raw-column view (used by the recorder and by frozen-legacy tests):
+  /// `utilization` holds `frames * num_pes` values, frame-major.
+  LoadMonitor(const sim::SimTime* times, const double* utilization,
+              std::size_t frames, std::uint32_t num_pes) noexcept
+      : times_(times),
+        utilization_(utilization),
+        frames_(frames),
+        num_pes_(num_pes) {}
 
   std::uint32_t num_pes() const noexcept { return num_pes_; }
-  std::size_t frames() const noexcept { return times_.size(); }
-  bool empty() const noexcept { return times_.empty(); }
+  std::size_t frames() const noexcept { return frames_; }
+  bool empty() const noexcept { return frames_ == 0; }
 
-  /// Record one sampling interval: `utilization[pe]` in [0, 1].
-  void add_frame(sim::SimTime t, std::vector<double> utilization);
-
-  sim::SimTime time_of(std::size_t frame) const { return times_.at(frame); }
-  const std::vector<double>& frame(std::size_t i) const { return frames_.at(i); }
+  sim::SimTime time_of(std::size_t frame) const;
+  std::span<const double> frame(std::size_t i) const;
 
   /// Utilization of one PE across all frames.
   std::vector<double> pe_series(std::uint32_t pe) const;
@@ -43,9 +59,10 @@ class LoadMonitor {
   static char shade(double utilization);
 
  private:
+  const sim::SimTime* times_ = nullptr;
+  const double* utilization_ = nullptr;
+  std::size_t frames_ = 0;
   std::uint32_t num_pes_ = 0;
-  std::vector<sim::SimTime> times_;
-  std::vector<std::vector<double>> frames_;
 };
 
 }  // namespace oracle::stats

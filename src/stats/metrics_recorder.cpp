@@ -1,0 +1,131 @@
+#include "stats/metrics_recorder.hpp"
+
+#include "util/error.hpp"
+
+namespace oracle::stats {
+
+void MetricsRecorder::reserve(std::uint32_t num_pes,
+                              std::size_t expected_frames) {
+  ORACLE_REQUIRE(num_pes_ == 0 || num_pes_ == num_pes,
+                 "MetricsRecorder PE count is fixed once reserved");
+  num_pes_ = num_pes;
+  frame_hint_ = expected_frames;
+  if (expected_frames > 0) {
+    times_.reserve(expected_frames);
+    if (utilization_.size() < expected_frames * num_pes) {
+      utilization_.resize(expected_frames * num_pes);
+      queue_depth_.resize(expected_frames * num_pes);
+    }
+  }
+}
+
+void MetricsRecorder::clear() noexcept {
+  // The frame columns stay sized: they are capacity, not content (the
+  // frame count lives in times_).
+  times_.clear();
+  for (Series& s : series_) {
+    s.times.clear();
+    s.values.clear();
+  }
+  for (auto& v : counter_values_) v = 0;
+}
+
+void MetricsRecorder::compact() {
+  utilization_.resize(times_.size() * num_pes_);
+  utilization_.shrink_to_fit();
+  queue_depth_.resize(times_.size() * num_pes_);
+  queue_depth_.shrink_to_fit();
+  times_.shrink_to_fit();
+  for (Series& s : series_) {
+    s.times.shrink_to_fit();
+    s.values.shrink_to_fit();
+  }
+}
+
+MetricsRecorder::FrameRef MetricsRecorder::begin_frame(sim::SimTime t) {
+  ORACLE_ASSERT_MSG(num_pes_ > 0,
+                    "reserve() must size the recorder before begin_frame()");
+  ORACLE_ASSERT_MSG(times_.empty() || t >= times_.back(),
+                    "frames must be recorded in time order");
+  const std::size_t base = times_.size() * num_pes_;
+  times_.push_back(t);
+  if (utilization_.size() < base + num_pes_) {
+    // Outgrew the reserve: double the columns (rare, amortized O(1)).
+    const std::size_t grown = std::max(base + num_pes_, 2 * utilization_.size());
+    utilization_.resize(grown);
+    queue_depth_.resize(grown);
+  }
+  return FrameRef{utilization_.data() + base, queue_depth_.data() + base};
+}
+
+sim::SimTime MetricsRecorder::frame_time(std::size_t frame) const {
+  ORACLE_ASSERT(frame < times_.size());
+  return times_[frame];
+}
+
+std::span<const double> MetricsRecorder::utilization_frame(
+    std::size_t frame) const {
+  ORACLE_ASSERT(frame < times_.size());
+  return {utilization_.data() + frame * num_pes_, num_pes_};
+}
+
+std::span<const std::int64_t> MetricsRecorder::queue_depth_frame(
+    std::size_t frame) const {
+  ORACLE_ASSERT(frame < times_.size());
+  return {queue_depth_.data() + frame * num_pes_, num_pes_};
+}
+
+std::vector<double> MetricsRecorder::pe_utilization_series(
+    std::uint32_t pe) const {
+  ORACLE_ASSERT(pe < num_pes_);
+  std::vector<double> out;
+  out.reserve(times_.size());
+  for (std::size_t f = 0; f < times_.size(); ++f)
+    out.push_back(utilization_[f * num_pes_ + pe]);
+  return out;
+}
+
+LoadMonitor MetricsRecorder::load_monitor() const noexcept {
+  return LoadMonitor(times_.data(), utilization_.data(), times_.size(),
+                     num_pes_);
+}
+
+SeriesId MetricsRecorder::add_series(std::string name,
+                                     std::size_t expected_samples) {
+  const std::size_t cap =
+      expected_samples > 0 ? expected_samples : frame_hint_;
+  Series s;
+  s.name = std::move(name);
+  if (cap > 0) {
+    s.times.reserve(cap);
+    s.values.reserve(cap);
+  }
+  series_.push_back(std::move(s));
+  return static_cast<SeriesId>(series_.size() - 1);
+}
+
+TimeSeries MetricsRecorder::series(SeriesId id) const {
+  const Series& s = series_[id];
+  return TimeSeries(s.name, s.times.data(), s.values.data(), s.times.size());
+}
+
+TimeSeries MetricsRecorder::series(std::string_view name) const {
+  for (std::size_t i = 0; i < series_.size(); ++i)
+    if (series_[i].name == name) return series(static_cast<SeriesId>(i));
+  return TimeSeries(std::string(name));
+}
+
+CounterId MetricsRecorder::add_counter(std::string name) {
+  counter_names_.push_back(std::move(name));
+  counter_values_.push_back(0);
+  return static_cast<CounterId>(counter_values_.size() - 1);
+}
+
+std::uint64_t MetricsRecorder::counter_value(
+    std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < counter_names_.size(); ++i)
+    if (counter_names_[i] == name) return counter_values_[i];
+  return 0;
+}
+
+}  // namespace oracle::stats

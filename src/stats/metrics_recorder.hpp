@@ -1,0 +1,154 @@
+#pragma once
+// MetricsRecorder: the columnar (structure-of-arrays) store behind every
+// per-run metric — per-PE utilization frames ("the utilization of each PE
+// is output at every sampling interval"), per-PE queue depths, named
+// scalar time series (the utilization-vs-time data of Plots 11-16), and
+// named event counters (goal/response/control transmissions).
+//
+// The recorder is sized up front via reserve(num_pes, expected_frames) —
+// called from Machine setup alongside Scheduler::reserve — so steady-state
+// sampling performs zero heap allocations: a frame is one timestamp append
+// plus in-place writes into preallocated columns, where the legacy path
+// constructed a fresh std::vector<double> per frame. Capacity overruns
+// grow geometrically (runs longer than the estimate stay correct, they
+// just pay a rare amortized reallocation).
+//
+// LoadMonitor (stats/load_monitor.hpp) and TimeSeries (stats/timeseries.hpp)
+// are non-owning views over these columns; their rendering/CSV output is
+// byte-identical to the pre-recorder implementations.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/load_monitor.hpp"
+#include "stats/timeseries.hpp"
+
+namespace oracle::stats {
+
+using SeriesId = std::uint32_t;
+using CounterId = std::uint32_t;
+
+class MetricsRecorder {
+ public:
+  /// One sampling interval's writable slots: `utilization[pe]` in [0, 1]
+  /// and `queue_depth[pe]` (the strategy-visible load), each `num_pes()`
+  /// wide. Pointers stay valid until the next begin_frame call.
+  struct FrameRef {
+    double* utilization;
+    std::int64_t* queue_depth;
+  };
+
+  MetricsRecorder() = default;
+
+  /// Size every frame column for `expected_frames` samples over `num_pes`
+  /// PEs. The PE count is fixed from here on; `expected_frames` is a
+  /// capacity hint (also the default reservation for later add_series
+  /// calls), not a limit.
+  void reserve(std::uint32_t num_pes, std::size_t expected_frames);
+
+  std::uint32_t num_pes() const noexcept { return num_pes_; }
+  std::size_t frames() const noexcept { return times_.size(); }
+  bool has_frames() const noexcept { return !times_.empty(); }
+
+  /// Drop every recorded sample and zero the counters while keeping the
+  /// layout (PE count, registered series/counters) and every column's
+  /// capacity — reusing one recorder across runs stays allocation-free.
+  void clear() noexcept;
+
+  /// Trim column storage to the recorded sample count (drops the unused
+  /// reserve tail). Called once per run when the recorder is handed to the
+  /// RunResult, so copies of finished results don't carry slack capacity.
+  void compact();
+
+  // --- per-PE frame columns ----------------------------------------------
+
+  /// Append one sampling interval at time `t` and return its writable
+  /// column slots. Frames must be recorded in non-decreasing time order.
+  FrameRef begin_frame(sim::SimTime t);
+
+  sim::SimTime frame_time(std::size_t frame) const;
+  std::span<const double> utilization_frame(std::size_t frame) const;
+  std::span<const std::int64_t> queue_depth_frame(std::size_t frame) const;
+
+  /// Utilization of one PE across all frames (strided gather).
+  std::vector<double> pe_utilization_series(std::uint32_t pe) const;
+
+  /// Non-owning heat-map view over the utilization frames. Valid while the
+  /// recorder exists and no further frames are recorded.
+  stats::LoadMonitor load_monitor() const noexcept;
+
+  // --- scalar time series -------------------------------------------------
+
+  /// Register a named series; `expected_samples` = 0 falls back to the
+  /// reserve() frame hint. Returns the id used by append().
+  SeriesId add_series(std::string name, std::size_t expected_samples = 0);
+
+  void append(SeriesId id, sim::SimTime t, double value) {
+    Series& s = series_[id];
+    s.times.push_back(t);
+    s.values.push_back(value);
+  }
+
+  std::size_t num_series() const noexcept { return series_.size(); }
+  const std::string& series_name(SeriesId id) const {
+    return series_[id].name;
+  }
+  std::size_t series_size(SeriesId id) const { return series_[id].times.size(); }
+
+  /// Non-owning view of one series (same caveats as load_monitor()). Not
+  /// noexcept: the view carries a copy of the series name.
+  stats::TimeSeries series(SeriesId id) const;
+
+  /// Lookup by name; an empty default view when absent.
+  stats::TimeSeries series(std::string_view name) const;
+
+  // --- counters ------------------------------------------------------------
+
+  CounterId add_counter(std::string name);
+
+  void add(CounterId id, std::uint64_t delta = 1) noexcept {
+    counter_values_[id] += delta;
+  }
+
+  std::size_t num_counters() const noexcept { return counter_values_.size(); }
+  const std::string& counter_name(CounterId id) const {
+    return counter_names_[id];
+  }
+  std::uint64_t counter_value(CounterId id) const noexcept {
+    return counter_values_[id];
+  }
+
+  /// Lookup by name; 0 when absent.
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<sim::SimTime> times;
+    std::vector<double> values;
+  };
+
+  std::uint32_t num_pes_ = 0;
+  std::size_t frame_hint_ = 0;
+
+  // Frame columns: times_[f] stamps frame f (and its size is the frame
+  // count); utilization_/queue_depth_ hold frames contiguously, frame f at
+  // [f * num_pes_, (f+1) * num_pes_). The column vectors are sized like
+  // capacity — begin_frame hands out the next num_pes_ slots without
+  // value-initializing them (the caller writes every slot), so a frame
+  // costs no memset and, inside the reserve, no allocation.
+  std::vector<sim::SimTime> times_;
+  std::vector<double> utilization_;
+  std::vector<std::int64_t> queue_depth_;
+
+  std::vector<Series> series_;
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::uint64_t> counter_values_;
+};
+
+}  // namespace oracle::stats

@@ -10,8 +10,7 @@
 
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
-#include "stats/load_monitor.hpp"
-#include "stats/timeseries.hpp"
+#include "stats/metrics_recorder.hpp"
 
 namespace oracle::stats {
 
@@ -52,17 +51,26 @@ struct RunResult {
   double avg_channel_utilization = 0.0;
   double max_channel_utilization = 0.0;
 
-  // Time profile (only filled when sample_interval > 0).
-  TimeSeries utilization_series;
-
-  // Per-PE utilization frames (only when monitor_per_pe is set).
-  LoadMonitor load_monitor;
+  // The run's sampled metrics, moved out of the Machine's recorder: the
+  // utilization time series (when sample_interval > 0), per-PE utilization
+  // and queue-depth frames (when monitor_per_pe is set), and the raw
+  // transmission counters.
+  MetricsRecorder metrics;
 
   // Simulator internals (for the engine microbenches / sanity checks).
   std::uint64_t events_executed = 0;
 
   /// Convenience: percent utilization as plotted in the paper.
   double utilization_percent() const noexcept { return avg_utilization * 100.0; }
+
+  /// View of the sampled utilization-vs-time series (empty when sampling
+  /// was off). Valid while this RunResult is alive and unmodified.
+  TimeSeries utilization_series() const {
+    return metrics.series("utilization_percent");
+  }
+
+  /// View of the per-PE utilization frames (empty unless monitor_per_pe).
+  LoadMonitor load_monitor() const noexcept { return metrics.load_monitor(); }
 };
 
 }  // namespace oracle::stats

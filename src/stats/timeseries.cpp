@@ -7,25 +7,35 @@
 
 namespace oracle::stats {
 
+sim::SimTime TimeSeries::time_at(std::size_t i) const {
+  ORACLE_ASSERT(i < size_);
+  return times_[i];
+}
+
+double TimeSeries::value_at(std::size_t i) const {
+  ORACLE_ASSERT(i < size_);
+  return values_[i];
+}
+
 double TimeSeries::max_value() const noexcept {
   double best = 0.0;
-  for (double v : values_) best = std::max(best, v);
+  for (std::size_t i = 0; i < size_; ++i) best = std::max(best, values_[i]);
   return best;
 }
 
 double TimeSeries::mean_value() const noexcept {
-  if (values_.empty()) return 0.0;
+  if (size_ == 0) return 0.0;
   double sum = 0.0;
-  for (double v : values_) sum += v;
-  return sum / static_cast<double>(values_.size());
+  for (std::size_t i = 0; i < size_; ++i) sum += values_[i];
+  return sum / static_cast<double>(size_);
 }
 
 double TimeSeries::interpolate(sim::SimTime t) const {
-  ORACLE_ASSERT(!times_.empty());
-  if (t <= times_.front()) return values_.front();
-  if (t >= times_.back()) return values_.back();
-  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
-  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  ORACLE_ASSERT(size_ > 0);
+  if (t <= times_[0]) return values_[0];
+  if (t >= times_[size_ - 1]) return values_[size_ - 1];
+  const auto* it = std::lower_bound(times_, times_ + size_, t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_);
   const std::size_t lo = hi - 1;
   const double span = static_cast<double>(times_[hi] - times_[lo]);
   if (span <= 0.0) return values_[hi];
@@ -36,7 +46,7 @@ double TimeSeries::interpolate(sim::SimTime t) const {
 std::string TimeSeries::to_csv() const {
   std::ostringstream os;
   os << "time," << (name_.empty() ? "value" : name_) << '\n';
-  for (std::size_t i = 0; i < times_.size(); ++i)
+  for (std::size_t i = 0; i < size_; ++i)
     os << times_[i] << ',' << values_[i] << '\n';
   return os.str();
 }

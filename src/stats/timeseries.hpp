@@ -2,35 +2,45 @@
 // Sampled time series: utilization-vs-time data behind the paper's Plots
 // 11-16 and its color load monitor ("the utilization of each PE is output
 // at every sampling interval").
+//
+// TimeSeries is a non-owning view over one MetricsRecorder scalar column
+// pair (stats/metrics_recorder.hpp): the recorder owns the preallocated
+// (time, value) columns, this class carries the read/interpolate/CSV API.
+// to_csv output is byte-identical to the pre-recorder implementation.
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "sim/time.hpp"
 
 namespace oracle::stats {
 
-/// A sequence of (time, value) samples taken at a fixed interval.
+/// A view of a sequence of (time, value) samples taken at a fixed interval.
 class TimeSeries {
  public:
+  /// Empty view.
   TimeSeries() = default;
+
+  /// Named empty view (a series that recorded no samples keeps its name).
   explicit TimeSeries(std::string name) : name_(std::move(name)) {}
 
-  void add(sim::SimTime t, double value) {
-    times_.push_back(t);
-    values_.push_back(value);
-  }
+  /// Raw-column view (used by the recorder and by frozen-legacy tests).
+  TimeSeries(std::string name, const sim::SimTime* times, const double* values,
+             std::size_t size)
+      : name_(std::move(name)), times_(times), values_(values), size_(size) {}
 
   const std::string& name() const noexcept { return name_; }
-  std::size_t size() const noexcept { return times_.size(); }
-  bool empty() const noexcept { return times_.empty(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
 
-  sim::SimTime time_at(std::size_t i) const { return times_.at(i); }
-  double value_at(std::size_t i) const { return values_.at(i); }
+  sim::SimTime time_at(std::size_t i) const;
+  double value_at(std::size_t i) const;
 
-  const std::vector<sim::SimTime>& times() const noexcept { return times_; }
-  const std::vector<double>& values() const noexcept { return values_; }
+  std::span<const sim::SimTime> times() const noexcept {
+    return {times_, size_};
+  }
+  std::span<const double> values() const noexcept { return {values_, size_}; }
 
   double max_value() const noexcept;
   double mean_value() const noexcept;
@@ -43,8 +53,9 @@ class TimeSeries {
 
  private:
   std::string name_;
-  std::vector<sim::SimTime> times_;
-  std::vector<double> values_;
+  const sim::SimTime* times_ = nullptr;
+  const double* values_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace oracle::stats

@@ -195,8 +195,8 @@ TEST(PaperHeadline, CwnFasterRiseTime) {
   const auto rc = run_experiment(cwn);
   const auto rg = run_experiment(gm);
   const sim::SimTime probe = rg.completion_time / 5;
-  EXPECT_GT(rc.utilization_series.interpolate(probe),
-            rg.utilization_series.interpolate(probe));
+  EXPECT_GT(rc.utilization_series().interpolate(probe),
+            rg.utilization_series().interpolate(probe));
 }
 
 }  // namespace

@@ -131,14 +131,14 @@ TEST(Machine, SamplerProducesTimeSeries) {
   cfg.sample_interval = 16;
   Machine m(grid, wl, strategy, cfg);
   const stats::RunResult r = m.run();
-  ASSERT_GT(r.utilization_series.size(), 2u);
-  for (std::size_t i = 0; i < r.utilization_series.size(); ++i) {
-    EXPECT_GE(r.utilization_series.value_at(i), 0.0);
-    EXPECT_LE(r.utilization_series.value_at(i), 100.0 + 1e-9);
+  const stats::TimeSeries series = r.utilization_series();
+  ASSERT_GT(series.size(), 2u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_GE(series.value_at(i), 0.0);
+    EXPECT_LE(series.value_at(i), 100.0 + 1e-9);
   }
   // Interval-average utilization over the whole run matches the aggregate.
-  EXPECT_NEAR(r.utilization_series.mean_value() / 100.0, r.avg_utilization,
-              0.15);
+  EXPECT_NEAR(series.mean_value() / 100.0, r.avg_utilization, 0.15);
 }
 
 TEST(Machine, StartPeConfigurable) {

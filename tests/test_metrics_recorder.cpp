@@ -1,0 +1,218 @@
+// MetricsRecorder: recorder-vs-legacy equivalence (the recorder-backed
+// LoadMonitor/TimeSeries views must render byte-for-byte what the frozen
+// pre-refactor implementations produced for the same data) and the
+// zero-allocation steady-state guarantee of the columnar sampling path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "legacy_metrics.hpp"
+#include "stats/metrics_recorder.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps it, so
+// a test can assert that a code region performed zero heap allocations.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// The replacement operators pair malloc with free; GCC cannot see through
+// the replacement and warns at call sites.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace oracle::stats {
+namespace {
+
+/// Deterministic pseudo-utilization in [0, 1].
+double util_sample(Rng& rng) {
+  return static_cast<double>(rng.below(10'000)) / 9'999.0;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence against the frozen pre-refactor implementations
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRecorderEquivalence, FramesMatchLegacyByteForByte) {
+  constexpr std::uint32_t kRows = 6, kCols = 8;
+  constexpr std::uint32_t kPes = kRows * kCols;
+  constexpr std::size_t kFrames = 37;
+
+  Rng rng(2026);
+  bench::legacy::LoadMonitor legacy(kPes);
+  MetricsRecorder rec;
+  rec.reserve(kPes, kFrames);
+
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    const sim::SimTime t = static_cast<sim::SimTime>(50 * (f + 1));
+    std::vector<double> frame(kPes);
+    const auto ref = rec.begin_frame(t);
+    for (std::uint32_t pe = 0; pe < kPes; ++pe) {
+      const double u = util_sample(rng);
+      frame[pe] = u;
+      ref.utilization[pe] = u;
+    }
+    legacy.add_frame(t, std::move(frame));
+  }
+
+  const LoadMonitor view = rec.load_monitor();
+  ASSERT_EQ(view.frames(), legacy.frames());
+  ASSERT_EQ(view.num_pes(), legacy.num_pes());
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    EXPECT_EQ(view.time_of(f), legacy.time_of(f));
+    // The rendered heat map must be byte-identical.
+    EXPECT_EQ(view.render_frame(f, kRows, kCols),
+              legacy.render_frame(f, kRows, kCols))
+        << "frame " << f;
+  }
+  for (std::uint32_t pe = 0; pe < kPes; pe += 7)
+    EXPECT_EQ(view.pe_series(pe), legacy.pe_series(pe)) << "pe " << pe;
+}
+
+TEST(MetricsRecorderEquivalence, SeriesCsvMatchesLegacyByteForByte) {
+  Rng rng(77);
+  bench::legacy::TimeSeries legacy("utilization_percent");
+  MetricsRecorder rec;
+  const SeriesId id = rec.add_series("utilization_percent", 64);
+
+  for (std::size_t i = 0; i < 200; ++i) {
+    const sim::SimTime t = static_cast<sim::SimTime>(50 * (i + 1));
+    const double v = util_sample(rng) * 100.0;
+    legacy.add(t, v);
+    rec.append(id, t, v);
+  }
+
+  const TimeSeries view = rec.series(id);
+  ASSERT_EQ(view.size(), legacy.size());
+  EXPECT_EQ(view.name(), legacy.name());
+  EXPECT_EQ(view.to_csv(), legacy.to_csv());
+  EXPECT_DOUBLE_EQ(view.mean_value(), legacy.mean_value());
+  EXPECT_DOUBLE_EQ(view.max_value(), legacy.max_value());
+  for (std::size_t i = 0; i < view.size(); i += 17) {
+    EXPECT_EQ(view.time_at(i), legacy.time_at(i));
+    EXPECT_DOUBLE_EQ(view.value_at(i), legacy.value_at(i));
+  }
+}
+
+TEST(MetricsRecorderEquivalence, ShadeRampIdentical) {
+  for (double u = -0.5; u <= 1.5; u += 0.01)
+    ASSERT_EQ(LoadMonitor::shade(u), bench::legacy::LoadMonitor::shade(u));
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRecorderAllocation, SteadyStateSamplingAllocatesNothing) {
+  constexpr std::uint32_t kPes = 100;
+  constexpr std::size_t kFrames = 400;
+
+  MetricsRecorder rec;
+  rec.reserve(kPes, kFrames);
+  const SeriesId util = rec.add_series("utilization_percent", kFrames);
+  const CounterId tx = rec.add_counter("goal_transmissions");
+
+  Rng rng(5);
+  const std::uint64_t before = g_allocations.load();
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    const sim::SimTime t = static_cast<sim::SimTime>(50 * (f + 1));
+    const auto ref = rec.begin_frame(t);
+    double sum = 0.0;
+    for (std::uint32_t pe = 0; pe < kPes; ++pe) {
+      const double u = util_sample(rng);
+      ref.utilization[pe] = u;
+      ref.queue_depth[pe] = static_cast<std::int64_t>(pe % 3);
+      sum += u;
+    }
+    rec.append(util, t, sum / kPes * 100.0);
+    rec.add(tx, 3);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "sampling inside reserved capacity must not touch the heap";
+
+  // The frozen legacy path allocates at least one vector per frame — the
+  // contrast the refactor exists to eliminate.
+  bench::legacy::LoadMonitor legacy(kPes);
+  const std::uint64_t legacy_before = g_allocations.load();
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    std::vector<double> frame(kPes, 0.5);
+    legacy.add_frame(static_cast<sim::SimTime>(50 * (f + 1)),
+                     std::move(frame));
+  }
+  const std::uint64_t legacy_after = g_allocations.load();
+  EXPECT_GE(legacy_after - legacy_before, kFrames);
+}
+
+TEST(MetricsRecorderAllocation, GrowthBeyondReserveStaysCorrect) {
+  MetricsRecorder rec;
+  rec.reserve(4, 2);  // deliberately undersized
+  for (std::size_t f = 0; f < 64; ++f) {
+    const auto ref = rec.begin_frame(static_cast<sim::SimTime>(f));
+    for (std::uint32_t pe = 0; pe < 4; ++pe)
+      ref.utilization[pe] = static_cast<double>(f) / 64.0;
+  }
+  EXPECT_EQ(rec.frames(), 64u);
+  EXPECT_DOUBLE_EQ(rec.utilization_frame(63)[0], 63.0 / 64.0);
+  EXPECT_EQ(rec.load_monitor().frames(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a sampled run surfaces its recorder in the RunResult
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRecorderEndToEnd, RunResultCarriesColumnsAndCounters) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:4x4";
+  cfg.strategy = "cwn:radius=3,horizon=1";
+  cfg.workload = "fib:10";
+  cfg.machine.sample_interval = 40;
+  cfg.machine.monitor_per_pe = true;
+  const auto r = core::run_experiment(cfg);
+
+  // Counters mirror the scalar result fields.
+  EXPECT_EQ(r.metrics.counter_value("goal_transmissions"),
+            r.goal_transmissions);
+  EXPECT_EQ(r.metrics.counter_value("response_transmissions"),
+            r.response_transmissions);
+  EXPECT_EQ(r.metrics.counter_value("control_transmissions"),
+            r.control_transmissions);
+
+  // Frame columns and the series sample the same instants.
+  const auto monitor = r.load_monitor();
+  const auto series = r.utilization_series();
+  ASSERT_GT(monitor.frames(), 0u);
+  ASSERT_EQ(series.size(), monitor.frames());
+  for (std::size_t f = 0; f < monitor.frames(); ++f)
+    EXPECT_EQ(monitor.time_of(f), series.time_at(f));
+}
+
+}  // namespace
+}  // namespace oracle::stats

@@ -8,20 +8,35 @@
 #include "machine/machine.hpp"
 #include "machine/trace.hpp"
 #include "stats/load_monitor.hpp"
+#include "stats/metrics_recorder.hpp"
 #include "topo/grid.hpp"
 #include "workload/fib.hpp"
 
 namespace oracle {
 namespace {
 
+/// Record utilization frames through the columnar recorder API.
+stats::MetricsRecorder record_frames(
+    std::uint32_t num_pes,
+    const std::vector<std::pair<sim::SimTime, std::vector<double>>>& frames) {
+  stats::MetricsRecorder rec;
+  rec.reserve(num_pes, frames.size());
+  for (const auto& [t, util] : frames) {
+    const auto ref = rec.begin_frame(t);
+    for (std::uint32_t pe = 0; pe < num_pes; ++pe)
+      ref.utilization[pe] = util[pe];
+  }
+  return rec;
+}
+
 // --------------------------------------------------------------------------
-// LoadMonitor
+// LoadMonitor (view over MetricsRecorder frame columns)
 // --------------------------------------------------------------------------
 
 TEST(LoadMonitor, AddAndAccessFrames) {
-  stats::LoadMonitor m(4);
-  m.add_frame(10, {0.0, 0.5, 1.0, 0.25});
-  m.add_frame(20, {1.0, 1.0, 0.0, 0.0});
+  const auto rec =
+      record_frames(4, {{10, {0.0, 0.5, 1.0, 0.25}}, {20, {1.0, 1.0, 0.0, 0.0}}});
+  const stats::LoadMonitor m(rec);
   EXPECT_EQ(m.frames(), 2u);
   EXPECT_EQ(m.time_of(1), 20);
   EXPECT_DOUBLE_EQ(m.frame(0)[2], 1.0);
@@ -42,9 +57,8 @@ TEST(LoadMonitor, ShadeRampMonotone) {
 }
 
 TEST(LoadMonitor, RenderFrameShape) {
-  stats::LoadMonitor m(6);
-  m.add_frame(5, {0, 0, 0, 1, 1, 1});
-  const std::string grid = m.render_frame(0, 2, 3);
+  const auto rec = record_frames(6, {{5, {0, 0, 0, 1, 1, 1}}});
+  const std::string grid = rec.load_monitor().render_frame(0, 2, 3);
   EXPECT_EQ(grid, "...\n@@@\n");
 }
 
@@ -56,21 +70,26 @@ TEST(LoadMonitor, MachineFillsMonitorWhenEnabled) {
   cfg.machine.sample_interval = 40;
   cfg.machine.monitor_per_pe = true;
   const auto r = core::run_experiment(cfg);
-  ASSERT_GT(r.load_monitor.frames(), 1u);
-  EXPECT_EQ(r.load_monitor.num_pes(), 9u);
-  for (std::size_t f = 0; f < r.load_monitor.frames(); ++f) {
-    for (double u : r.load_monitor.frame(f)) {
+  const stats::LoadMonitor monitor = r.load_monitor();
+  ASSERT_GT(monitor.frames(), 1u);
+  EXPECT_EQ(monitor.num_pes(), 9u);
+  for (std::size_t f = 0; f < monitor.frames(); ++f) {
+    for (double u : monitor.frame(f)) {
       EXPECT_GE(u, 0.0);
       EXPECT_LE(u, 1.0 + 1e-9);
     }
   }
   // Frame means should agree with the aggregate series (same sampling).
-  const auto& ts = r.utilization_series;
-  ASSERT_EQ(ts.size(), r.load_monitor.frames());
+  const auto ts = r.utilization_series();
+  ASSERT_EQ(ts.size(), monitor.frames());
   for (std::size_t f = 0; f < ts.size(); ++f) {
     double sum = 0;
-    for (double u : r.load_monitor.frame(f)) sum += u;
+    for (double u : monitor.frame(f)) sum += u;
     EXPECT_NEAR(sum / 9.0 * 100.0, ts.value_at(f), 1e-6) << "frame " << f;
+  }
+  // Queue depths are sampled alongside utilization in the same columns.
+  for (std::size_t f = 0; f < monitor.frames(); ++f) {
+    for (std::int64_t q : r.metrics.queue_depth_frame(f)) EXPECT_GE(q, 0);
   }
 }
 
@@ -80,7 +99,7 @@ TEST(LoadMonitor, DisabledByDefault) {
   cfg.workload = "fib:8";
   cfg.machine.sample_interval = 40;
   const auto r = core::run_experiment(cfg);
-  EXPECT_TRUE(r.load_monitor.empty());
+  EXPECT_TRUE(r.load_monitor().empty());
 }
 
 // --------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
+#include "stats/metrics_recorder.hpp"
 #include "stats/timeseries.hpp"
 
 namespace oracle::stats {
@@ -155,13 +156,22 @@ TEST(Histogram, ToStringFormat) {
 }
 
 // --------------------------------------------------------------------------
-// TimeSeries
+// TimeSeries (view over MetricsRecorder scalar columns)
 // --------------------------------------------------------------------------
 
+/// Build a recorder holding one series with the given samples.
+MetricsRecorder record_series(const std::string& name,
+                              const std::vector<std::pair<sim::SimTime, double>>&
+                                  samples) {
+  MetricsRecorder rec;
+  const SeriesId id = rec.add_series(name, samples.size());
+  for (const auto& [t, v] : samples) rec.append(id, t, v);
+  return rec;
+}
+
 TEST(TimeSeries, AddAndAccess) {
-  TimeSeries ts("util");
-  ts.add(0, 1.0);
-  ts.add(10, 3.0);
+  const auto rec = record_series("util", {{0, 1.0}, {10, 3.0}});
+  const TimeSeries ts = rec.series("util");
   EXPECT_EQ(ts.size(), 2u);
   EXPECT_EQ(ts.time_at(1), 10);
   EXPECT_DOUBLE_EQ(ts.value_at(1), 3.0);
@@ -169,27 +179,50 @@ TEST(TimeSeries, AddAndAccess) {
 }
 
 TEST(TimeSeries, MaxAndMean) {
-  TimeSeries ts;
-  ts.add(0, 1.0);
-  ts.add(1, 5.0);
-  ts.add(2, 3.0);
+  const auto rec = record_series("s", {{0, 1.0}, {1, 5.0}, {2, 3.0}});
+  const TimeSeries ts = rec.series(SeriesId{0});
   EXPECT_DOUBLE_EQ(ts.max_value(), 5.0);
   EXPECT_DOUBLE_EQ(ts.mean_value(), 3.0);
 }
 
 TEST(TimeSeries, InterpolateLinear) {
-  TimeSeries ts;
-  ts.add(0, 0.0);
-  ts.add(10, 100.0);
+  const auto rec = record_series("s", {{0, 0.0}, {10, 100.0}});
+  const TimeSeries ts = rec.series(SeriesId{0});
   EXPECT_DOUBLE_EQ(ts.interpolate(5), 50.0);
   EXPECT_DOUBLE_EQ(ts.interpolate(-5), 0.0);   // clamped
   EXPECT_DOUBLE_EQ(ts.interpolate(99), 100.0);  // clamped
 }
 
 TEST(TimeSeries, CsvOutput) {
-  TimeSeries ts("u");
-  ts.add(1, 2.5);
-  EXPECT_EQ(ts.to_csv(), "time,u\n1,2.5\n");
+  const auto rec = record_series("u", {{1, 2.5}});
+  EXPECT_EQ(rec.series("u").to_csv(), "time,u\n1,2.5\n");
+}
+
+TEST(TimeSeries, MissingSeriesIsNamedEmptyView) {
+  const MetricsRecorder rec;
+  const TimeSeries ts = rec.series("absent");
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.name(), "absent");
+  EXPECT_EQ(ts.to_csv(), "time,absent\n");
+}
+
+// --------------------------------------------------------------------------
+// MetricsRecorder counters
+// --------------------------------------------------------------------------
+
+TEST(MetricsRecorder, CountersAccumulateByIdAndName) {
+  MetricsRecorder rec;
+  const CounterId a = rec.add_counter("goal_transmissions");
+  const CounterId b = rec.add_counter("control_transmissions");
+  rec.add(a);
+  rec.add(a, 4);
+  rec.add(b, 2);
+  EXPECT_EQ(rec.counter_value(a), 5u);
+  EXPECT_EQ(rec.counter_value("goal_transmissions"), 5u);
+  EXPECT_EQ(rec.counter_value("control_transmissions"), 2u);
+  EXPECT_EQ(rec.counter_value("absent"), 0u);
+  EXPECT_EQ(rec.num_counters(), 2u);
+  EXPECT_EQ(rec.counter_name(b), "control_transmissions");
 }
 
 }  // namespace
