@@ -2,17 +2,18 @@
 // engine from the command line: sharded parallel execution, a streaming
 // JSONL result store (plus optional CSV mirror), checkpointing, and
 // resumable interrupted runs — plus a multi-seed aggregation/query mode
-// over existing stores.
+// over existing stores and a crash-safe multi-process distributed mode.
 //
 // Usage:
-//   oracle_batch aggregate <store.jsonl> [options]
+//   oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...] [options]
 //     --metric NAME         metric for the summary table (default speedup;
 //                           repeatable / comma lists; "all" prints every
 //                           metric). `--metric list` names the choices.
 //     --csv PATH            also write the full long-format summary CSV
 //                           (all metrics x grid points; "-" = stdout)
+//     Several stores (e.g. one per host) aggregate as one pooled sweep.
 //
-//   oracle_batch [options]
+//   oracle_batch [run] [options]
 //     --topologies A,B,..   topology spec axis   (default grid:6x6,grid:10x10,dlm:5:10x10)
 //     --strategies A,B,..   strategy spec axis   (default cwn,gm,random)
 //     --workloads A,B,..    workload spec axis   (default fib:13)
@@ -33,16 +34,32 @@
 //     --hop-latency N       channel units per goal/response hop
 //     --no-progress         disable the jobs/s + ETA progress lines
 //
+//   run-only (multi-process distributed mode):
+//     --workers N           fork N worker processes (self-exec), one per
+//                           content-hash shard, each into a private
+//                           per-shard store; the parent merges the shards
+//                           into --out in job order — byte-identical to a
+//                           serial run. With --resume, only shards with
+//                           incomplete jobs are re-run (crash recovery).
+//     --shard i/N           internal/cross-host: run only shard i of N
+//                           into the per-shard store derived from --out
+//     --keep-shards         keep the per-shard stores after a merge
+//
 // Examples:
 //   oracle_batch --topologies grid:10x10,dlm:5:10x10 --strategies cwn,gm
 //                --seeds 8 --jobs 8 --out sweep.jsonl
 //   # killed half-way? finish the remaining jobs only:
 //   oracle_batch ... --out sweep.jsonl --resume
+//   # same sweep, 4 crash-safe worker processes, one canonical store:
+//   oracle_batch run ... --workers 4 --out sweep.jsonl
+//   # a worker was SIGKILLed? re-run only the dead shard's remainder:
+//   oracle_batch run ... --workers 4 --out sweep.jsonl --resume
 
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "oracle.hpp"
@@ -60,13 +77,15 @@ using namespace oracle;
 
 void print_usage() {
   std::printf(
-      "usage: oracle_batch [--topologies A,B,..] [--strategies A,B,..]\n"
+      "usage: oracle_batch [run] [--topologies A,B,..] [--strategies A,B,..]\n"
       "                    [--workloads A,B,..] [--seeds N|A,B,..]\n"
       "                    [--master-seed M] [--jobs N] [--shard N]\n"
       "                    [--out PATH|-] [--csv PATH] [--resume]\n"
       "                    [--sample N] [--hop-latency N] [--no-progress]\n"
-      "       oracle_batch aggregate <store.jsonl> [--metric NAME|all|list]\n"
-      "                    [--csv PATH|-]\n");
+      "       oracle_batch run ... --workers N [--keep-shards]   (multi-process)\n"
+      "       oracle_batch run ... --shard i/N                   (one shard only)\n"
+      "       oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...]\n"
+      "                    [--metric NAME|all|list] [--csv PATH|-]\n");
 }
 
 std::vector<std::string> parse_list(const std::string& value,
@@ -81,7 +100,7 @@ std::vector<std::string> parse_list(const std::string& value,
 }
 
 int aggregate_main(int argc, char** argv) {
-  std::string store;
+  std::vector<std::string> stores;
   std::vector<std::string> metrics;
   std::string csv_path;
 
@@ -100,10 +119,8 @@ int aggregate_main(int argc, char** argv) {
       csv_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown aggregate option '" + arg + "'");
-    } else if (store.empty()) {
-      store = arg;
     } else {
-      usage_error("aggregate takes exactly one store path");
+      stores.push_back(arg);
     }
   }
   if (metrics.empty()) metrics.push_back("speedup");
@@ -119,20 +136,22 @@ int aggregate_main(int argc, char** argv) {
     if (std::find(known.begin(), known.end(), m) == known.end())
       usage_error("unknown metric '" + m + "' (try --metric list)");
   }
-  if (store.empty()) usage_error("aggregate needs a JSONL store path");
+  if (stores.empty()) usage_error("aggregate needs a JSONL store path");
 
   try {
-    const auto agg = exp::Aggregator::from_jsonl_file(store);
+    const auto agg = exp::Aggregator::from_jsonl_files(stores);
     const auto groups = agg.summarize();
     if (groups.empty()) {
       std::fprintf(stderr, "oracle_batch: no parseable records in %s\n",
-                   store.c_str());
+                   join(stores, " ").c_str());
       return 1;
     }
-    std::printf("%s: %zu runs, %zu grid points", store.c_str(), agg.rows(),
-                agg.groups());
+    std::printf("%s: %zu runs, %zu grid points", join(stores, " ").c_str(),
+                agg.rows(), agg.groups());
     if (agg.skipped_lines() > 0)
       std::printf(" (%zu corrupt lines skipped)", agg.skipped_lines());
+    if (agg.duplicate_rows() > 0)
+      std::printf(" (%zu duplicate records ignored)", agg.duplicate_rows());
     std::printf("\n\n");
     for (const auto& m : metrics) {
       std::printf("-- %s --\n%s\n", m.c_str(),
@@ -154,12 +173,10 @@ int aggregate_main(int argc, char** argv) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc > 1 && std::string(argv[1]) == "aggregate")
-    return aggregate_main(argc - 1, argv + 1);
-
+/// The sweep/run mode. `run_mode` unlocks the distributed options
+/// (--workers / --shard i/N / --keep-shards); `self` is the original
+/// argv[0] for worker self-exec.
+int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
   core::ExperimentConfig base = core::paper::base_config();
   std::vector<std::string> topologies = {"grid:6x6", "grid:10x10",
                                          "dlm:5:10x10"};
@@ -170,6 +187,16 @@ int main(int argc, char** argv) {
   opt.jsonl_path = "results.jsonl";
   opt.exec.progress = true;
   bool stdout_records = false;
+  bool jobs_given = false;
+
+  // Distributed mode state.
+  std::size_t workers = 0;                  // parent: fork this many
+  std::optional<exp::ShardSpec> shard;      // worker: run this slice only
+  bool keep_shards = false;
+  // Raw sweep-defining tokens, re-played verbatim onto each worker's
+  // command line. Excludes the orchestration flags the parent owns
+  // (--workers, --shard, --resume, --keep-shards, --no-progress).
+  std::vector<std::string> passthrough;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -177,16 +204,26 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage_error(arg + " needs a value");
       return argv[++i];
     };
+    auto forward = [&](const std::string& flag, const std::string& v) {
+      passthrough.push_back(flag);
+      passthrough.push_back(v);
+    };
     try {
       if (arg == "--help" || arg == "-h") {
         print_usage();
         return 0;
       } else if (arg == "--topologies") {
-        topologies = parse_list(value(), arg);
+        const auto v = value();
+        topologies = parse_list(v, arg);
+        forward(arg, v);
       } else if (arg == "--strategies") {
-        strategies = parse_list(value(), arg);
+        const auto v = value();
+        strategies = parse_list(v, arg);
+        forward(arg, v);
       } else if (arg == "--workloads") {
-        workloads = parse_list(value(), arg);
+        const auto v = value();
+        workloads = parse_list(v, arg);
+        forward(arg, v);
       } else if (arg == "--seeds") {
         const std::string v = value();
         seeds.clear();
@@ -199,26 +236,57 @@ int main(int argc, char** argv) {
           for (std::int64_t s = 1; s <= n; ++s)
             seeds.push_back(static_cast<std::uint64_t>(s));
         }
+        forward(arg, v);
       } else if (arg == "--master-seed") {
-        const auto m = parse_int(value(), arg);
+        const auto v = value();
+        const auto m = parse_int(v, arg);
         // 0 is the engine's "disabled" sentinel — reject rather than
         // silently falling back to the raw seeds axis.
         if (m < 1) usage_error("--master-seed must be >= 1");
         opt.master_seed = static_cast<std::uint64_t>(m);
+        forward(arg, v);
       } else if (arg == "--jobs") {
-        opt.exec.workers = static_cast<std::size_t>(parse_int(value(), arg));
+        const auto v = value();
+        opt.exec.workers = static_cast<std::size_t>(parse_int(v, arg));
+        jobs_given = true;
+        forward(arg, v);
+      } else if (arg == "--shard" && run_mode &&
+                 i + 1 < argc &&
+                 std::string(argv[i + 1]).find('/') != std::string::npos) {
+        // run-mode "--shard i/N" = worker identity; the thread-level
+        // "--shard N" claim size keeps its meaning for plain integers.
+        const auto v = value();
+        shard = exp::ShardSpec::parse(v);
+        if (!shard) usage_error("--shard needs i/N with i < N");
       } else if (arg == "--shard") {
-        opt.exec.shard_size = static_cast<std::size_t>(parse_int(value(), arg));
+        const auto v = value();
+        opt.exec.shard_size = static_cast<std::size_t>(parse_int(v, arg));
+        forward(arg, v);
+      } else if (arg == "--workers" && run_mode) {
+        // Validate before the size_t cast: -2 must not wrap to 2^64-2.
+        const auto n = parse_int(value(), arg);
+        if (n < 1) usage_error("--workers must be >= 1");
+        workers = static_cast<std::size_t>(n);
+      } else if (arg == "--keep-shards" && run_mode) {
+        keep_shards = true;
       } else if (arg == "--out") {
-        opt.jsonl_path = value();
+        const auto v = value();
+        opt.jsonl_path = v;
+        forward(arg, v);
       } else if (arg == "--csv") {
-        opt.csv_path = value();
+        const auto v = value();
+        opt.csv_path = v;
+        forward(arg, v);
       } else if (arg == "--resume") {
         opt.resume = true;
       } else if (arg == "--sample") {
-        base.machine.sample_interval = parse_int(value(), arg);
+        const auto v = value();
+        base.machine.sample_interval = parse_int(v, arg);
+        forward(arg, v);
       } else if (arg == "--hop-latency") {
-        base.machine.hop_latency = parse_int(value(), arg);
+        const auto v = value();
+        base.machine.hop_latency = parse_int(v, arg);
+        forward(arg, v);
       } else if (arg == "--no-progress") {
         opt.exec.progress = false;
       } else {
@@ -227,6 +295,18 @@ int main(int argc, char** argv) {
     } catch (const ConfigError& e) {
       usage_error(e.what());
     }
+  }
+
+  const bool distributed = workers > 0 || shard.has_value();
+  if (distributed) {
+    if (opt.jsonl_path.empty() || opt.jsonl_path == "-")
+      usage_error("distributed runs need a canonical --out store file");
+    if (!opt.csv_path.empty())
+      usage_error(
+          "--csv is not supported for distributed runs; derive a CSV from "
+          "the merged store via `oracle_batch aggregate --csv`");
+    if (workers > 0 && shard.has_value())
+      usage_error("--workers (parent) and --shard i/N (worker) are exclusive");
   }
 
   if (opt.jsonl_path == "-") {
@@ -248,6 +328,68 @@ int main(int argc, char** argv) {
     // Rng::derive_seed(master, index) in the engine.
     sweep.seeds(seeds);
     opt.collect = false;  // sweeps can be huge; the store is the output
+
+    if (workers > 0) {
+      // Parent of a multi-process run: self-exec one worker per shard.
+      exp::ShardRunOptions sopt;
+      sopt.workers = workers;
+      sopt.out = opt.jsonl_path;
+      sopt.resume = opt.resume;
+      sopt.keep_shard_stores = keep_shards;
+      sopt.master_seed = opt.master_seed;
+      sopt.exec_path = exp::self_exec_path(self);
+      sopt.worker_args = passthrough;
+      sopt.worker_args.insert(sopt.worker_args.begin(), "run");
+      if (!jobs_given) {
+        // Split the hardware threads across the workers instead of letting
+        // every worker oversubscribe the whole machine.
+        const std::size_t hw =
+            std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        sopt.worker_args.push_back("--jobs");
+        sopt.worker_args.push_back(
+            std::to_string(std::max<std::size_t>(1, hw / workers)));
+      }
+      sopt.worker_args.push_back("--no-progress");
+
+      const auto report = sweep.run_sharded(sopt);
+      std::printf("%s\n", report.summary().c_str());
+      for (const auto& w : report.workers) {
+        if (w.ok()) continue;
+        if (w.term_signal != 0)
+          std::fprintf(stderr,
+                       "oracle_batch: shard %zu/%zu worker killed by signal "
+                       "%d (its completed jobs are safe; --resume finishes "
+                       "the rest)\n",
+                       w.shard, workers, w.term_signal);
+        else
+          std::fprintf(stderr,
+                       "oracle_batch: shard %zu/%zu worker exited with "
+                       "status %d\n",
+                       w.shard, workers, w.exit_code);
+      }
+      if (report.merged)
+        std::printf("store: %s (+ checkpoint %s)\n", sopt.out.c_str(),
+                    exp::Checkpoint::default_path(sopt.out).c_str());
+      return report.ok() ? 0 : 1;
+    }
+
+    if (shard.has_value()) {
+      // Worker: run only this shard's slice into its private store.
+      opt.shard_index = shard->index;
+      opt.shard_count = shard->count;
+      const std::string canonical = opt.jsonl_path;
+      opt.jsonl_path =
+          exp::shard_store_path(canonical, shard->index, shard->count);
+      if (opt.resume) opt.extra_resume_stores.push_back(canonical);
+      opt.exec.progress = false;  // parents interleave many workers
+
+      const auto outcome = sweep.run_batch(opt);
+      std::fprintf(stderr, "[shard %s] %s\n", shard->to_string().c_str(),
+                   outcome.report.summary().c_str());
+      for (const auto& err : outcome.report.errors)
+        std::fprintf(stderr, "oracle_batch: failed: %s\n", err.c_str());
+      return outcome.report.ok() ? 0 : 1;
+    }
 
     const auto outcome = sweep.run_batch(opt);
     const auto& rep = outcome.report;
@@ -272,4 +414,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "oracle_batch: %s\n", e.what());
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string self = argv[0];
+  if (argc > 1 && std::string(argv[1]) == "aggregate")
+    return aggregate_main(argc - 1, argv + 1);
+  if (argc > 1 && std::string(argv[1]) == "run")
+    return sweep_main(argc - 1, argv + 1, /*run_mode=*/true, self);
+  return sweep_main(argc, argv, /*run_mode=*/false, self);
 }

@@ -16,6 +16,11 @@ void prewarm_topologies(const std::vector<ExperimentConfig>& configs) {
   topo::prewarm_topology_cache(specs);
 }
 
+exp::ShardRunReport run_sharded(const std::vector<ExperimentConfig>& configs,
+                                const exp::ShardRunOptions& options) {
+  return exp::run_sharded_processes(configs, options);
+}
+
 std::vector<stats::RunResult> run_all(const std::vector<ExperimentConfig>& configs,
                                       std::size_t threads) {
   // Build each distinct topology (and its routing table) once up front so

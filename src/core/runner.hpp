@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "exp/shard.hpp"
 #include "stats/run_result.hpp"
 
 namespace oracle::core {
@@ -21,5 +22,12 @@ std::vector<stats::RunResult> run_all(const std::vector<ExperimentConfig>& confi
 /// parallel). Called by run_all and the batch engine before fanning out
 /// workers.
 void prewarm_topologies(const std::vector<ExperimentConfig>& configs);
+
+/// Run the configs as a crash-safe multi-process sharded batch (one worker
+/// process per shard, per-shard stores merged into the canonical store in
+/// job order). Thin forward to exp::run_sharded_processes; see
+/// exp/shard.hpp for the protocol and options.
+exp::ShardRunReport run_sharded(const std::vector<ExperimentConfig>& configs,
+                                const exp::ShardRunOptions& options);
 
 }  // namespace oracle::core

@@ -81,4 +81,9 @@ exp::BatchOutcome SweepBuilder::run_batch(
   return exp::run_batch(build(), options);
 }
 
+exp::ShardRunReport SweepBuilder::run_sharded(
+    const exp::ShardRunOptions& options) const {
+  return exp::run_sharded_processes(build(), options);
+}
+
 }  // namespace oracle::core

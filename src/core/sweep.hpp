@@ -9,6 +9,7 @@
 
 #include "core/config.hpp"
 #include "exp/batch.hpp"
+#include "exp/shard.hpp"
 
 namespace oracle::core {
 
@@ -43,6 +44,11 @@ class SweepBuilder {
   /// Materialize and execute the sweep on the batch experiment engine
   /// (sharded parallel execution, JSONL/CSV stores, checkpointed resume).
   exp::BatchOutcome run_batch(const exp::BatchOptions& options = {}) const;
+
+  /// Materialize and execute the sweep as a multi-process sharded run:
+  /// one self-exec worker process per shard over per-shard stores, merged
+  /// into the canonical store in job order (exp::run_sharded_processes).
+  exp::ShardRunReport run_sharded(const exp::ShardRunOptions& options) const;
 
  private:
   ExperimentConfig base_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -70,19 +71,25 @@ constexpr std::size_t kNumMetrics = std::size(kMetrics);
 }  // namespace
 
 double student_t95(std::size_t df) {
-  // Two-sided 97.5% quantiles of the t distribution, df = 1..30; the
-  // normal-approximation asymptote beyond. Standard table values.
+  // Two-sided 97.5% quantiles of the t distribution, df = 1..30; every
+  // df beyond the table's last entry gets the normal-approximation
+  // asymptote 1.960 (never an out-of-bounds table read). Standard table
+  // values.
   static constexpr double kT[30] = {
       12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
       2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
       2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
-  if (df == 0) return 0.0;
-  if (df <= 30) return kT[df - 1];
+  constexpr std::size_t kTableSize = std::size(kT);
+  if (df == 0) return 0.0;  // a single sample has no interval
+  if (df <= kTableSize) return kT[df - 1];
   return 1.960;
 }
 
 double MetricSummary::percentile(double p) const {
   if (sorted_samples.empty()) return 0.0;
+  // Clamp p into [0, 100]; a NaN p has no meaningful rank and propagates
+  // as NaN rather than indexing with an undefined float->int cast.
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   if (p <= 0.0) return sorted_samples.front();
   if (p >= 100.0) return sorted_samples.back();
   const double rank =
@@ -145,6 +152,14 @@ bool Aggregator::add_line(const std::string& line) {
     ++skipped_;
     return false;
   }
+  // The content hash is the job's identity: a second record with the same
+  // hash is the same run seen through another store (canonical + kept
+  // shard store, the same host store passed twice, ...). Counting it
+  // again would inflate n and deflate every confidence interval.
+  if (!seen_hashes_.insert(rec->content_hash).second) {
+    ++duplicates_;
+    return true;
+  }
   add(rec->result);
   return true;
 }
@@ -155,11 +170,17 @@ void Aggregator::read(std::istream& in) {
 }
 
 Aggregator Aggregator::from_jsonl_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in)
-    throw SimulationError("cannot open result store '" + path + "'");
+  return from_jsonl_files({path});
+}
+
+Aggregator Aggregator::from_jsonl_files(const std::vector<std::string>& paths) {
   Aggregator agg;
-  agg.read(in);
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in)
+      throw SimulationError("cannot open result store '" + path + "'");
+    agg.read(in);
+  }
   return agg;
 }
 
@@ -195,6 +216,9 @@ std::vector<GridPointSummary> Aggregator::summarize() const {
           ms.ci95 = student_t95(ms.n - 1) * ms.stddev /
                     std::sqrt(static_cast<double>(ms.n));
         }
+        // n == 1: sample stddev / CI are undefined; both stay exactly 0.0
+        // (initialized above) so single-replication grid points render as
+        // "mean +/- 0" instead of garbage.
       }
       s.metrics.push_back(std::move(ms));
     }

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "exp/result_sink.hpp"
@@ -77,7 +78,11 @@ class Aggregator {
   void add(const stats::RunResult& r);
 
   /// Parse one JSONL line and add it; false (and counted as skipped) on
-  /// malformed input. Blank lines are ignored and not counted.
+  /// malformed input. Blank lines are ignored and not counted. A record
+  /// whose content hash was already ingested is counted as a duplicate
+  /// and NOT added again: aggregating overlapping stores (e.g. a merged
+  /// canonical store plus a kept per-shard store) must not double-count
+  /// samples and silently shrink the confidence intervals.
   bool add_line(const std::string& line);
 
   /// Read every line of a stream.
@@ -87,8 +92,16 @@ class Aggregator {
   /// opened; corrupt lines are skipped (and reported via skipped_lines()).
   static Aggregator from_jsonl_file(const std::string& path);
 
+  /// Read several stores into one aggregation — the cross-host merge path:
+  /// each host's sweep (or shard) store contributes its runs, and grid
+  /// points spanning stores pool their samples. Group identity is the
+  /// seed-independent grid key, so store order only affects group output
+  /// order (first-seen), never the statistics.
+  static Aggregator from_jsonl_files(const std::vector<std::string>& paths);
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t skipped_lines() const noexcept { return skipped_; }
+  std::size_t duplicate_rows() const noexcept { return duplicates_; }
   std::size_t groups() const noexcept { return groups_.size(); }
 
   /// Compute the per-group summaries (first-seen group order).
@@ -117,8 +130,10 @@ class Aggregator {
 
   std::vector<Group> groups_;
   std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::unordered_set<std::uint64_t> seen_hashes_;  ///< add_line dedup
   std::size_t rows_ = 0;
   std::size_t skipped_ = 0;
+  std::size_t duplicates_ = 0;
 };
 
 }  // namespace oracle::exp

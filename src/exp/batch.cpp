@@ -1,5 +1,6 @@
 #include "exp/batch.hpp"
 
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,10 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
                        const BatchOptions& options) {
   JobQueue queue(configs);
   if (options.master_seed != 0) queue.derive_seeds(options.master_seed);
+  if (options.shard_count > 1)
+    queue.retain_shard(options.shard_index, options.shard_count);
+  // From here on "the sweep" means this shard's slice of it.
+  const std::size_t planned = queue.size();
 
   std::string ckpt_path = options.checkpoint_path;
   if (ckpt_path.empty() && !options.jsonl_path.empty())
@@ -30,6 +35,8 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
       checkpoint.merge(load_completed_hashes(options.jsonl_path));
     if (!options.csv_path.empty())
       checkpoint.merge(load_completed_hashes_csv(options.csv_path));
+    for (const auto& store : options.extra_resume_stores)
+      checkpoint.merge(load_completed_hashes(store));
     skipped = queue.skip_completed(checkpoint.completed());
   }
 
@@ -75,7 +82,7 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
   Executor executor(options.exec);
   BatchOutcome outcome;
   outcome.report = executor.run(queue, tee, &checkpoint);
-  outcome.report.total_jobs = configs.size();
+  outcome.report.total_jobs = planned;
   outcome.report.skipped = skipped;
   if (options.collect) outcome.results = memory.results();
   return outcome;

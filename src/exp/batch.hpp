@@ -33,6 +33,19 @@ struct BatchOptions {
   /// When false, existing store/checkpoint files are truncated.
   bool resume = false;
 
+  /// Additional JSONL stores whose completed hashes also count during
+  /// resume (read-only; never written). The multi-process shard runner
+  /// points workers at the canonical merged store so jobs already folded
+  /// into it are not re-run after the per-shard stores were cleaned up.
+  std::vector<std::string> extra_resume_stores;
+
+  /// Distributed shard slice: run only the jobs whose content hash
+  /// satisfies hash % shard_count == shard_index (see
+  /// JobQueue::retain_shard). shard_count <= 1 runs the whole sweep.
+  /// The report's total_jobs/skipped then refer to this shard's slice.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
   /// When nonzero, re-seed each job with Rng::derive_seed(master_seed, i)
   /// — independent reproducible streams without enumerating seeds by hand.
   std::uint64_t master_seed = 0;

@@ -1,10 +1,36 @@
 #include "exp/checkpoint.hpp"
 
+#include <fstream>
+
 #include "exp/job.hpp"
 #include "exp/result_sink.hpp"
 #include "util/error.hpp"
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 namespace oracle::exp {
+
+namespace {
+
+/// Push one appended line all the way to stable storage. fflush moves it
+/// from the stdio buffer into the OS (enough to survive kill -9); fsync
+/// persists it across power loss where the platform/filesystem allows.
+bool flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#if !defined(_WIN32)
+  const int fd = ::fileno(f);
+  if (fd >= 0) ::fsync(fd);  // best-effort: some filesystems reject fsync
+#endif
+  return true;
+}
+
+}  // namespace
+
+Checkpoint::~Checkpoint() {
+  if (out_ != nullptr) std::fclose(out_);
+}
 
 std::size_t Checkpoint::load() {
   if (!enabled()) return 0;
@@ -28,19 +54,21 @@ void Checkpoint::record(std::uint64_t hash) {
   std::lock_guard<std::mutex> lock(mutex_);
   completed_.insert(hash);
   if (!enabled()) return;
-  if (!out_.is_open()) open_for_append();
-  out_ << hash_hex(hash) << '\n';
-  out_.flush();
-  if (!out_) throw SimulationError("checkpoint write to '" + path_ + "' failed");
+  if (out_ == nullptr) open_for_append();
+  const std::string line = hash_hex(hash) + '\n';
+  const bool wrote =
+      std::fwrite(line.data(), 1, line.size(), out_) == line.size();
+  if (!wrote || !flush_and_sync(out_))
+    throw SimulationError("checkpoint write to '" + path_ + "' failed");
 }
 
 void Checkpoint::open_for_append() {
   const bool partial_tail = has_partial_last_line(path_);
-  out_.open(path_, std::ios::out | std::ios::app);
-  if (!out_)
+  out_ = std::fopen(path_.c_str(), "ab");
+  if (out_ == nullptr)
     throw SimulationError("cannot open checkpoint '" + path_ + "' for writing");
   // Terminate a killed run's partial final hash line before appending.
-  if (partial_tail) out_ << '\n';
+  if (partial_tail) std::fputc('\n', out_);
 }
 
 }  // namespace oracle::exp

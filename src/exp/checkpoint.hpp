@@ -1,15 +1,18 @@
 #pragma once
 // Crash-safe sweep checkpoint: an append-only file of content hashes, one
-// per completed job, flushed at every commit. Resuming a killed sweep
-// costs one linear scan of this file (plus, for belt-and-braces, the JSONL
-// store itself via load_completed_hashes) instead of re-running anything.
+// per completed job, flushed *and fsynced* at every record — a kill -9 (or
+// power loss) immediately after record() returns can never lose that
+// completion, so --resume never re-runs (or, for CSV sinks, double-appends)
+// a finished job. Resuming a killed sweep costs one linear scan of this
+// file (plus, for belt-and-braces, the JSONL store itself via
+// load_completed_hashes) instead of re-running anything.
 //
 // The checkpoint deliberately stores *content* hashes, not job indices: if
 // the sweep definition changes between invocations, stale entries simply
 // match nothing and the changed jobs re-run.
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -24,6 +27,10 @@ class Checkpoint {
   /// Backed by `path`; call load() to ingest previous progress before
   /// opening for appending via open_for_append().
   explicit Checkpoint(std::string path) : path_(std::move(path)) {}
+
+  Checkpoint(const Checkpoint&) = delete;
+  Checkpoint& operator=(const Checkpoint&) = delete;
+  ~Checkpoint();
 
   /// Conventional checkpoint path for a result store: "<out>.ckpt".
   static std::string default_path(const std::string& out_path) {
@@ -49,7 +56,8 @@ class Checkpoint {
     return completed_;
   }
 
-  /// Mark a job completed and (when enabled) append + flush its hash.
+  /// Mark a job completed and (when enabled) append + flush + fsync its
+  /// hash: when record() returns, the completion is durable on disk.
   /// Thread-safe; the executor calls this at the ordered-commit point.
   void record(std::uint64_t hash);
 
@@ -58,7 +66,7 @@ class Checkpoint {
 
   std::string path_;
   std::unordered_set<std::uint64_t> completed_;
-  std::ofstream out_;
+  std::FILE* out_ = nullptr;  ///< raw stdio handle so every append can fsync
   std::mutex mutex_;
 };
 

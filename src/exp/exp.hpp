@@ -22,3 +22,4 @@
 #include "exp/job.hpp"
 #include "exp/job_queue.hpp"
 #include "exp/result_sink.hpp"
+#include "exp/shard.hpp"

@@ -46,6 +46,16 @@ std::size_t JobQueue::skip_completed(
   return before - jobs_.size();
 }
 
+std::size_t JobQueue::retain_shard(std::size_t index, std::size_t count) {
+  if (count <= 1) return 0;
+  const std::size_t before = jobs_.size();
+  std::erase_if(jobs_, [&](const ExperimentJob& job) {
+    return job.content_hash % count != index;
+  });
+  reset_cursor();
+  return before - jobs_.size();
+}
+
 JobQueue::Shard JobQueue::claim(std::size_t max_jobs) noexcept {
   if (max_jobs == 0) max_jobs = 1;
   const std::size_t begin =

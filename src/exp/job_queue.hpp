@@ -38,6 +38,14 @@ class JobQueue {
   /// of jobs removed. Resets the claim cursor.
   std::size_t skip_completed(const std::unordered_set<std::uint64_t>& completed);
 
+  /// Keep only the jobs of shard `index` out of `count` (content hash
+  /// modulo count — the distributed sharding rule). The slice is a pure
+  /// function of job identity, so it is stable across invocations,
+  /// resumes, and hosts: the same job always lands in the same shard.
+  /// Surviving jobs keep their sweep indices. Returns the number of jobs
+  /// removed; count <= 1 keeps everything. Resets the claim cursor.
+  std::size_t retain_shard(std::size_t index, std::size_t count);
+
   std::size_t size() const noexcept { return jobs_.size(); }
   bool empty() const noexcept { return jobs_.empty(); }
   const ExperimentJob& job(std::size_t pos) const { return jobs_[pos]; }

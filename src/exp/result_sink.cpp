@@ -7,6 +7,7 @@
 
 #include "stats/csv.hpp"
 #include "util/error.hpp"
+#include "util/file_util.hpp"
 #include "util/string_util.hpp"
 
 namespace oracle::exp {
@@ -253,7 +254,7 @@ std::unordered_set<std::uint64_t> load_completed_hashes_csv(
 
 // ------------------------------------------------------------- JsonlSink --
 
-JsonlSink::JsonlSink(const std::string& path, bool append) {
+JsonlSink::JsonlSink(const std::string& path, bool append) : path_(path) {
   const bool partial_tail = append && has_partial_last_line(path);
   file_.open(path, append ? (std::ios::out | std::ios::app)
                           : (std::ios::out | std::ios::trunc));
@@ -270,11 +271,14 @@ void JsonlSink::write(const ExperimentJob& job, const stats::RunResult& r) {
   if (!*os_) throw SimulationError("JSONL write failed");
 }
 
-void JsonlSink::flush() { os_->flush(); }
+void JsonlSink::flush() {
+  os_->flush();
+  if (!path_.empty()) util::fsync_path(path_);
+}
 
 // --------------------------------------------------------------- CsvSink --
 
-CsvSink::CsvSink(const std::string& path, bool append) {
+CsvSink::CsvSink(const std::string& path, bool append) : path_(path) {
   bool partial_tail = false;
   if (append) {
     // Only emit the header when the file is empty / absent.
@@ -308,7 +312,10 @@ void CsvSink::write(const ExperimentJob& job, const stats::RunResult& r) {
   if (!*os_) throw SimulationError("CSV write failed");
 }
 
-void CsvSink::flush() { os_->flush(); }
+void CsvSink::flush() {
+  os_->flush();
+  if (!path_.empty()) util::fsync_path(path_);
+}
 
 // ------------------------------------------------------------ MemorySink --
 

@@ -83,10 +83,15 @@ class JsonlSink : public ResultSink {
   explicit JsonlSink(std::ostream& os) : os_(&os) {}
 
   void write(const ExperimentJob& job, const stats::RunResult& r) override;
+
+  /// Flush to the OS and (file-backed sinks only) fsync: the executor
+  /// syncs the store *before* the checkpoint claims its jobs, so even a
+  /// power loss cannot persist a completion whose record vanished.
   void flush() override;
 
  private:
   std::ofstream file_;
+  std::string path_;  ///< empty for caller-owned streams (no fsync target)
   std::ostream* os_ = nullptr;
 };
 
@@ -106,6 +111,7 @@ class CsvSink : public ResultSink {
 
  private:
   std::ofstream file_;
+  std::string path_;  ///< empty for caller-owned streams (no fsync target)
   std::ostream* os_ = nullptr;
   bool header_written_ = false;
 };

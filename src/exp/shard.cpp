@@ -1,0 +1,348 @@
+#include "exp/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "exp/checkpoint.hpp"
+#include "exp/job_queue.hpp"
+#include "exp/result_sink.hpp"
+#include "util/error.hpp"
+#include "util/file_util.hpp"
+#include "util/string_util.hpp"
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace oracle::exp {
+
+// -------------------------------------------------------------- ShardSpec --
+
+std::optional<ShardSpec> ShardSpec::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size())
+    return std::nullopt;
+  std::int64_t index = 0, count = 0;
+  try {
+    index = parse_int(trim(text.substr(0, slash)), "shard index");
+    count = parse_int(trim(text.substr(slash + 1)), "shard count");
+  } catch (const ConfigError&) {
+    return std::nullopt;
+  }
+  // Validate on the signed values: a negative count must not wrap into a
+  // huge modulus that silently assigns (almost) no jobs to any worker.
+  if (index < 0 || count < 1 || index >= count) return std::nullopt;
+  return ShardSpec{static_cast<std::size_t>(index),
+                   static_cast<std::size_t>(count)};
+}
+
+std::string ShardSpec::to_string() const {
+  return strfmt("%zu/%zu", index, count);
+}
+
+std::string shard_store_path(const std::string& canonical_store,
+                             std::size_t index, std::size_t count) {
+  return canonical_store + strfmt(".shard%zuof%zu", index, count);
+}
+
+// -------------------------------------------------------------- ShardPlan --
+
+ShardPlan::ShardPlan(const JobQueue& queue, std::size_t count)
+    : hashes_(std::max<std::size_t>(count, 1)), total_(queue.size()) {
+  for (const auto& job : queue.jobs())
+    hashes_[shard_of_hash(job.content_hash, hashes_.size())].push_back(
+        job.content_hash);
+}
+
+std::vector<std::size_t> ShardPlan::incomplete_shards(
+    const std::string& canonical_store,
+    const std::unordered_set<std::uint64_t>& already_done) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    if (hashes_[i].empty()) continue;
+    const std::string store = shard_store_path(canonical_store, i,
+                                               hashes_.size());
+    auto done = load_completed_hashes(store);
+    Checkpoint ckpt(Checkpoint::default_path(store));
+    ckpt.load();
+    const bool incomplete = std::any_of(
+        hashes_[i].begin(), hashes_[i].end(), [&](std::uint64_t h) {
+          return !done.contains(h) && !ckpt.contains(h) &&
+                 !already_done.contains(h);
+        });
+    if (incomplete) out.push_back(i);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ ShardMerger --
+
+void ShardMerger::add_store(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // a shard with no work never creates its store
+  ++report_.stores_read;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto rec = parse_jsonl_record(line);
+    if (!rec) {
+      ++report_.corrupt_lines;  // a killed worker's partial tail line
+      continue;
+    }
+    records_.push_back({rec->job_index, rec->content_hash, line});
+  }
+}
+
+MergeReport ShardMerger::merge_to(const std::string& canonical_path) {
+  // Job order is the serial engine's commit order, so sorting by job index
+  // reproduces a serial run byte-for-byte (records themselves are written
+  // deterministically by the sinks). stable_sort keeps first-seen order
+  // for duplicate hashes, which the dedup below then collapses.
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.job_index < b.job_index;
+                   });
+
+  const std::string tmp = canonical_path + ".merge.tmp";
+  {
+    std::ofstream store(tmp, std::ios::out | std::ios::trunc);
+    if (!store)
+      throw SimulationError("cannot open '" + tmp + "' for writing");
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(records_.size());
+    std::vector<std::uint64_t> order;
+    order.reserve(records_.size());
+    for (const auto& rec : records_) {
+      if (!seen.insert(rec.content_hash).second) {
+        ++report_.duplicates_dropped;
+        continue;
+      }
+      store << rec.line << '\n';
+      order.push_back(rec.content_hash);
+      ++report_.records;
+    }
+    store.flush();
+    if (!store)
+      throw SimulationError("merge write to '" + tmp + "' failed");
+    store.close();
+
+    // Canonical checkpoint, rebuilt to exactly mirror the merged store so
+    // a later serial --resume over the canonical store needs no rescans.
+    const std::string ckpt_tmp = tmp + ".ckpt";
+    std::ofstream ckpt(ckpt_tmp, std::ios::out | std::ios::trunc);
+    if (!ckpt)
+      throw SimulationError("cannot open '" + ckpt_tmp + "' for writing");
+    for (const auto hash : order) ckpt << hash_hex(hash) << '\n';
+    ckpt.flush();
+    if (!ckpt)
+      throw SimulationError("merge write to '" + ckpt_tmp + "' failed");
+    ckpt.close();
+
+    // Store first, checkpoint second: a crash in between leaves a stale
+    // checkpoint beside a complete store, and resume rescans the store.
+    util::atomic_replace(tmp, canonical_path);
+    util::atomic_replace(ckpt_tmp, Checkpoint::default_path(canonical_path));
+  }
+  return report_;
+}
+
+// ---------------------------------------------------------- process layer --
+
+#if defined(_WIN32)
+
+std::vector<WorkerExit> spawn_and_wait(
+    const std::vector<std::vector<std::string>>&,
+    const std::vector<std::size_t>&) {
+  throw SimulationError("multi-process sharded runs require a POSIX host");
+}
+
+std::string self_exec_path(const std::string& argv0) { return argv0; }
+
+#else
+
+std::vector<WorkerExit> spawn_and_wait(
+    const std::vector<std::vector<std::string>>& argvs,
+    const std::vector<std::size_t>& shards) {
+  ORACLE_ASSERT(argvs.size() == shards.size());
+  std::vector<pid_t> pids(argvs.size(), -1);
+  std::vector<WorkerExit> exits(argvs.size());
+
+  for (std::size_t k = 0; k < argvs.size(); ++k) {
+    exits[k].shard = shards[k];
+    std::vector<char*> argv;
+    argv.reserve(argvs[k].size() + 1);
+    for (const auto& arg : argvs[k])
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Don't strand the workers already launched: a concurrent retry
+      // (--resume) would otherwise race them on the same shard stores.
+      for (std::size_t j = 0; j < k; ++j) {
+        if (pids[j] <= 0) continue;
+        ::kill(pids[j], SIGKILL);
+        int status = 0;
+        ::waitpid(pids[j], &status, 0);
+      }
+      throw SimulationError("fork failed for shard worker " +
+                            std::to_string(shards[k]));
+    }
+    if (pid == 0) {
+      ::execv(argv[0], argv.data());
+      // exec failed: report through the conventional "command not
+      // runnable" exit code without running any parent-side cleanup.
+      std::fprintf(stderr, "oracle_batch: cannot exec '%s'\n", argv[0]);
+      ::_exit(127);
+    }
+    pids[k] = pid;
+  }
+
+  for (std::size_t k = 0; k < pids.size(); ++k) {
+    int status = 0;
+    if (::waitpid(pids[k], &status, 0) < 0) {
+      exits[k].exit_code = 126;  // lost track of the child: treat as failed
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      exits[k].exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      exits[k].term_signal = WTERMSIG(status);
+    } else {
+      exits[k].exit_code = 126;
+    }
+  }
+  return exits;
+}
+
+std::string self_exec_path(const std::string& argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return argv0;
+}
+
+#endif
+
+// ------------------------------------------------- run_sharded_processes --
+
+bool ShardRunReport::ok() const noexcept {
+  if (!merged) return false;
+  for (const auto& w : workers)
+    if (!w.ok()) return false;
+  return true;
+}
+
+std::string ShardRunReport::summary() const {
+  std::size_t failed = 0;
+  for (const auto& w : workers)
+    if (!w.ok()) ++failed;
+  std::string s = strfmt(
+      "%zu jobs over %zu worker(s): %zu launched, %zu shard(s) already "
+      "complete",
+      planned_jobs, shards_launched + shards_skipped, shards_launched,
+      shards_skipped);
+  if (failed > 0) s += strfmt(", %zu worker(s) failed", failed);
+  if (merged)
+    s += strfmt("; merged %zu record(s) (%zu duplicate(s) dropped)",
+                merge.records, merge.duplicates_dropped);
+  else
+    s += "; merge skipped (re-run with --resume to finish)";
+  return s;
+}
+
+ShardRunReport run_sharded_processes(
+    const std::vector<core::ExperimentConfig>& configs,
+    const ShardRunOptions& options) {
+  ORACLE_REQUIRE(!options.out.empty(),
+                 "sharded runs need a canonical --out store");
+  ORACLE_REQUIRE(options.workers >= 1, "--workers must be >= 1");
+  ORACLE_REQUIRE(!options.exec_path.empty(),
+                 "sharded runs need the worker executable path");
+  ORACLE_REQUIRE(!configs.empty(), "sharded run over an empty sweep");
+
+  JobQueue queue(configs);
+  if (options.master_seed != 0) queue.derive_seeds(options.master_seed);
+  const ShardPlan plan(queue, options.workers);
+
+  ShardRunReport report;
+  report.planned_jobs = plan.total_jobs();
+
+  // Which shards need a worker? Fresh runs: every shard with jobs (their
+  // workers truncate any stale per-shard state). Resume: only shards with
+  // jobs not already durable in their own store/checkpoint or in the
+  // previously merged canonical store.
+  std::vector<std::size_t> to_run;
+  if (options.resume) {
+    to_run = plan.incomplete_shards(options.out,
+                                    load_completed_hashes(options.out));
+  } else {
+    for (std::size_t i = 0; i < plan.count(); ++i)
+      if (!plan.shard_hashes(i).empty()) to_run.push_back(i);
+  }
+  std::size_t nonempty = 0;
+  for (std::size_t i = 0; i < plan.count(); ++i)
+    if (!plan.shard_hashes(i).empty()) ++nonempty;
+  report.shards_launched = to_run.size();
+  report.shards_skipped = nonempty - to_run.size();
+
+  // A fresh run must not inherit stale per-shard state from an older,
+  // different sweep: clear every shard store/checkpoint of this layout up
+  // front (workers would truncate their own anyway; shards that get no
+  // worker this time must not leak stale records into the merge).
+  if (!options.resume) {
+    for (std::size_t i = 0; i < plan.count(); ++i) {
+      const std::string store = shard_store_path(options.out, i, plan.count());
+      util::remove_file(store);
+      util::remove_file(Checkpoint::default_path(store));
+    }
+  }
+
+  if (!to_run.empty()) {
+    std::vector<std::vector<std::string>> argvs;
+    argvs.reserve(to_run.size());
+    for (const std::size_t shard : to_run) {
+      std::vector<std::string> argv;
+      argv.push_back(options.exec_path);
+      argv.insert(argv.end(), options.worker_args.begin(),
+                  options.worker_args.end());
+      argv.push_back("--shard");
+      argv.push_back(ShardSpec{shard, plan.count()}.to_string());
+      if (options.resume) argv.push_back("--resume");
+      argvs.push_back(std::move(argv));
+    }
+    report.workers = spawn_and_wait(argvs, to_run);
+  }
+
+  for (const auto& w : report.workers)
+    if (!w.ok()) return report;  // merge skipped; every store stays put
+
+  // All workers finished cleanly: fold the per-shard stores (plus, when
+  // resuming, the previously merged canonical store) into the canonical
+  // store. A fresh run replaces the canonical store outright, mirroring
+  // the serial engine's truncate-on-fresh-run semantics.
+  ShardMerger merger;
+  if (options.resume) merger.add_store(options.out);
+  for (std::size_t i = 0; i < plan.count(); ++i)
+    merger.add_store(shard_store_path(options.out, i, plan.count()));
+  report.merge = merger.merge_to(options.out);
+  report.merged = true;
+
+  if (!options.keep_shard_stores) {
+    for (std::size_t i = 0; i < plan.count(); ++i) {
+      const std::string store = shard_store_path(options.out, i, plan.count());
+      util::remove_file(store);
+      util::remove_file(Checkpoint::default_path(store));
+    }
+  }
+  return report;
+}
+
+}  // namespace oracle::exp

@@ -1,0 +1,186 @@
+#pragma once
+// Crash-safe distributed sharding: run one sweep as N cooperating worker
+// *processes* over one canonical result store.
+//
+// The model:
+//   - Every job is assigned to a shard by content hash modulo shard count
+//     (shard_of_hash). The slice is a pure function of job identity, so it
+//     is stable across invocations, resumes, and hosts.
+//   - Each worker process runs its slice into a private per-shard JSONL
+//     store + checkpoint (shard_store_path), using the ordinary batch
+//     engine — per-record durability included, so a SIGKILLed worker
+//     leaves a clean, resumable prefix and can never corrupt any other
+//     shard's state.
+//   - When every worker has exited cleanly, the parent merges the shard
+//     stores (plus any previously merged canonical store) into the
+//     canonical store *in job order* via ShardMerger: the merged bytes are
+//     identical to what a serial run would have produced.
+//   - A killed/failed worker leaves the merge unperformed; a later
+//     --resume re-runs only the incomplete shards' incomplete jobs
+//     (ShardPlan::incomplete_shards + the per-shard checkpoint protocol)
+//     and then merges, converging to the same byte-identical store.
+//
+// run_sharded_processes() drives the whole protocol by re-executing the
+// current binary with `--shard i/N` per worker (self-exec); the pieces
+// (ShardSpec, ShardPlan, ShardMerger, spawn_and_wait) are exposed for
+// custom launchers — e.g. starting workers on different hosts and merging
+// their stores with `oracle_batch aggregate <store>...`.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace oracle::exp {
+
+class JobQueue;
+
+/// One worker's identity inside a sharded run: shard `index` of `count`.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// Parse "i/N" (e.g. "2/4"); nullopt on malformed input or i >= N.
+  static std::optional<ShardSpec> parse(const std::string& text);
+
+  std::string to_string() const;  ///< "i/N"
+};
+
+/// The distributed sharding rule: which shard of `count` owns this job.
+inline std::size_t shard_of_hash(std::uint64_t content_hash,
+                                 std::size_t count) noexcept {
+  return count <= 1 ? 0 : static_cast<std::size_t>(content_hash % count);
+}
+
+/// Per-shard private store path: "<canonical>.shard<i>of<N>". The shard
+/// checkpoint sits beside it at Checkpoint::default_path of this.
+std::string shard_store_path(const std::string& canonical_store,
+                             std::size_t index, std::size_t count);
+
+/// The parent's view of a sharded run: which content hashes each shard is
+/// responsible for, and which shards still have work left on disk.
+class ShardPlan {
+ public:
+  /// Plan `count` shards over the (seed-derived, unfiltered) queue.
+  ShardPlan(const JobQueue& queue, std::size_t count);
+
+  std::size_t count() const noexcept { return hashes_.size(); }
+  std::size_t total_jobs() const noexcept { return total_; }
+
+  /// Content hashes owned by shard `i`, in job order.
+  const std::vector<std::uint64_t>& shard_hashes(std::size_t i) const {
+    return hashes_[i];
+  }
+
+  /// Shards that still have jobs not completed by (a) their own shard
+  /// store/checkpoint under `canonical_store` or (b) the `already_done`
+  /// set (typically the canonical store's hashes). Empty shards are never
+  /// reported. This is the crash-detection step of --resume: only these
+  /// shards get a worker process.
+  std::vector<std::size_t> incomplete_shards(
+      const std::string& canonical_store,
+      const std::unordered_set<std::uint64_t>& already_done = {}) const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> hashes_;  // [shard][job order]
+  std::size_t total_ = 0;
+};
+
+/// Outcome of merging shard stores into the canonical store.
+struct MergeReport {
+  std::size_t stores_read = 0;       ///< input stores that existed
+  std::size_t records = 0;           ///< records written to the canonical store
+  std::size_t duplicates_dropped = 0;///< same content hash seen twice
+  std::size_t corrupt_lines = 0;     ///< unparseable lines skipped
+};
+
+/// Merges per-shard (or per-host) JSONL stores into one canonical store in
+/// ascending job-index order. Records are copied byte-for-byte and the
+/// batch engine writes them deterministically, so the merged store is
+/// byte-identical to a serial run over the same sweep. The write is
+/// atomic (tmp file + rename): a crash mid-merge leaves the previous
+/// canonical store intact and every input store untouched.
+class ShardMerger {
+ public:
+  /// Queue a store for merging; missing files are skipped silently (a
+  /// shard with zero planned jobs never creates its store).
+  void add_store(const std::string& path);
+
+  /// Merge everything into `canonical_path` (and write the canonical
+  /// checkpoint beside it, hashes in job order, so a later single-process
+  /// --resume over the canonical store works unchanged). Throws
+  /// SimulationError on I/O failure.
+  MergeReport merge_to(const std::string& canonical_path);
+
+ private:
+  struct Record {
+    std::uint64_t job_index = 0;
+    std::uint64_t content_hash = 0;
+    std::string line;
+  };
+  std::vector<Record> records_;
+  MergeReport report_;
+};
+
+/// Exit status of one spawned worker process.
+struct WorkerExit {
+  std::size_t shard = 0;   ///< shard index the worker ran
+  int exit_code = -1;      ///< exit status when it exited normally
+  int term_signal = 0;     ///< nonzero when the worker died of a signal
+  bool ok() const noexcept { return term_signal == 0 && exit_code == 0; }
+};
+
+/// Fork+exec one process per argv vector and wait for all of them.
+/// argvs[k] is the full argument vector (argv[0] = executable path) for
+/// worker k; `shards[k]` labels it in the result. POSIX only; throws
+/// SimulationError elsewhere or when spawning fails.
+std::vector<WorkerExit> spawn_and_wait(
+    const std::vector<std::vector<std::string>>& argvs,
+    const std::vector<std::size_t>& shards);
+
+/// Resolve the path of the currently running executable for self-exec
+/// (/proc/self/exe on Linux, falling back to argv0).
+std::string self_exec_path(const std::string& argv0);
+
+struct ShardRunOptions {
+  std::size_t workers = 2;     ///< worker process count (= shard count)
+  std::string out;             ///< canonical JSONL store path (required)
+  bool resume = false;         ///< re-run only dead shards' incomplete jobs
+  bool keep_shard_stores = false;  ///< keep per-shard stores after merging
+  std::uint64_t master_seed = 0;   ///< forwarded to each worker's queue
+
+  /// Self-exec recipe: executable plus the sweep-defining arguments. The
+  /// parent appends "--shard i/N" (and "--resume" when resuming) per
+  /// worker; the worker rebuilds the identical sweep, slices it, and runs
+  /// only its shard.
+  std::string exec_path;
+  std::vector<std::string> worker_args;
+};
+
+struct ShardRunReport {
+  std::size_t planned_jobs = 0;     ///< sweep size (all shards)
+  std::size_t shards_launched = 0;  ///< workers actually spawned
+  std::size_t shards_skipped = 0;   ///< already complete (resume) or empty
+  std::vector<WorkerExit> workers;  ///< one entry per launched worker
+  bool merged = false;              ///< canonical store written
+  MergeReport merge;
+
+  bool ok() const noexcept;
+  std::string summary() const;
+};
+
+/// The parent side of `oracle_batch run --workers N`: plan shards over the
+/// sweep, spawn one self-exec worker per incomplete shard, wait, and — iff
+/// every worker exited cleanly — merge the shard stores into the canonical
+/// store and (unless keep_shard_stores) delete them. On any worker
+/// failure the merge is skipped so a later resume sees every shard's
+/// surviving state. Throws SimulationError on setup errors (empty sweep,
+/// missing out path, spawn failure).
+ShardRunReport run_sharded_processes(
+    const std::vector<core::ExperimentConfig>& configs,
+    const ShardRunOptions& options);
+
+}  // namespace oracle::exp

@@ -1,0 +1,69 @@
+#include "util/file_util.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace oracle::util {
+
+#if defined(_WIN32)
+
+bool fsync_path(const std::string&) noexcept { return false; }
+bool fsync_parent_dir(const std::string&) noexcept { return false; }
+
+bool file_exists(const std::string& path) noexcept {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+#else
+
+bool fsync_path(const std::string& path) noexcept {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool fsync_parent_dir(const std::string& path) noexcept {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool file_exists(const std::string& path) noexcept {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+#endif
+
+void atomic_replace(const std::string& tmp, const std::string& target) {
+  fsync_path(tmp);
+  if (std::rename(tmp.c_str(), target.c_str()) != 0)
+    throw SimulationError("cannot rename '" + tmp + "' to '" + target + "'");
+  fsync_parent_dir(target);
+}
+
+bool remove_file(const std::string& path) noexcept {
+  return std::remove(path.c_str()) == 0;
+}
+
+}  // namespace oracle::util

@@ -60,16 +60,40 @@ class RingQueue {
   }
 
   /// Remove the element at logical index `i`, preserving the order of the
-  /// rest. Shifts whichever side of `i` is shorter.
+  /// rest. Shifts whichever side of `i` is shorter; works identically when
+  /// the live range wraps around the end of the buffer, because every slot
+  /// access goes through the masked logical indexing of operator[].
+  /// The vacated physical slot is reset to T{} so resource-holding payloads
+  /// (pooled pointers, handles) do not linger behind head_ / past the tail.
   void erase_at(std::size_t i) {
     ORACLE_ASSERT(i < size_);
+    if (i == 0) {
+      // Front: drop in place — no element moves at all.
+      buf_[head_] = T{};
+      head_ = (head_ + 1) & mask_;
+      --size_;
+      return;
+    }
+    if (i == size_ - 1) {
+      // Back: drop in place.
+      buf_[(head_ + i) & mask_] = T{};
+      --size_;
+      return;
+    }
     if (i < size_ - i - 1) {
+      // Left side shorter: shift [0, i) right by one, then advance head_.
+      // Each assignment targets a slot whose value has already been moved
+      // out (or is about to be vacated), so the moved-from state is only
+      // ever overwritten, never read.
       for (std::size_t j = i; j > 0; --j)
         (*this)[j] = std::move((*this)[j - 1]);
+      buf_[head_] = T{};
       head_ = (head_ + 1) & mask_;
     } else {
+      // Right side shorter: shift (i, size_) left by one.
       for (std::size_t j = i; j + 1 < size_; ++j)
         (*this)[j] = std::move((*this)[j + 1]);
+      buf_[(head_ + size_ - 1) & mask_] = T{};
     }
     --size_;
   }

@@ -212,6 +212,124 @@ TEST(Aggregate, MultiSeedRoundTripThroughStore) {
 TEST(Aggregate, MissingStoreThrows) {
   EXPECT_THROW(Aggregator::from_jsonl_file("definitely_missing_store.jsonl"),
                SimulationError);
+  EXPECT_THROW(Aggregator::from_jsonl_files({"also_missing_a.jsonl",
+                                             "also_missing_b.jsonl"}),
+               SimulationError);
+}
+
+// ----------------------------------------------------------- edge cases --
+
+TEST(Aggregate, SingleSampleGroupsReportZeroSpreadConsistently) {
+  // One seed per grid point: stddev and the CI half-width are undefined;
+  // both must come back as exactly 0.0 (never garbage or a table misread),
+  // and min == mean == max == the sample.
+  Aggregator agg;
+  agg.add(point("grid-10x10", "cwn", 1, 42.5));
+  const auto groups = agg.summarize();
+  ASSERT_EQ(groups.size(), 1u);
+  const MetricSummary* m = groups[0].metric("speedup");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->n, 1u);
+  EXPECT_DOUBLE_EQ(m->mean, 42.5);
+  EXPECT_DOUBLE_EQ(m->stddev, 0.0);
+  EXPECT_DOUBLE_EQ(m->ci95, 0.0);
+  EXPECT_DOUBLE_EQ(m->min, 42.5);
+  EXPECT_DOUBLE_EQ(m->max, 42.5);
+  // Every percentile of a single sample is that sample.
+  EXPECT_DOUBLE_EQ(m->percentile(0), 42.5);
+  EXPECT_DOUBLE_EQ(m->percentile(50), 42.5);
+  EXPECT_DOUBLE_EQ(m->percentile(100), 42.5);
+}
+
+TEST(Aggregate, PercentileClampsOutOfRangeAndPropagatesNaN) {
+  Aggregator agg;
+  std::uint64_t seed = 1;
+  for (const double v : {10.0, 20.0, 30.0})
+    agg.add(point("grid-10x10", "cwn", seed++, v));
+  const auto groups = agg.summarize();
+  const MetricSummary* m = groups[0].metric("speedup");
+  ASSERT_NE(m, nullptr);
+  // p outside [0, 100] clamps to the extremes rather than indexing past
+  // the sample vector.
+  EXPECT_DOUBLE_EQ(m->percentile(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(m->percentile(105.0), 30.0);
+  EXPECT_DOUBLE_EQ(m->percentile(-1e300), 10.0);
+  EXPECT_DOUBLE_EQ(m->percentile(1e300), 30.0);
+  // NaN has no rank: it propagates instead of hitting an undefined cast.
+  EXPECT_TRUE(std::isnan(m->percentile(std::nan(""))));
+  // An empty summary stays at the documented 0.0.
+  MetricSummary empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+}
+
+TEST(Aggregate, LargeReplicationCountsUseTheAsymptoticCriticalValue) {
+  // 40 replications → df = 39 > 30: the CI must use the 1.960 asymptote
+  // (a read past the 30-entry t-table would produce garbage here).
+  Aggregator agg;
+  for (std::uint64_t s = 1; s <= 40; ++s)
+    agg.add(point("grid-10x10", "cwn", s, static_cast<double>(s)));
+  const auto groups = agg.summarize();
+  const MetricSummary* m = groups[0].metric("speedup");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->n, 40u);
+  const double expected =
+      1.960 * m->stddev / std::sqrt(static_cast<double>(m->n));
+  EXPECT_DOUBLE_EQ(m->ci95, expected);
+}
+
+// ------------------------------------------------------------ multi-store --
+
+TEST(Aggregate, MultipleStoresPoolIntoOneSweep) {
+  // Two "hosts" each hold half the seeds of the same grid point; reading
+  // both stores must pool all samples into one group, independent of
+  // store order.
+  const auto path_a = testing::TempDir() + "oracle_agg_host_a.jsonl";
+  const auto path_b = testing::TempDir() + "oracle_agg_host_b.jsonl";
+  auto write_store = [](const std::string& path,
+                        std::vector<std::pair<std::uint64_t, double>> runs) {
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto& [seed, speedup] : runs) {
+      ExperimentJob job;
+      job.index = seed;
+      job.content_hash = seed;
+      out << jsonl_record(job, point("grid-10x10", "cwn", seed, speedup))
+          << '\n';
+    }
+  };
+  write_store(path_a, {{1, 10.0}, {2, 20.0}});
+  write_store(path_b, {{3, 30.0}, {4, 40.0}});
+
+  const auto agg = Aggregator::from_jsonl_files({path_a, path_b});
+  EXPECT_EQ(agg.rows(), 4u);
+  const auto groups = agg.summarize();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].runs, 4u);
+  const MetricSummary* m = groups[0].metric("speedup");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->mean, 25.0);
+  EXPECT_DOUBLE_EQ(m->min, 10.0);
+  EXPECT_DOUBLE_EQ(m->max, 40.0);
+
+  // Store order must not change the statistics.
+  const auto swapped = Aggregator::from_jsonl_files({path_b, path_a});
+  const auto groups2 = swapped.summarize();
+  ASSERT_EQ(groups2.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups2[0].metric("speedup")->mean, 25.0);
+
+  // Overlapping stores (e.g. the merged canonical store plus a kept
+  // per-shard store) must not double-count runs: records are deduped by
+  // content hash, so n — and the confidence interval — stay honest.
+  const auto overlap =
+      Aggregator::from_jsonl_files({path_a, path_b, path_a});
+  EXPECT_EQ(overlap.rows(), 4u);
+  EXPECT_EQ(overlap.duplicate_rows(), 2u);
+  const auto groups3 = overlap.summarize();
+  ASSERT_EQ(groups3.size(), 1u);
+  EXPECT_EQ(groups3[0].runs, 4u);
+  EXPECT_DOUBLE_EQ(groups3[0].metric("speedup")->mean, 25.0);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 }  // namespace

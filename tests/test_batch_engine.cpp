@@ -484,6 +484,56 @@ TEST(BatchEngine, FailedJobsAreReportedAndRetriedOnResume) {
   std::remove(exp::Checkpoint::default_path(store).c_str());
 }
 
+// -------------------------------------------------- checkpoint durability --
+
+TEST(Checkpoint, EveryRecordIsDurableImmediately) {
+  // Crash-replay: after each record() returns, a *separate reader* (stand-in
+  // for the resume scan of a process that took over after kill -9) must
+  // already see the hash on disk — no buffering until close/destruction.
+  const auto path = temp_path("ckpt_durable.ckpt");
+  std::remove(path.c_str());
+  exp::Checkpoint ckpt(path);
+  std::vector<std::uint64_t> hashes = {0x1111, 0x2222, 0xdeadbeef,
+                                       0xffffffffffffffffULL};
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    ckpt.record(hashes[i]);
+    // The writing Checkpoint stays open — read behind its back.
+    exp::Checkpoint reader(path);
+    EXPECT_EQ(reader.load(), i + 1);
+    for (std::size_t j = 0; j <= i; ++j)
+      EXPECT_TRUE(reader.contains(hashes[j]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReplayAfterMidWriteKillTerminatesPartialLine) {
+  const auto path = temp_path("ckpt_replay.ckpt");
+  std::remove(path.c_str());
+  {
+    exp::Checkpoint ckpt(path);
+    ckpt.record(0xaaaa);
+    ckpt.record(0xbbbb);
+  }
+  // Simulate kill -9 mid-append: a partial hash with no newline.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "00000000000";
+  }
+  // The next run loads the intact prefix, terminates the partial line, and
+  // keeps appending; a final replay sees old + new but never the fragment.
+  {
+    exp::Checkpoint ckpt(path);
+    EXPECT_EQ(ckpt.load(), 2u);
+    ckpt.record(0xcccc);
+  }
+  exp::Checkpoint reader(path);
+  EXPECT_EQ(reader.load(), 3u);
+  EXPECT_TRUE(reader.contains(0xaaaa));
+  EXPECT_TRUE(reader.contains(0xbbbb));
+  EXPECT_TRUE(reader.contains(0xcccc));
+  std::remove(path.c_str());
+}
+
 TEST(BatchEngine, SweepBuilderRunBatchEndToEnd) {
   exp::BatchOptions opt;
   opt.exec.workers = 2;

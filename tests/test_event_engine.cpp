@@ -105,6 +105,69 @@ TEST(RingQueue, EraseAtPreservesOrder) {
   EXPECT_EQ(rest, (std::vector<int>{1, 2, 3, 5, 6, 7, 8}));
 }
 
+TEST(RingQueue, EraseAtAfterHeadWrapFrontMiddleBack) {
+  // Drive head_ past the end of the 8-slot backing buffer so the live
+  // range wraps, then erase at the front, middle, and back of the wrapped
+  // range — the left-shift and right-shift paths both cross the seam.
+  for (int erase_pos : {0, 2, 4}) {  // front, middle, back (5 live elements)
+    util::RingQueue<int> q;
+    for (int i = 0; i < 8; ++i) q.push_back(i);      // fill to capacity 8
+    for (int i = 0; i < 6; ++i) q.pop_front();       // head_ = 6
+    for (int i = 8; i < 11; ++i) q.push_back(i);     // live: 6..10, wrapped
+    ASSERT_EQ(q.size(), 5u);
+
+    std::vector<int> expected = {6, 7, 8, 9, 10};
+    q.erase_at(static_cast<std::size_t>(erase_pos));
+    expected.erase(expected.begin() + erase_pos);
+
+    std::vector<int> rest;
+    while (!q.empty()) rest.push_back(q.pop_front());
+    EXPECT_EQ(rest, expected) << "erase_at(" << erase_pos << ") after wrap";
+  }
+}
+
+TEST(RingQueue, EraseAtMatchesReferenceModelUnderChurn) {
+  // Exhaustive-ish regression: every erase position against a std::vector
+  // reference model while the head position churns across the buffer.
+  util::RingQueue<int> q;
+  std::vector<int> model;
+  int next = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      q.push_back(next);
+      model.push_back(next);
+      ++next;
+    }
+    const std::size_t at = static_cast<std::size_t>(round) % q.size();
+    q.erase_at(at);
+    model.erase(model.begin() + static_cast<std::ptrdiff_t>(at));
+    if (round % 3 == 0) {
+      ASSERT_EQ(q.pop_front(), model.front());
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(q.size(), model.size());
+    for (std::size_t i = 0; i < model.size(); ++i)
+      ASSERT_EQ(q[i], model[i]) << "round " << round << " index " << i;
+  }
+}
+
+TEST(RingQueue, EraseAtSingleElementAndMoveOnlyPayloads) {
+  // The i == 0 / i == size-1 fast paths must reset the vacated slot, so a
+  // move-only resource type is actually released, not retained.
+  util::RingQueue<std::unique_ptr<int>> q;
+  q.push_back(std::make_unique<int>(1));
+  q.erase_at(0);
+  EXPECT_TRUE(q.empty());
+
+  for (int i = 0; i < 5; ++i) q.push_back(std::make_unique<int>(i));
+  q.erase_at(4);  // back fast path
+  q.erase_at(1);  // left-shift path (i < size - i - 1)
+  q.erase_at(2);  // back fast path again (now the last index)
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(*q[0], 0);
+  EXPECT_EQ(*q[1], 2);
+}
+
 TEST(RingQueue, ReservePreallocates) {
   util::RingQueue<int> q;
   q.reserve(100);

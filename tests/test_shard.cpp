@@ -1,0 +1,345 @@
+// Crash-safe distributed sharding (src/exp/shard.*): shard assignment and
+// slicing, the merge protocol's byte-identical guarantee vs a serial run,
+// crash detection + resume convergence after a simulated SIGKILL, and the
+// POSIX process-spawn layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "exp/exp.hpp"
+
+namespace oracle {
+namespace {
+
+core::ExperimentConfig small_config(std::uint64_t seed = 1) {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:5x5";
+  cfg.strategy = "cwn:radius=4,horizon=1";
+  cfg.workload = "fib:9";
+  cfg.machine.seed = seed;
+  return cfg;
+}
+
+/// A fast 3 (topology) x 3 (strategy) x 2 (seed) sweep = 18 jobs.
+std::vector<core::ExperimentConfig> small_sweep() {
+  return core::SweepBuilder(small_config())
+      .topologies({"grid:5x5", "grid:6x6", "dlm:5:5x5"})
+      .strategies({"cwn:radius=4,horizon=1", "gm:hwm=2,lwm=1", "random"})
+      .seeds({1, 2})
+      .build();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "oracle_shard_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Keep only the first `n` lines of `path` (simulates the clean-prefix
+/// state a SIGKILLed worker leaves behind).
+void keep_lines(const std::string& path, std::size_t n) {
+  std::ifstream in(path);
+  std::string line, kept;
+  for (std::size_t i = 0; i < n && std::getline(in, line); ++i)
+    kept += line + '\n';
+  in.close();
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << kept;
+}
+
+void remove_run_files(const std::string& canonical, std::size_t shards) {
+  std::remove(canonical.c_str());
+  std::remove(exp::Checkpoint::default_path(canonical).c_str());
+  for (std::size_t i = 0; i < shards; ++i) {
+    const auto store = exp::shard_store_path(canonical, i, shards);
+    std::remove(store.c_str());
+    std::remove(exp::Checkpoint::default_path(store).c_str());
+  }
+}
+
+/// Run one shard's slice in-process, exactly as an `oracle_batch run
+/// --shard i/N` worker would.
+exp::BatchOutcome run_shard_worker(
+    const std::vector<core::ExperimentConfig>& configs,
+    const std::string& canonical, std::size_t index, std::size_t count,
+    bool resume = false) {
+  exp::BatchOptions opt;
+  opt.jsonl_path = exp::shard_store_path(canonical, index, count);
+  opt.shard_index = index;
+  opt.shard_count = count;
+  opt.resume = resume;
+  if (resume) opt.extra_resume_stores.push_back(canonical);
+  opt.collect = false;
+  return exp::run_batch(configs, opt);
+}
+
+// -------------------------------------------------------------- ShardSpec --
+
+TEST(ShardSpec, ParsesValidAndRejectsMalformed) {
+  const auto s = exp::ShardSpec::parse("2/4");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->index, 2u);
+  EXPECT_EQ(s->count, 4u);
+  EXPECT_EQ(s->to_string(), "2/4");
+  EXPECT_TRUE(exp::ShardSpec::parse("0/1").has_value());
+
+  for (const char* bad : {"", "3", "4/4", "5/4", "/4", "2/", "a/b", "-1/4",
+                          "1/-3", "-1/-3", "1/0", "1/4/2"})
+    EXPECT_FALSE(exp::ShardSpec::parse(bad).has_value()) << bad;
+}
+
+TEST(ShardSpec, HashRuleIsStableAndStorePathsAreDistinct) {
+  EXPECT_EQ(exp::shard_of_hash(17, 1), 0u);
+  EXPECT_EQ(exp::shard_of_hash(17, 4), 17u % 4u);
+  EXPECT_EQ(exp::shard_of_hash(17, 0), 0u);  // degenerate count
+
+  std::unordered_set<std::string> paths;
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_TRUE(paths.insert(exp::shard_store_path("sweep.jsonl", i, 4)).second);
+  EXPECT_EQ(exp::shard_store_path("s.jsonl", 1, 4), "s.jsonl.shard1of4");
+}
+
+// --------------------------------------------------------- queue slicing --
+
+TEST(ShardPlan, RetainShardPartitionsTheQueueDisjointly) {
+  const auto configs = small_sweep();
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    exp::JobQueue q(configs);
+    q.retain_shard(i, 3);
+    total += q.size();
+    for (const auto& job : q.jobs()) {
+      EXPECT_EQ(job.content_hash % 3, i);
+      EXPECT_TRUE(seen.insert(job.content_hash).second)
+          << "job in two shards";
+    }
+  }
+  EXPECT_EQ(total, configs.size());
+
+  // count <= 1 keeps everything.
+  exp::JobQueue q(configs);
+  EXPECT_EQ(q.retain_shard(0, 1), 0u);
+  EXPECT_EQ(q.size(), configs.size());
+}
+
+TEST(ShardPlan, PlanMatchesRetainShardAndCountsJobs) {
+  const auto configs = small_sweep();
+  exp::JobQueue q(configs);
+  const exp::ShardPlan plan(q, 3);
+  EXPECT_EQ(plan.count(), 3u);
+  EXPECT_EQ(plan.total_jobs(), configs.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (const auto h : plan.shard_hashes(i)) EXPECT_EQ(h % 3, i);
+    total += plan.shard_hashes(i).size();
+  }
+  EXPECT_EQ(total, configs.size());
+}
+
+// ------------------------------------------------ merge = serial, bytewise --
+
+TEST(ShardMerger, MergedStoreIsByteIdenticalToSerialRun) {
+  const auto configs = small_sweep();
+  const auto serial = temp_path("serial.jsonl");
+  const auto canonical = temp_path("merged.jsonl");
+  remove_run_files(canonical, 3);
+
+  exp::BatchOptions sopt;
+  sopt.jsonl_path = serial;
+  sopt.collect = false;
+  ASSERT_TRUE(exp::run_batch(configs, sopt).report.ok());
+
+  std::size_t worker_total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto outcome = run_shard_worker(configs, canonical, i, 3);
+    ASSERT_TRUE(outcome.report.ok());
+    worker_total += outcome.report.executed;
+  }
+  EXPECT_EQ(worker_total, configs.size());
+
+  exp::ShardMerger merger;
+  for (std::size_t i = 0; i < 3; ++i)
+    merger.add_store(exp::shard_store_path(canonical, i, 3));
+  const auto report = merger.merge_to(canonical);
+  EXPECT_EQ(report.stores_read, 3u);
+  EXPECT_EQ(report.records, configs.size());
+  EXPECT_EQ(report.duplicates_dropped, 0u);
+  EXPECT_EQ(report.corrupt_lines, 0u);
+
+  const auto serial_bytes = read_file(serial);
+  ASSERT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, read_file(canonical));
+  // The rebuilt canonical checkpoint matches the serial run's too.
+  EXPECT_EQ(read_file(exp::Checkpoint::default_path(serial)),
+            read_file(exp::Checkpoint::default_path(canonical)));
+
+  std::remove(serial.c_str());
+  std::remove(exp::Checkpoint::default_path(serial).c_str());
+  remove_run_files(canonical, 3);
+}
+
+TEST(ShardMerger, DropsDuplicatesAndIgnoresCorruptTails) {
+  const auto configs = small_sweep();
+  const auto canonical = temp_path("dupes.jsonl");
+  remove_run_files(canonical, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    ASSERT_TRUE(run_shard_worker(configs, canonical, i, 2).report.ok());
+
+  // Corrupt one store's tail (mid-write kill) and duplicate a record.
+  const auto store0 = exp::shard_store_path(canonical, 0, 2);
+  std::string first_line;
+  {
+    std::ifstream in(store0);
+    std::getline(in, first_line);
+  }
+  {
+    std::ofstream out(store0, std::ios::app);
+    out << first_line << "\n{\"job\":99,\"hash\":\"truncat";  // no newline
+  }
+
+  exp::ShardMerger merger;
+  merger.add_store(store0);
+  merger.add_store(exp::shard_store_path(canonical, 1, 2));
+  merger.add_store(temp_path("does_not_exist.jsonl"));
+  const auto report = merger.merge_to(canonical);
+  EXPECT_EQ(report.stores_read, 2u);
+  EXPECT_EQ(report.records, configs.size());
+  EXPECT_EQ(report.duplicates_dropped, 1u);
+  EXPECT_EQ(report.corrupt_lines, 1u);
+  EXPECT_EQ(exp::load_completed_hashes(canonical).size(), configs.size());
+
+  remove_run_files(canonical, 2);
+}
+
+// --------------------------------------- crash detection + resume converges --
+
+TEST(ShardPlan, KilledWorkerIsDetectedAndResumeConvergesByteIdentically) {
+  const auto configs = small_sweep();
+  const auto serial = temp_path("kill_serial.jsonl");
+  const auto canonical = temp_path("kill_merged.jsonl");
+  remove_run_files(canonical, 3);
+
+  exp::BatchOptions sopt;
+  sopt.jsonl_path = serial;
+  sopt.collect = false;
+  ASSERT_TRUE(exp::run_batch(configs, sopt).report.ok());
+
+  // All three workers run; then the busiest one is "SIGKILLed" after 2
+  // jobs — its store and checkpoint keep a clean 2-record prefix.
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(run_shard_worker(configs, canonical, i, 3).report.ok());
+  exp::JobQueue queue(configs);
+  const exp::ShardPlan plan(queue, 3);
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < 3; ++i)
+    if (plan.shard_hashes(i).size() > plan.shard_hashes(victim).size())
+      victim = i;
+  ASSERT_GT(plan.shard_hashes(victim).size(), 2u);  // pigeonhole: max >= 6
+  const auto victim_store = exp::shard_store_path(canonical, victim, 3);
+  keep_lines(victim_store, 2);
+  keep_lines(exp::Checkpoint::default_path(victim_store), 2);
+
+  // Crash detection: only the killed shard is incomplete.
+  EXPECT_EQ(plan.incomplete_shards(canonical),
+            (std::vector<std::size_t>{victim}));
+
+  // Resume re-runs only the dead shard's missing jobs...
+  const auto resumed = run_shard_worker(configs, canonical, victim, 3, true);
+  ASSERT_TRUE(resumed.report.ok());
+  EXPECT_EQ(resumed.report.skipped, 2u);
+  EXPECT_EQ(resumed.report.executed,
+            plan.shard_hashes(victim).size() - 2u);
+  EXPECT_TRUE(plan.incomplete_shards(canonical).empty());
+
+  // ...and the merge converges to the serial bytes: no loss, no dupes.
+  exp::ShardMerger merger;
+  for (std::size_t i = 0; i < 3; ++i)
+    merger.add_store(exp::shard_store_path(canonical, i, 3));
+  const auto report = merger.merge_to(canonical);
+  EXPECT_EQ(report.records, configs.size());
+  EXPECT_EQ(report.duplicates_dropped, 0u);
+  EXPECT_EQ(read_file(serial), read_file(canonical));
+
+  std::remove(serial.c_str());
+  std::remove(exp::Checkpoint::default_path(serial).c_str());
+  remove_run_files(canonical, 3);
+}
+
+TEST(ShardPlan, JobsMergedIntoCanonicalStoreAreNotReRun) {
+  const auto configs = small_sweep();
+  const auto canonical = temp_path("extra_resume.jsonl");
+  remove_run_files(canonical, 2);
+
+  // Round 1 completed and merged; the per-shard stores were cleaned up.
+  for (std::size_t i = 0; i < 2; ++i)
+    ASSERT_TRUE(run_shard_worker(configs, canonical, i, 2).report.ok());
+  exp::ShardMerger merger;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto store = exp::shard_store_path(canonical, i, 2);
+    merger.add_store(store);
+    std::remove(store.c_str());
+    std::remove(exp::Checkpoint::default_path(store).c_str());
+  }
+  ASSERT_EQ(merger.merge_to(canonical).records, configs.size());
+
+  // Crash detection consults the canonical store as well.
+  exp::JobQueue queue(configs);
+  const exp::ShardPlan plan(queue, 2);
+  EXPECT_TRUE(
+      plan.incomplete_shards(canonical,
+                             exp::load_completed_hashes(canonical))
+          .empty());
+
+  // A resumed worker skips everything via extra_resume_stores.
+  const auto resumed = run_shard_worker(configs, canonical, 0, 2, true);
+  EXPECT_TRUE(resumed.report.ok());
+  EXPECT_EQ(resumed.report.executed, 0u);
+  EXPECT_EQ(resumed.report.skipped, plan.shard_hashes(0).size());
+
+  remove_run_files(canonical, 2);
+}
+
+// ---------------------------------------------------------- process layer --
+
+#if !defined(_WIN32)
+
+TEST(ShardProcesses, SpawnAndWaitReportsExitCodesAndSignals) {
+  const std::vector<std::vector<std::string>> argvs = {
+      {"/bin/sh", "-c", "exit 0"},
+      {"/bin/sh", "-c", "exit 3"},
+      {"/bin/sh", "-c", "kill -9 $$"},
+  };
+  const auto exits = exp::spawn_and_wait(argvs, {0, 1, 2});
+  ASSERT_EQ(exits.size(), 3u);
+  EXPECT_TRUE(exits[0].ok());
+  EXPECT_EQ(exits[0].exit_code, 0);
+  EXPECT_FALSE(exits[1].ok());
+  EXPECT_EQ(exits[1].exit_code, 3);
+  EXPECT_FALSE(exits[2].ok());
+  EXPECT_EQ(exits[2].term_signal, 9);
+  EXPECT_EQ(exits[2].shard, 2u);
+}
+
+TEST(ShardProcesses, SelfExecPathResolvesToARealFile) {
+  const auto path = exp::self_exec_path("fallback");
+  std::ifstream probe(path, std::ios::binary);
+  EXPECT_TRUE(probe.good()) << path;
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace oracle
