@@ -1,0 +1,203 @@
+// bench_steal_sweep — wall-clock comparison of the two multi-process
+// distribution modes on a heavy-tailed sweep: static content-hash shards
+// (`--workers N`) vs the work-stealing lease supervisor (`--steal`).
+//
+// The sweep is the pathology Kale's ICPP'88 adaptive strategies target,
+// reproduced at the experiment-runner level: a pile of cheap grid points
+// plus a few expensive ones ("whales"). The whale seeds are chosen —
+// deterministically, from the content hashes — so that every whale lands
+// in the *same* static shard: the static run serializes all of them on one
+// worker while the other three idle, whereas the steal supervisor re-leases
+// the whale tail across the idle workers as they drain.
+//
+// The binary is its own worker (self-exec): the parent re-executes itself
+// with `--steal-bench-worker`, and the worker handles both the static
+// `--shard i/N` and the steal `--worker-slot k/W` protocols over the same
+// hard-coded sweep.
+//
+// Output: one JSON object (CI saves it as BENCH_steal.json and asserts
+// speedup > 1).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "oracle.hpp"
+
+namespace {
+
+using namespace oracle;
+
+constexpr std::size_t kWorkers = 4;
+constexpr const char* kLight = "fib:12";
+constexpr const char* kHeavy = "fib:24";
+
+core::ExperimentConfig bench_config() {
+  core::ExperimentConfig cfg = core::paper::base_config();
+  cfg.topology = "grid:6x6";
+  cfg.workload = kLight;
+  return cfg;
+}
+
+/// 28 light jobs followed by 4 whales whose seeds are picked so all whales
+/// share one static shard (hash % kWorkers collide). Pure function of the
+/// content hashes, so the pathology reproduces on any host.
+std::vector<core::ExperimentConfig> bench_sweep() {
+  auto configs = core::SweepBuilder(bench_config())
+                     .strategies({"cwn", "gm", "random", "roundrobin"})
+                     .seeds({1, 2, 3, 4, 5, 6, 7})
+                     .build();
+
+  core::ExperimentConfig heavy = bench_config();
+  heavy.workload = kHeavy;
+  heavy.strategy = "cwn";
+  heavy.machine.seed = 1;
+  const std::size_t target =
+      exp::shard_of_hash(exp::job_content_hash(heavy), kWorkers);
+  std::size_t found = 0;
+  for (std::uint64_t seed = 1; found < 4 && seed < 10'000; ++seed) {
+    heavy.machine.seed = seed;
+    if (exp::shard_of_hash(exp::job_content_hash(heavy), kWorkers) != target)
+      continue;
+    configs.push_back(heavy);
+    ++found;
+  }
+  return configs;
+}
+
+int worker_main(int argc, char** argv) {
+  std::string out;
+  std::optional<exp::ShardSpec> shard, slot;
+  bool resume = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&] { return std::string(i + 1 < argc ? argv[++i] : ""); };
+    if (arg == "--out") {
+      out = value();
+    } else if (arg == "--shard") {
+      shard = exp::ShardSpec::parse(value());
+    } else if (arg == "--worker-slot") {
+      slot = exp::ShardSpec::parse(value());
+    } else if (arg == "--resume") {
+      resume = true;
+    }
+  }
+  if (out.empty() || (!shard && !slot)) return 2;
+
+  const auto configs = bench_sweep();
+  if (slot) {
+    exp::LeaseWorkerOptions wopt;
+    wopt.canonical_out = out;
+    wopt.slot = slot->index;
+    wopt.slot_count = slot->count;
+    wopt.merge_resume = resume;
+    return exp::run_lease_worker(configs, wopt).ok() ? 0 : 1;
+  }
+  exp::BatchOptions opt;
+  opt.jsonl_path = exp::shard_store_path(out, shard->index, shard->count);
+  opt.shard_index = shard->index;
+  opt.shard_count = shard->count;
+  opt.resume = resume;
+  if (resume) opt.extra_resume_stores.push_back(out);
+  opt.collect = false;
+  opt.exec.progress = false;
+  // One thread per worker process, matching the steal workers: each worker
+  // models one PE, so the comparison isolates the *distribution* policy
+  // (the in-process thread executor would otherwise re-balance a static
+  // shard internally and mask the imbalance this bench measures).
+  opt.exec.workers = 1;
+  return exp::run_batch(configs, opt).report.ok() ? 0 : 1;
+}
+
+struct TimedRun {
+  double seconds = 0.0;
+  std::size_t steals = 0;
+};
+
+TimedRun timed_run(const std::vector<core::ExperimentConfig>& configs,
+                   const std::string& self, const std::string& out,
+                   bool steal) {
+  exp::ShardRunOptions sopt;
+  sopt.workers = kWorkers;
+  sopt.out = out;
+  sopt.steal = steal;
+  sopt.exec_path = exp::self_exec_path(self);
+  sopt.worker_args = {"--steal-bench-worker", "--out", out};
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = exp::run_sharded_processes(configs, sopt);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench_steal_sweep: %s run failed: %s\n",
+                 steal ? "steal" : "static", report.summary().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "[%s] %.3fs  %s\n", steal ? "steal " : "static",
+               seconds, report.summary().c_str());
+  return {seconds, report.steals};
+}
+
+std::string store_digest(const std::string& path) {
+  // Cheap content fingerprint for the cross-mode identity check.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return "missing";
+  std::uint64_t h = 1469598103934665603ull;
+  int c;
+  std::size_t bytes = 0;
+  while ((c = std::fgetc(f)) != EOF) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    ++bytes;
+  }
+  std::fclose(f);
+  return strfmt("%zu:%016llx", bytes, static_cast<unsigned long long>(h));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--steal-bench-worker") == 0)
+    return worker_main(argc, argv);
+
+  const auto configs = bench_sweep();
+  std::size_t heavies = 0;
+  for (const auto& cfg : configs)
+    if (cfg.workload == kHeavy) ++heavies;
+  std::fprintf(stderr,
+               "bench_steal_sweep: %zu jobs (%zu whales colliding on one "
+               "static shard), %zu workers\n",
+               configs.size(), heavies, kWorkers);
+
+  const std::string static_out = "bench_steal_static.jsonl";
+  const std::string steal_out = "bench_steal_dynamic.jsonl";
+  const auto static_run = timed_run(configs, argv[0], static_out, false);
+  const auto steal_run = timed_run(configs, argv[0], steal_out, true);
+
+  const std::string static_digest = store_digest(static_out);
+  const std::string steal_digest = store_digest(steal_out);
+
+  // `cpus` lets CI gate the wall-clock assertion: on a single-core host
+  // every schedule serializes and no distribution policy can win.
+  std::printf(
+      "{\n"
+      "  \"name\": \"steal_vs_static_heavy_tail\",\n"
+      "  \"jobs\": %zu,\n"
+      "  \"whales\": %zu,\n"
+      "  \"workers\": %zu,\n"
+      "  \"cpus\": %u,\n"
+      "  \"static_seconds\": %.4f,\n"
+      "  \"steal_seconds\": %.4f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"steals\": %zu,\n"
+      "  \"stores_identical\": %s\n"
+      "}\n",
+      configs.size(), heavies, kWorkers, std::thread::hardware_concurrency(),
+      static_run.seconds, steal_run.seconds,
+      static_run.seconds / steal_run.seconds, steal_run.steals,
+      static_digest == steal_digest ? "true" : "false");
+  return static_digest == steal_digest ? 0 : 1;
+}

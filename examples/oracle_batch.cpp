@@ -41,8 +41,19 @@
 //                           into --out in job order — byte-identical to a
 //                           serial run. With --resume, only shards with
 //                           incomplete jobs are re-run (crash recovery).
+//     --steal               supervise the workers over dynamic job-range
+//                           leases instead of fixed shards: an idle worker
+//                           steals the unclaimed tail of the most-loaded
+//                           lease (heavy-tailed sweeps stop idling on one
+//                           slow shard). Single-host only.
+//     --heartbeat-ms N      (steal) SIGKILL+restart a worker whose
+//                           heartbeat file is untouched for N ms (0 = off;
+//                           must exceed the longest single job)
+//     --max-restarts N      (steal) per-worker respawn budget for crashed
+//                           or stalled workers (default 2)
 //     --shard i/N           internal/cross-host: run only shard i of N
 //                           into the per-shard store derived from --out
+//     --worker-slot k/W     internal (steal): run slot k's current lease
 //     --keep-shards         keep the per-shard stores after a merge
 //
 // Examples:
@@ -57,6 +68,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -83,6 +95,8 @@ void print_usage() {
       "                    [--out PATH|-] [--csv PATH] [--resume]\n"
       "                    [--sample N] [--hop-latency N] [--no-progress]\n"
       "       oracle_batch run ... --workers N [--keep-shards]   (multi-process)\n"
+      "       oracle_batch run ... --workers N --steal [--heartbeat-ms N]\n"
+      "                    [--max-restarts N]             (work-stealing supervisor)\n"
       "       oracle_batch run ... --shard i/N                   (one shard only)\n"
       "       oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...]\n"
       "                    [--metric NAME|all|list] [--csv PATH|-]\n");
@@ -192,7 +206,11 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
   // Distributed mode state.
   std::size_t workers = 0;                  // parent: fork this many
   std::optional<exp::ShardSpec> shard;      // worker: run this slice only
+  std::optional<exp::ShardSpec> worker_slot;  // steal worker: slot k of W
   bool keep_shards = false;
+  bool steal = false;
+  std::uint32_t heartbeat_ms = 0;
+  std::size_t max_restarts = 2;
   // Raw sweep-defining tokens, re-played verbatim onto each worker's
   // command line. Excludes the orchestration flags the parent owns
   // (--workers, --shard, --resume, --keep-shards, --no-progress).
@@ -267,6 +285,19 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
         const auto n = parse_int(value(), arg);
         if (n < 1) usage_error("--workers must be >= 1");
         workers = static_cast<std::size_t>(n);
+      } else if (arg == "--steal" && run_mode) {
+        steal = true;
+      } else if (arg == "--heartbeat-ms" && run_mode) {
+        const auto n = parse_int(value(), arg);
+        if (n < 0) usage_error("--heartbeat-ms must be >= 0");
+        heartbeat_ms = static_cast<std::uint32_t>(n);
+      } else if (arg == "--max-restarts" && run_mode) {
+        const auto n = parse_int(value(), arg);
+        if (n < 0) usage_error("--max-restarts must be >= 0");
+        max_restarts = static_cast<std::size_t>(n);
+      } else if (arg == "--worker-slot" && run_mode) {
+        worker_slot = exp::ShardSpec::parse(value());
+        if (!worker_slot) usage_error("--worker-slot needs k/W with k < W");
       } else if (arg == "--keep-shards" && run_mode) {
         keep_shards = true;
       } else if (arg == "--out") {
@@ -297,7 +328,8 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
     }
   }
 
-  const bool distributed = workers > 0 || shard.has_value();
+  const bool distributed =
+      workers > 0 || shard.has_value() || worker_slot.has_value();
   if (distributed) {
     if (opt.jsonl_path.empty() || opt.jsonl_path == "-")
       usage_error("distributed runs need a canonical --out store file");
@@ -305,9 +337,15 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       usage_error(
           "--csv is not supported for distributed runs; derive a CSV from "
           "the merged store via `oracle_batch aggregate --csv`");
-    if (workers > 0 && shard.has_value())
-      usage_error("--workers (parent) and --shard i/N (worker) are exclusive");
+    if (workers > 0 && (shard.has_value() || worker_slot.has_value()))
+      usage_error(
+          "--workers (parent) and --shard i/N / --worker-slot k/W (worker) "
+          "are exclusive");
+    if (shard.has_value() && worker_slot.has_value())
+      usage_error("--shard i/N and --worker-slot k/W are exclusive");
   }
+  if (steal && workers == 0 && !worker_slot.has_value())
+    usage_error("--steal needs --workers N (the supervisor forks them)");
 
   if (opt.jsonl_path == "-") {
     if (opt.resume)
@@ -337,6 +375,9 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       sopt.resume = opt.resume;
       sopt.keep_shard_stores = keep_shards;
       sopt.master_seed = opt.master_seed;
+      sopt.steal = steal;
+      sopt.heartbeat_ms = heartbeat_ms;
+      sopt.max_restarts = max_restarts;
       sopt.exec_path = exp::self_exec_path(self);
       sopt.worker_args = passthrough;
       sopt.worker_args.insert(sopt.worker_args.begin(), "run");
@@ -355,21 +396,70 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       std::printf("%s\n", report.summary().c_str());
       for (const auto& w : report.workers) {
         if (w.ok()) continue;
+        // In steal mode a failed exit may have been absorbed by an
+        // auto-restart; the summary above already says so. Still surface
+        // each failure for the log.
+        const char* hint =
+            report.merged ? "auto-restarted"
+                          : "its completed jobs are safe; --resume finishes "
+                            "the rest";
         if (w.term_signal != 0)
           std::fprintf(stderr,
                        "oracle_batch: shard %zu/%zu worker killed by signal "
-                       "%d (its completed jobs are safe; --resume finishes "
-                       "the rest)\n",
-                       w.shard, workers, w.term_signal);
+                       "%d (%s)\n",
+                       w.shard, workers, w.term_signal, hint);
         else
           std::fprintf(stderr,
                        "oracle_batch: shard %zu/%zu worker exited with "
-                       "status %d\n",
-                       w.shard, workers, w.exit_code);
+                       "status %d (%s)\n",
+                       w.shard, workers, w.exit_code, hint);
       }
       if (report.merged)
         std::printf("store: %s (+ checkpoint %s)\n", sopt.out.c_str(),
                     exp::Checkpoint::default_path(sopt.out).c_str());
+      return report.ok() ? 0 : 1;
+    }
+
+    if (worker_slot.has_value()) {
+      // Steal-mode worker: run this slot's current lease into its private
+      // store, re-reading the lease before every job.
+      exp::LeaseWorkerOptions wopt;
+      wopt.canonical_out = opt.jsonl_path;
+      wopt.slot = worker_slot->index;
+      wopt.slot_count = worker_slot->count;
+      wopt.merge_resume = opt.resume;
+      wopt.master_seed = opt.master_seed;
+      wopt.threads = jobs_given ? opt.exec.workers : 1;
+      // CI fault injection: ORACLE_SHARD_FAULT="die|kill|stall:<slot>:<n>"
+      // arms a one-shot fault in the matching slot ("kill" raises SIGKILL,
+      // "die" _exit(1)s, "stall" sleeps through the heartbeat timeout).
+      // The one-shot marker lives beside the canonical store, so the
+      // supervisor's respawn of the same slot runs clean.
+      if (const char* fault = std::getenv("ORACLE_SHARD_FAULT")) {
+        const auto parts = split(fault, ':');
+        if (parts.size() >= 3 &&
+            static_cast<std::size_t>(parse_int(parts[1], "fault slot")) ==
+                wopt.slot) {
+          wopt.hooks.once_marker = opt.jsonl_path + ".fault_fired";
+          const auto n =
+              static_cast<std::size_t>(parse_int(parts[2], "fault job count"));
+          if (parts[0] == "die" || parts[0] == "kill") {
+            wopt.hooks.die_after_n_jobs = n;
+            wopt.hooks.die_with_sigkill = parts[0] == "kill";
+          } else if (parts[0] == "stall") {
+            wopt.hooks.stall_after_n_jobs = n;
+            if (parts.size() >= 4)
+              wopt.hooks.stall_ms = static_cast<std::uint32_t>(
+                  parse_int(parts[3], "fault stall ms"));
+          }
+        }
+      }
+      const auto report = exp::run_lease_worker(sweep.build(), wopt);
+      std::fprintf(stderr, "[worker %s] %s\n",
+                   worker_slot->to_string().c_str(),
+                   report.summary().c_str());
+      for (const auto& err : report.errors)
+        std::fprintf(stderr, "oracle_batch: failed: %s\n", err.c_str());
       return report.ok() ? 0 : 1;
     }
 

@@ -46,8 +46,11 @@ class SweepBuilder {
   exp::BatchOutcome run_batch(const exp::BatchOptions& options = {}) const;
 
   /// Materialize and execute the sweep as a multi-process sharded run:
-  /// one self-exec worker process per shard over per-shard stores, merged
-  /// into the canonical store in job order (exp::run_sharded_processes).
+  /// self-exec worker processes over private stores, merged into the
+  /// canonical store in job order (exp::run_sharded_processes). The
+  /// options choose between the static hash-modulo partition and the
+  /// work-stealing lease supervisor (options.steal, heartbeat_ms,
+  /// max_restarts).
   exp::ShardRunReport run_sharded(const exp::ShardRunOptions& options) const;
 
  private:

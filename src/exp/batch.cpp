@@ -7,6 +7,7 @@
 
 #include "exp/checkpoint.hpp"
 #include "topo/factory.hpp"
+#include "util/file_util.hpp"
 
 namespace oracle::exp {
 
@@ -16,7 +17,9 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
   if (options.master_seed != 0) queue.derive_seeds(options.master_seed);
   if (options.shard_count > 1)
     queue.retain_shard(options.shard_index, options.shard_count);
-  // From here on "the sweep" means this shard's slice of it.
+  if (options.lease_end != BatchOptions::kNoLease)
+    queue.retain_range(options.lease_begin, options.lease_end);
+  // From here on "the sweep" means this shard's/lease's slice of it.
   const std::size_t planned = queue.size();
 
   std::string ckpt_path = options.checkpoint_path;
@@ -27,6 +30,12 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
   if (ckpt_path.empty() && !options.csv_path.empty())
     ckpt_path = Checkpoint::default_path(options.csv_path);
   Checkpoint checkpoint(ckpt_path);
+  if (!options.heartbeat_path.empty()) {
+    // First touch before any work: the supervisor's liveness baseline must
+    // cover the window before the first job commits.
+    util::touch_file(options.heartbeat_path);
+    checkpoint.set_heartbeat_path(options.heartbeat_path);
+  }
 
   std::size_t skipped = 0;
   if (options.resume) {

@@ -5,6 +5,7 @@
 #include "exp/job.hpp"
 #include "exp/result_sink.hpp"
 #include "util/error.hpp"
+#include "util/file_util.hpp"
 
 #if !defined(_WIN32)
 #include <unistd.h>
@@ -60,6 +61,9 @@ void Checkpoint::record(std::uint64_t hash) {
       std::fwrite(line.data(), 1, line.size(), out_) == line.size();
   if (!wrote || !flush_and_sync(out_))
     throw SimulationError("checkpoint write to '" + path_ + "' failed");
+  // Heartbeat after the durable append: the supervisor may only conclude
+  // "alive" from progress that is already safe on disk.
+  if (!heartbeat_path_.empty()) util::touch_file(heartbeat_path_);
 }
 
 void Checkpoint::open_for_append() {

@@ -61,10 +61,17 @@ class Checkpoint {
   /// Thread-safe; the executor calls this at the ordered-commit point.
   void record(std::uint64_t hash);
 
+  /// Liveness signal for the shard supervisor: when set, every record()
+  /// also bumps this file's mtime (util::touch_file), so a parent watching
+  /// the heartbeat can distinguish "worker still committing jobs" from
+  /// "worker wedged mid-simulation" without any pipe back to it.
+  void set_heartbeat_path(std::string path) { heartbeat_path_ = std::move(path); }
+
  private:
   void open_for_append();
 
   std::string path_;
+  std::string heartbeat_path_;  ///< touched per record when non-empty
   std::unordered_set<std::uint64_t> completed_;
   std::FILE* out_ = nullptr;  ///< raw stdio handle so every append can fsync
   std::mutex mutex_;

@@ -27,11 +27,13 @@ std::string format_eta(double seconds) {
 }  // namespace
 
 std::string BatchReport::summary() const {
-  return strfmt(
+  std::string s = strfmt(
       "%zu jobs: %zu executed, %zu skipped (cached), %zu failed in %.2fs "
       "(%.1f jobs/s)",
       total_jobs, executed, skipped, failed, elapsed_seconds,
       jobs_per_second);
+  if (cancelled > 0) s += strfmt(", %zu released (lease shrunk)", cancelled);
+  return s;
 }
 
 BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
@@ -67,6 +69,11 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
   // a dead store fails the run fast instead of simulating the whole
   // remaining queue into memory nobody will ever drain.
   std::atomic<bool> aborted{false};
+  // Set when opts_.stop_before vetoes a job: the run winds down cleanly —
+  // in-flight jobs commit, nothing new starts. The commit frontier halts
+  // at the first skipped position, so the store keeps its clean-prefix
+  // shape and the abandoned tail stays unclaimed for another worker.
+  std::atomic<bool> stopped{false};
 
   const auto start = Clock::now();
   auto last_progress = start;
@@ -104,6 +111,7 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
         const std::size_t pos = next_commit++;
         ++committed;
         if (failed[pos]) continue;
+        ++report.executed;
         report.total_events += pending[pos]->events_executed;
         batch.emplace_back(&queue.job(pos), std::move(*pending[pos]));
         pending[pos].reset();  // free the result memory promptly
@@ -137,12 +145,17 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
   };
 
   ThreadPool::parallel_for(workers, workers, [&](std::size_t) {
-    while (!aborted.load(std::memory_order_relaxed)) {
+    while (!aborted.load(std::memory_order_relaxed) &&
+           !stopped.load(std::memory_order_relaxed)) {
       const auto shard = queue.claim(shard_size);
       if (shard.empty()) return;
       for (std::size_t pos = shard.begin;
            pos < shard.end && !aborted.load(std::memory_order_relaxed);
            ++pos) {
+        if (opts_.stop_before && opts_.stop_before(queue.job(pos))) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
         std::optional<stats::RunResult> result;
         std::string error;
         try {
@@ -168,7 +181,11 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
     }
   });
 
-  report.executed = n - report.failed;
+  // `executed` was counted at the commit frontier; everything the frontier
+  // never reached (skipped by stop_before, or finished behind a skipped
+  // position and therefore not committed) counts as cancelled and will be
+  // re-run by whichever worker the parent re-leases it to.
+  report.cancelled = n - committed;
   report.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   report.jobs_per_second =

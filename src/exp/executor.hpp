@@ -13,6 +13,7 @@
 //      resume only ever re-runs a suffix plus the in-flight window.
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -39,6 +40,15 @@ struct ExecutorOptions {
 
   /// Keep at most this many failure messages in the report.
   std::size_t max_errors = 8;
+
+  /// Cooperative cancellation hook: called with each job immediately
+  /// before it would run; returning true skips that job and stops the run
+  /// (no further jobs are claimed; in-flight jobs finish and their
+  /// contiguous prefix still commits). Work-stealing lease workers use it
+  /// to observe a lease the parent shrank mid-run: jobs at or beyond the
+  /// new lease end are abandoned for the thief to pick up. The hook runs
+  /// on worker threads, so it must be thread-safe.
+  std::function<bool(const ExperimentJob&)> stop_before;
 };
 
 struct BatchReport {
@@ -46,6 +56,8 @@ struct BatchReport {
   std::size_t skipped = 0;     ///< satisfied by the checkpoint/result cache
   std::size_t executed = 0;    ///< simulations actually run and committed
   std::size_t failed = 0;      ///< jobs whose simulation threw
+  std::size_t cancelled = 0;   ///< jobs not committed: stop_before ended the
+                               ///< run early (lease shrunk by the parent)
   /// Simulation events dispatched across all committed jobs (the sum of
   /// Scheduler::executed() per run) — the engine-level throughput measure.
   std::uint64_t total_events = 0;

@@ -56,6 +56,15 @@ std::size_t JobQueue::retain_shard(std::size_t index, std::size_t count) {
   return before - jobs_.size();
 }
 
+std::size_t JobQueue::retain_range(std::size_t begin, std::size_t end) {
+  const std::size_t before = jobs_.size();
+  std::erase_if(jobs_, [&](const ExperimentJob& job) {
+    return job.index < begin || job.index >= end;
+  });
+  reset_cursor();
+  return before - jobs_.size();
+}
+
 JobQueue::Shard JobQueue::claim(std::size_t max_jobs) noexcept {
   if (max_jobs == 0) max_jobs = 1;
   const std::size_t begin =

@@ -46,6 +46,15 @@ class JobQueue {
   /// removed; count <= 1 keeps everything. Resets the claim cursor.
   std::size_t retain_shard(std::size_t index, std::size_t count);
 
+  /// Keep only the jobs whose *sweep index* lies in [begin, end) — the
+  /// work-stealing lease rule. Unlike retain_shard's hash modulus, a lease
+  /// is a contiguous slice of the job order, so the parent can shrink it
+  /// (steal its tail) while a worker runs: jobs already committed keep
+  /// their identity and the stolen tail re-slices cleanly elsewhere.
+  /// Surviving jobs keep their sweep indices. Returns the number of jobs
+  /// removed. Resets the claim cursor.
+  std::size_t retain_range(std::size_t begin, std::size_t end);
+
   std::size_t size() const noexcept { return jobs_.size(); }
   bool empty() const noexcept { return jobs_.empty(); }
   const ExperimentJob& job(std::size_t pos) const { return jobs_[pos]; }

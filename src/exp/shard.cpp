@@ -1,10 +1,16 @@
 #include "exp/shard.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
+#include <thread>
 #include <unordered_set>
 
+#include "exp/batch.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/job_queue.hpp"
 #include "exp/result_sink.hpp"
@@ -47,6 +53,135 @@ std::string ShardSpec::to_string() const {
 std::string shard_store_path(const std::string& canonical_store,
                              std::size_t index, std::size_t count) {
   return canonical_store + strfmt(".shard%zuof%zu", index, count);
+}
+
+std::string worker_store_path(const std::string& canonical_store,
+                              std::size_t slot, std::size_t count) {
+  return canonical_store + strfmt(".worker%zuof%zu", slot, count);
+}
+
+std::string worker_lease_path(const std::string& canonical_store,
+                              std::size_t slot, std::size_t count) {
+  return canonical_store + strfmt(".lease%zuof%zu", slot, count);
+}
+
+std::string worker_heartbeat_path(const std::string& canonical_store,
+                                  std::size_t slot, std::size_t count) {
+  return canonical_store + strfmt(".hb%zuof%zu", slot, count);
+}
+
+// ------------------------------------------------------------ lease files --
+
+void write_lease_file(const std::string& path, const Lease& lease) {
+  util::write_file_atomic(
+      path, strfmt("v1 %llu %zu %zu\n",
+                   static_cast<unsigned long long>(lease.generation),
+                   lease.begin, lease.end));
+}
+
+std::optional<Lease> read_lease_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string tag;
+  unsigned long long generation = 0, begin = 0, end = 0;
+  if (!(in >> tag >> generation >> begin >> end) || tag != "v1" ||
+      begin > end)
+    return std::nullopt;
+  Lease lease;
+  lease.generation = generation;
+  lease.begin = static_cast<std::size_t>(begin);
+  lease.end = static_cast<std::size_t>(end);
+  return lease;
+}
+
+// ------------------------------------------------------------- LeaseTable --
+
+LeaseTable::LeaseTable(std::size_t jobs, std::size_t slots) : jobs_(jobs) {
+  slots_.resize(std::max<std::size_t>(slots, 1));
+  const std::size_t w = slots_.size();
+  for (std::size_t i = 0; i < w; ++i) {
+    slots_[i].current.begin = jobs * i / w;
+    slots_[i].current.end = jobs * (i + 1) / w;
+    // A zero-size lease (more slots than jobs) is born drained: its worker
+    // has nothing to do and any steal immediately re-arms it.
+    slots_[i].drained = slots_[i].current.empty();
+  }
+}
+
+void LeaseTable::mark_drained(std::size_t slot) {
+  slots_[slot].drained = true;
+}
+
+bool LeaseTable::all_drained() const {
+  return std::all_of(slots_.begin(), slots_.end(),
+                     [](const Slot& s) { return s.drained; });
+}
+
+std::optional<Lease> LeaseTable::steal(std::size_t victim, std::size_t thief,
+                                       std::size_t split) {
+  if (victim >= slots_.size() || thief >= slots_.size() || victim == thief)
+    return std::nullopt;
+  Slot& v = slots_[victim];
+  Slot& t = slots_[thief];
+  // Only a live victim has an unclaimed tail, and only a drained thief may
+  // abandon its old lease; `split` must leave the victim a non-empty head
+  // and the thief a non-empty tail.
+  if (v.drained || !t.drained) return std::nullopt;
+  if (split <= v.current.begin || split >= v.current.end) return std::nullopt;
+
+  if (!t.current.empty())
+    retired_.emplace_back(t.current.begin, t.current.end);
+  t.current.generation += 1;
+  t.current.begin = split;
+  t.current.end = v.current.end;
+  t.drained = false;
+  v.current.generation += 1;
+  v.current.end = split;
+  return t.current;
+}
+
+bool LeaseTable::partitions_queue() const {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges = retired_;
+  for (const auto& s : slots_)
+    if (!s.current.empty())
+      ranges.emplace_back(s.current.begin, s.current.end);
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t next = 0;
+  for (const auto& [b, e] : ranges) {
+    if (b != next || e <= b) return false;
+    next = e;
+  }
+  return next == jobs_;
+}
+
+// ------------------------------------------------------- HeartbeatMonitor --
+
+void HeartbeatMonitor::start(std::size_t slot, TimePoint now) {
+  State& s = slots_[slot];
+  s.value = -1;
+  s.last_change = now;
+  s.armed = true;
+}
+
+void HeartbeatMonitor::observe(std::size_t slot, std::int64_t value,
+                               TimePoint now) {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end() || !it->second.armed) return;
+  if (value != it->second.value) {
+    it->second.value = value;
+    it->second.last_change = now;
+  }
+}
+
+bool HeartbeatMonitor::stale(std::size_t slot, TimePoint now) const {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end() || !it->second.armed) return false;
+  return now - it->second.last_change > timeout_;
+}
+
+void HeartbeatMonitor::stop(std::size_t slot) {
+  const auto it = slots_.find(slot);
+  if (it != slots_.end()) it->second.armed = false;
 }
 
 // -------------------------------------------------------------- ShardPlan --
@@ -150,6 +285,104 @@ MergeReport ShardMerger::merge_to(const std::string& canonical_path) {
   return report_;
 }
 
+// ------------------------------------------------------- run_lease_worker --
+
+namespace {
+
+[[noreturn]] void fire_death_fault(bool with_sigkill) {
+#if defined(_WIN32)
+  (void)with_sigkill;
+  std::_Exit(1);
+#else
+  if (with_sigkill) {
+    ::raise(SIGKILL);
+    // raise() cannot return for SIGKILL, but keep the compiler satisfied.
+  }
+  ::_exit(1);
+#endif
+}
+
+}  // namespace
+
+BatchReport run_lease_worker(const std::vector<core::ExperimentConfig>& configs,
+                             const LeaseWorkerOptions& options) {
+  ORACLE_REQUIRE(!options.canonical_out.empty(),
+                 "lease workers need the canonical --out store path");
+  ORACLE_REQUIRE(options.slot < std::max<std::size_t>(options.slot_count, 1),
+                 "lease worker slot out of range");
+  const std::string store =
+      worker_store_path(options.canonical_out, options.slot,
+                        options.slot_count);
+  const std::string lease_path =
+      worker_lease_path(options.canonical_out, options.slot,
+                        options.slot_count);
+  const std::string hb_path =
+      worker_heartbeat_path(options.canonical_out, options.slot,
+                            options.slot_count);
+
+  // Missing/malformed lease file ⇒ empty lease: run zero jobs but still
+  // leave a valid (possibly empty) store so the merge never trips over a
+  // slot that had nothing to do.
+  Lease lease;
+  if (const auto l = read_lease_file(lease_path)) lease = *l;
+
+  BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.collect = false;
+  opt.master_seed = options.master_seed;
+  opt.lease_begin = lease.begin;
+  opt.lease_end = lease.end;
+  opt.heartbeat_path = hb_path;
+  // Always append + skip-own-completed: the supervisor pre-cleans slot
+  // files on a fresh run, so "resume" here only ever sees this run's own
+  // durable prefix — which is exactly what a respawned worker must skip.
+  opt.resume = true;
+  opt.exec.workers = std::max<std::size_t>(1, options.threads);
+  opt.exec.progress = false;
+  if (options.merge_resume && util::file_exists(options.canonical_out))
+    opt.extra_resume_stores.push_back(options.canonical_out);
+  for (std::size_t j = 0; j < options.slot_count; ++j) {
+    // Sibling stores: after a steal race the victim may already hold
+    // records from this slot's lease; reading them up front avoids
+    // re-running those jobs (re-running would still merge correctly).
+    if (j == options.slot) continue;
+    const auto sibling =
+        worker_store_path(options.canonical_out, j, options.slot_count);
+    if (util::file_exists(sibling)) opt.extra_resume_stores.push_back(sibling);
+  }
+
+  const ShardTestHooks hooks = options.hooks;
+  auto fault_armed = [&hooks]() {
+    return hooks.once_marker.empty() || !util::file_exists(hooks.once_marker);
+  };
+  auto mark_fired = [&hooks]() {
+    if (!hooks.once_marker.empty()) util::touch_file(hooks.once_marker);
+  };
+  std::atomic<std::size_t> jobs_started{0};
+  opt.exec.stop_before = [&](const ExperimentJob& job) {
+    const std::size_t n =
+        jobs_started.fetch_add(1, std::memory_order_relaxed);
+    if (n == hooks.die_after_n_jobs && fault_armed()) {
+      mark_fired();
+      fire_death_fault(hooks.die_with_sigkill);
+    }
+    if (n == hooks.stall_after_n_jobs && fault_armed()) {
+      mark_fired();
+      std::this_thread::sleep_for(std::chrono::milliseconds(hooks.stall_ms));
+    }
+    // The live lease check: the parent may have stolen our tail since the
+    // last job. Anything at or past the current end belongs to the thief.
+    const auto live = read_lease_file(lease_path);
+    return live.has_value() && job.index >= live->end;
+  };
+
+  const auto outcome = run_batch(configs, opt);
+  // Final liveness mark: a worker that skipped everything (fully resumed
+  // lease) must still register a sign of life before exiting 0.
+  util::touch_file(hb_path);
+  return outcome.report;
+}
+
 // ---------------------------------------------------------- process layer --
 
 #if defined(_WIN32)
@@ -162,7 +395,40 @@ std::vector<WorkerExit> spawn_and_wait(
 
 std::string self_exec_path(const std::string& argv0) { return argv0; }
 
+namespace {
+
+ShardRunReport run_stealing_processes(
+    const std::vector<core::ExperimentConfig>&, const ShardRunOptions&) {
+  throw SimulationError("work-stealing sharded runs require a POSIX host");
+}
+
+}  // namespace
+
 #else
+
+namespace {
+
+/// Fork+exec one worker; returns its pid, or throws when fork fails (the
+/// caller owns cleanup of any siblings). The child reports exec failure
+/// through the conventional 127 exit code without parent-side cleanup.
+pid_t spawn_one(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw SimulationError("fork failed for shard worker");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "oracle_batch: cannot exec '%s'\n", argv[0]);
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
 
 std::vector<WorkerExit> spawn_and_wait(
     const std::vector<std::vector<std::string>>& argvs,
@@ -173,14 +439,9 @@ std::vector<WorkerExit> spawn_and_wait(
 
   for (std::size_t k = 0; k < argvs.size(); ++k) {
     exits[k].shard = shards[k];
-    std::vector<char*> argv;
-    argv.reserve(argvs[k].size() + 1);
-    for (const auto& arg : argvs[k])
-      argv.push_back(const_cast<char*>(arg.c_str()));
-    argv.push_back(nullptr);
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
+    try {
+      pids[k] = spawn_one(argvs[k]);
+    } catch (const SimulationError&) {
       // Don't strand the workers already launched: a concurrent retry
       // (--resume) would otherwise race them on the same shard stores.
       for (std::size_t j = 0; j < k; ++j) {
@@ -192,14 +453,6 @@ std::vector<WorkerExit> spawn_and_wait(
       throw SimulationError("fork failed for shard worker " +
                             std::to_string(shards[k]));
     }
-    if (pid == 0) {
-      ::execv(argv[0], argv.data());
-      // exec failed: report through the conventional "command not
-      // runnable" exit code without running any parent-side cleanup.
-      std::fprintf(stderr, "oracle_batch: cannot exec '%s'\n", argv[0]);
-      ::_exit(127);
-    }
-    pids[k] = pid;
   }
 
   for (std::size_t k = 0; k < pids.size(); ++k) {
@@ -229,15 +482,275 @@ std::string self_exec_path(const std::string& argv0) {
   return argv0;
 }
 
+// ------------------------------------------------- stealing supervisor --
+
+namespace {
+
+/// Per-slot process state the supervisor tracks between polls.
+struct SlotProc {
+  pid_t pid = -1;
+  std::size_t restarts = 0;
+  bool done = false;       ///< lease drained and nothing left to steal
+  bool kill_sent = false;  ///< SIGKILL dispatched by the heartbeat monitor
+};
+
+ShardRunReport run_stealing_processes(
+    const std::vector<core::ExperimentConfig>& configs,
+    const ShardRunOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  JobQueue queue(configs);
+  if (options.master_seed != 0) queue.derive_seeds(options.master_seed);
+  const std::size_t n = queue.size();
+
+  ShardRunReport report;
+  report.planned_jobs = n;
+
+  // One worker per job at most: a lease of zero jobs buys nothing but a
+  // process spawn (the empty-lease path still works — workers exit 0 with
+  // an empty-but-valid store — it is just pointless to schedule).
+  const std::size_t slots =
+      std::max<std::size_t>(1, std::min(options.workers, n));
+
+  std::unordered_set<std::uint64_t> canonical_done;
+  if (options.resume) {
+    canonical_done = load_completed_hashes(options.out);
+    Checkpoint ckpt(Checkpoint::default_path(options.out));
+    ckpt.load();
+    canonical_done.insert(ckpt.completed().begin(), ckpt.completed().end());
+  }
+
+  auto slot_files = [&](std::size_t k) {
+    return std::vector<std::string>{
+        worker_store_path(options.out, k, slots),
+        Checkpoint::default_path(worker_store_path(options.out, k, slots)),
+        worker_lease_path(options.out, k, slots),
+        worker_heartbeat_path(options.out, k, slots)};
+  };
+  if (!options.resume) {
+    // A fresh run must not inherit stale slot state from an older run of
+    // the same layout (workers append to their stores by design).
+    for (std::size_t k = 0; k < slots; ++k)
+      for (const auto& f : slot_files(k)) util::remove_file(f);
+  }
+
+  LeaseTable table(n, slots);
+  for (std::size_t k = 0; k < slots; ++k)
+    write_lease_file(worker_lease_path(options.out, k, slots),
+                     table.lease(k));
+
+  auto make_argv = [&](std::size_t k) {
+    std::vector<std::string> argv;
+    argv.push_back(options.exec_path);
+    argv.insert(argv.end(), options.worker_args.begin(),
+                options.worker_args.end());
+    argv.push_back("--worker-slot");
+    argv.push_back(strfmt("%zu/%zu", k, slots));
+    if (options.resume) argv.push_back("--resume");
+    return argv;
+  };
+
+  std::vector<SlotProc> procs(slots);
+  HeartbeatMonitor monitor(std::chrono::milliseconds(options.heartbeat_ms));
+
+  // `shards_launched` counts slots (leases), not spawns: respawns after a
+  // crash and post-steal re-arms are reported through report.workers,
+  // steals, and restarts instead, keeping summary()'s worker arithmetic
+  // meaningful.
+  report.shards_launched = slots;
+
+  auto spawn_slot = [&](std::size_t k) {
+    procs[k].pid = spawn_one(make_argv(k));
+    procs[k].kill_sent = false;
+    procs[k].done = false;
+    monitor.start(k, Clock::now());
+  };
+
+  // The victim's committed frontier: one past the highest lease position
+  // whose job is durable in the victim's checkpoint (or the canonical
+  // store). Workers commit in ascending index order, so everything beyond
+  // is unclaimed tail — up to the in-flight window, which steal races
+  // tolerate by design.
+  auto committed_frontier = [&](std::size_t victim) {
+    const Lease& lease = table.lease(victim);
+    Checkpoint ckpt(Checkpoint::default_path(
+        worker_store_path(options.out, victim, slots)));
+    ckpt.load();
+    std::size_t frontier = lease.begin;
+    for (std::size_t p = lease.begin; p < lease.end; ++p) {
+      const std::uint64_t h = queue.job(p).content_hash;
+      if (ckpt.contains(h) || canonical_done.contains(h)) frontier = p + 1;
+    }
+    return frontier;
+  };
+
+  const std::size_t min_steal = std::max<std::size_t>(options.min_steal_jobs, 1);
+
+  // An idle (drained) slot steals the biggest unclaimed tail among live
+  // leases: victim keeps the head half (including its in-flight window),
+  // the thief takes the tail half. Returns false when no live lease has a
+  // tail worth a process spawn.
+  auto try_steal = [&](std::size_t thief) {
+    std::size_t best_victim = slots, best_split = 0, best_take = 0;
+    for (std::size_t v = 0; v < slots; ++v) {
+      if (v == thief || procs[v].pid < 0 || table.drained(v)) continue;
+      const Lease& lease = table.lease(v);
+      const std::size_t frontier = committed_frontier(v);
+      if (lease.end - frontier < min_steal + 1) continue;  // head must stay
+      const std::size_t split = frontier + (lease.end - frontier + 1) / 2;
+      const std::size_t take = lease.end - split;
+      if (take >= min_steal && take > best_take) {
+        best_victim = v;
+        best_split = split;
+        best_take = take;
+      }
+    }
+    if (std::getenv("ORACLE_STEAL_DEBUG")) {
+      std::fprintf(stderr, "[supervisor] try_steal(thief=%zu): ", thief);
+      for (std::size_t v = 0; v < slots; ++v)
+        std::fprintf(stderr, "slot%zu[%zu,%zu)%s%s f=%zu ", v,
+                     table.lease(v).begin, table.lease(v).end,
+                     table.drained(v) ? "D" : "", procs[v].pid >= 0 ? "L" : "",
+                     (procs[v].pid >= 0 && !table.drained(v))
+                         ? committed_frontier(v)
+                         : 0);
+      std::fprintf(stderr, "-> victim=%zd split=%zu take=%zu\n",
+                   best_victim == slots ? -1 : (ssize_t)best_victim,
+                   best_split, best_take);
+    }
+    if (best_victim == slots) return false;
+    if (!table.steal(best_victim, thief, best_split)) return false;
+    // Publish the shrink before arming the thief: the overlap window in
+    // which both workers could run a stolen job is then at most the
+    // victim's current in-flight jobs (harmless: duplicates merge away).
+    write_lease_file(worker_lease_path(options.out, best_victim, slots),
+                     table.lease(best_victim));
+    write_lease_file(worker_lease_path(options.out, thief, slots),
+                     table.lease(thief));
+    ++report.steals;
+    spawn_slot(thief);
+    return true;
+  };
+
+  auto kill_all_live = [&] {
+    for (auto& proc : procs) {
+      if (proc.pid <= 0) continue;
+      ::kill(proc.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(proc.pid, &status, 0);
+      proc.pid = -1;
+    }
+  };
+
+  bool failed = false;
+  try {
+    for (std::size_t k = 0; k < slots; ++k) spawn_slot(k);
+
+    while (true) {
+      // Reap every exited worker without blocking the poll loop.
+      for (std::size_t k = 0; k < slots && !failed; ++k) {
+        SlotProc& proc = procs[k];
+        if (proc.pid < 0) continue;
+        int status = 0;
+        const pid_t r = ::waitpid(proc.pid, &status, WNOHANG);
+        if (r == 0) continue;  // still running
+
+        monitor.stop(k);
+        proc.pid = -1;
+        WorkerExit we;
+        we.shard = k;
+        if (r < 0) {
+          we.exit_code = 126;  // lost track of the child: treat as failed
+        } else if (WIFEXITED(status)) {
+          we.exit_code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+          we.term_signal = WTERMSIG(status);
+        } else {
+          we.exit_code = 126;
+        }
+        report.workers.push_back(we);
+
+        if (we.ok()) {
+          // Lease drained; go steal the biggest live tail or retire.
+          table.mark_drained(k);
+          if (!try_steal(k)) proc.done = true;
+        } else if (proc.restarts < options.max_restarts) {
+          // Crash (or heartbeat SIGKILL): respawn over the same lease —
+          // the slot store/checkpoint keep a durable prefix, so the
+          // respawned worker skips straight to the first missing job.
+          ++proc.restarts;
+          ++report.restarts;
+          spawn_slot(k);
+        } else {
+          failed = true;  // budget exhausted: abort, keep state for resume
+        }
+      }
+      if (failed) break;
+
+      const bool any_live = std::any_of(
+          procs.begin(), procs.end(),
+          [](const SlotProc& p) { return p.pid >= 0; });
+      if (!any_live) break;
+
+      if (options.heartbeat_ms > 0) {
+        const auto now = Clock::now();
+        for (std::size_t k = 0; k < slots; ++k) {
+          if (procs[k].pid < 0 || procs[k].kill_sent) continue;
+          const auto mtime =
+              util::file_mtime_ns(worker_heartbeat_path(options.out, k, slots));
+          monitor.observe(k, mtime.value_or(-1), now);
+          if (monitor.stale(k, now)) {
+            // Wedged worker: no checkpoint progress for a full timeout.
+            // SIGKILL and let the reap path above restart it.
+            ::kill(procs[k].pid, SIGKILL);
+            procs[k].kill_sent = true;
+          }
+        }
+      }
+
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<std::uint32_t>(options.poll_ms, 1)));
+    }
+  } catch (...) {
+    kill_all_live();
+    throw;
+  }
+
+  if (failed) {
+    // Leave every slot store in place (merge skipped) so --resume can
+    // converge later; live workers must die now or they would race the
+    // resume's respawns on the same stores.
+    kill_all_live();
+    return report;
+  }
+
+  ORACLE_ASSERT(table.all_drained());
+  ShardMerger merger;
+  if (options.resume) merger.add_store(options.out);
+  for (std::size_t k = 0; k < slots; ++k)
+    merger.add_store(worker_store_path(options.out, k, slots));
+  report.merge = merger.merge_to(options.out);
+  report.merged = true;
+
+  if (!options.keep_shard_stores) {
+    for (std::size_t k = 0; k < slots; ++k)
+      for (const auto& f : slot_files(k)) util::remove_file(f);
+  }
+  return report;
+}
+
+}  // namespace
+
 #endif
 
 // ------------------------------------------------- run_sharded_processes --
 
 bool ShardRunReport::ok() const noexcept {
-  if (!merged) return false;
-  for (const auto& w : workers)
-    if (!w.ok()) return false;
-  return true;
+  // The merge is the completion criterion. Static runs only merge when
+  // every worker exited cleanly; steal-mode runs may carry failed exits
+  // from workers the supervisor killed and successfully restarted — the
+  // run still converged.
+  return merged;
 }
 
 std::string ShardRunReport::summary() const {
@@ -249,7 +762,9 @@ std::string ShardRunReport::summary() const {
       "complete",
       planned_jobs, shards_launched + shards_skipped, shards_launched,
       shards_skipped);
-  if (failed > 0) s += strfmt(", %zu worker(s) failed", failed);
+  if (steals > 0) s += strfmt(", %zu lease(s) stolen", steals);
+  if (restarts > 0) s += strfmt(", %zu worker(s) auto-restarted", restarts);
+  if (failed > 0) s += strfmt(", %zu worker exit(s) failed", failed);
   if (merged)
     s += strfmt("; merged %zu record(s) (%zu duplicate(s) dropped)",
                 merge.records, merge.duplicates_dropped);
@@ -267,6 +782,8 @@ ShardRunReport run_sharded_processes(
   ORACLE_REQUIRE(!options.exec_path.empty(),
                  "sharded runs need the worker executable path");
   ORACLE_REQUIRE(!configs.empty(), "sharded run over an empty sweep");
+
+  if (options.steal) return run_stealing_processes(configs, options);
 
   JobQueue queue(configs);
   if (options.master_seed != 0) queue.derive_seeds(options.master_seed);

@@ -26,13 +26,16 @@
 // custom launchers — e.g. starting workers on different hosts and merging
 // their stores with `oracle_batch aggregate <store>...`.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/config.hpp"
+#include "exp/executor.hpp"
 
 namespace oracle::exp {
 
@@ -59,6 +62,141 @@ inline std::size_t shard_of_hash(std::uint64_t content_hash,
 /// checkpoint sits beside it at Checkpoint::default_path of this.
 std::string shard_store_path(const std::string& canonical_store,
                              std::size_t index, std::size_t count);
+
+// ------------------------------------------------------------------------
+// Work-stealing lease protocol (the `--steal` mode of `oracle_batch run`).
+//
+// Instead of the static hash-modulo partition, the parent keeps the whole
+// job order [0, N) and hands each of W supervised worker *slots* a
+// contiguous job-range lease through a small control file the worker
+// re-reads before every job. Three files per slot, all derived from the
+// canonical store path:
+//   - worker_store_path:     private JSONL store (+ checkpoint beside it)
+//   - worker_lease_path:     the lease, rewritten atomically by the parent
+//   - worker_heartbeat_path: mtime-touched by the worker per checkpoint
+//     record; the parent treats an unchanged mtime as "wedged" and reaps
+// When a worker drains its lease it exits 0; the parent then steals the
+// unclaimed tail of the most-loaded live lease for it and respawns it. A
+// crashed (or heartbeat-reaped) worker is respawned over the same lease —
+// its store/checkpoint keep a durable prefix, so the respawn skips what is
+// already done. Steal races can run a job twice on two slots; that is
+// harmless: the simulator is deterministic, so the duplicate records are
+// byte-identical and the merge dedups them by content hash in job order.
+// ------------------------------------------------------------------------
+
+/// Worker-slot file paths, "<canonical>.{worker,lease,hb}<k>of<W>".
+std::string worker_store_path(const std::string& canonical_store,
+                              std::size_t slot, std::size_t count);
+std::string worker_lease_path(const std::string& canonical_store,
+                              std::size_t slot, std::size_t count);
+std::string worker_heartbeat_path(const std::string& canonical_store,
+                                  std::size_t slot, std::size_t count);
+
+/// One contiguous job-range lease [begin, end) over sweep indices. The
+/// generation increments on every parent rewrite, so a worker can tell a
+/// reissued lease from the one it started with.
+struct Lease {
+  std::uint64_t generation = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  bool empty() const noexcept { return begin >= end; }
+  std::size_t size() const noexcept { return empty() ? 0 : end - begin; }
+};
+
+/// Serialize `lease` into its one-line control file, atomically (tmp +
+/// rename): a worker mid-read sees the whole old lease or the whole new
+/// one, never a torn line. Throws SimulationError on I/O failure.
+void write_lease_file(const std::string& path, const Lease& lease);
+
+/// Parse a lease control file; nullopt when missing or malformed (a worker
+/// treats that as an empty lease and exits cleanly).
+std::optional<Lease> read_lease_file(const std::string& path);
+
+/// The parent's lease bookkeeping: every job position in [0, jobs) belongs
+/// to exactly one lease — live (a worker owns it) or retired (drained).
+/// Steals move the tail of a live lease onto a drained slot; the class
+/// never creates overlap, so the property test can assert the partition
+/// invariant after any steal sequence.
+class LeaseTable {
+ public:
+  /// Balanced contiguous partition of [0, jobs) over `slots` leases (slot
+  /// i gets [i*jobs/slots, (i+1)*jobs/slots)). slots >= 1.
+  LeaseTable(std::size_t jobs, std::size_t slots);
+
+  std::size_t jobs() const noexcept { return jobs_; }
+  std::size_t slots() const noexcept { return slots_.size(); }
+  const Lease& lease(std::size_t slot) const { return slots_[slot].current; }
+  bool drained(std::size_t slot) const { return slots_[slot].drained; }
+
+  /// The slot's worker exited 0: its current lease is fully executed.
+  void mark_drained(std::size_t slot);
+  bool all_drained() const;
+
+  /// Move [split, victim.end) from the live `victim` lease to the drained
+  /// `thief` slot; both generations bump. Returns the thief's new lease,
+  /// or nullopt when the steal is invalid (victim drained or empty split
+  /// range, thief still live, split outside (victim.begin, victim.end)).
+  std::optional<Lease> steal(std::size_t victim, std::size_t thief,
+                             std::size_t split);
+
+  /// Partition invariant: every job position [0, jobs) is covered by
+  /// exactly one live or retired lease. Always true by construction; the
+  /// property tests drive random steal sequences against it.
+  bool partitions_queue() const;
+
+ private:
+  struct Slot {
+    Lease current;
+    bool drained = false;
+  };
+  std::vector<Slot> slots_;
+  /// Drained ranges a thief abandoned when it took a new lease.
+  std::vector<std::pair<std::size_t, std::size_t>> retired_;
+  std::size_t jobs_ = 0;
+};
+
+/// Decides when a supervised worker is dead from heartbeat observations.
+/// Deliberately free of clocks and filesystems: the caller feeds in the
+/// observed heartbeat value (an mtime, a counter — anything that changes
+/// on progress) plus a steady-clock timestamp, and staleness means "the
+/// value has not changed for longer than `timeout`". Comparing change
+/// intervals on the caller's steady clock makes the verdict immune to
+/// wall-clock skew between parent and filesystem, and makes the class
+/// deterministic to unit-test.
+class HeartbeatMonitor {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit HeartbeatMonitor(std::chrono::nanoseconds timeout)
+      : timeout_(timeout) {}
+
+  /// (Re)arm the slot at spawn time: the spawn instant counts as the last
+  /// sign of life, so a worker that never writes its first heartbeat still
+  /// times out `timeout` after launch.
+  void start(std::size_t slot, TimePoint now);
+
+  /// Feed one observation of the slot's heartbeat value (e.g. the
+  /// heartbeat file's mtime in ns, or any sentinel for "missing"). A
+  /// changed value resets the slot's staleness clock.
+  void observe(std::size_t slot, std::int64_t value, TimePoint now);
+
+  /// True when the slot is armed and its value last changed more than
+  /// `timeout` ago. Never true for unarmed slots.
+  bool stale(std::size_t slot, TimePoint now) const;
+
+  /// Disarm a reaped slot (stale() returns false until the next start).
+  void stop(std::size_t slot);
+
+ private:
+  struct State {
+    std::int64_t value = -1;
+    TimePoint last_change{};
+    bool armed = false;
+  };
+  std::unordered_map<std::size_t, State> slots_;
+  std::chrono::nanoseconds timeout_;
+};
 
 /// The parent's view of a sharded run: which content hashes each shard is
 /// responsible for, and which shards still have work left on disk.
@@ -146,31 +284,106 @@ std::vector<WorkerExit> spawn_and_wait(
 std::string self_exec_path(const std::string& argv0);
 
 struct ShardRunOptions {
-  std::size_t workers = 2;     ///< worker process count (= shard count)
+  std::size_t workers = 2;     ///< worker process count (= shard/slot count)
   std::string out;             ///< canonical JSONL store path (required)
   bool resume = false;         ///< re-run only dead shards' incomplete jobs
   bool keep_shard_stores = false;  ///< keep per-shard stores after merging
   std::uint64_t master_seed = 0;   ///< forwarded to each worker's queue
 
   /// Self-exec recipe: executable plus the sweep-defining arguments. The
-  /// parent appends "--shard i/N" (and "--resume" when resuming) per
-  /// worker; the worker rebuilds the identical sweep, slices it, and runs
-  /// only its shard.
+  /// parent appends "--shard i/N" (static) or "--worker-slot k/W" (steal
+  /// mode), plus "--resume" when resuming, per worker; the worker rebuilds
+  /// the identical sweep, slices it, and runs only its share.
   std::string exec_path;
   std::vector<std::string> worker_args;
+
+  // --- work-stealing supervisor (steal = true) ---
+
+  /// Supervise workers over dynamic job-range leases with work stealing
+  /// instead of the fixed hash-modulo partition. Single-host only (the
+  /// parent must share a filesystem and PID namespace with its workers);
+  /// keep the static `--shard i/N` layout for cross-host runs.
+  bool steal = false;
+
+  /// Heartbeat timeout: a worker whose heartbeat file mtime is unchanged
+  /// for this long is SIGKILLed and respawned (counts against
+  /// max_restarts). 0 disables stall detection (crashes are still caught
+  /// by the exit status). Must exceed the longest single job.
+  std::uint32_t heartbeat_ms = 0;
+
+  /// Per-slot respawn budget for crashed/stalled workers. Exhausting it
+  /// aborts the run (remaining workers are killed, stores kept, merge
+  /// skipped) so a --resume can pick up later.
+  std::size_t max_restarts = 2;
+
+  /// Supervisor poll period (reap + heartbeat checks).
+  std::uint32_t poll_ms = 25;
+
+  /// Don't steal tails smaller than this. The default of 1 is right for
+  /// heavy-tailed sweeps (one whale job is worth a process spawn); raise
+  /// it when jobs are uniformly tiny and end-of-run spawns outweigh the
+  /// balance gain.
+  std::size_t min_steal_jobs = 1;
 };
 
 struct ShardRunReport {
   std::size_t planned_jobs = 0;     ///< sweep size (all shards)
   std::size_t shards_launched = 0;  ///< workers actually spawned
   std::size_t shards_skipped = 0;   ///< already complete (resume) or empty
-  std::vector<WorkerExit> workers;  ///< one entry per launched worker
+  std::vector<WorkerExit> workers;  ///< one entry per worker process exit
   bool merged = false;              ///< canonical store written
   MergeReport merge;
+  std::size_t steals = 0;           ///< leases re-issued to idle workers
+  std::size_t restarts = 0;         ///< crashed/stalled workers respawned
 
   bool ok() const noexcept;
   std::string summary() const;
 };
+
+/// Deterministic fault injection for the supervised-worker process tests:
+/// kills or stalls a lease worker on cue, mid-shard. `once_marker` (when
+/// non-empty) makes the fault one-shot across respawns — it only fires if
+/// the marker file does not exist yet and creates it when firing, so the
+/// respawned worker runs clean and the test converges.
+struct ShardTestHooks {
+  static constexpr std::size_t kOff = ~std::size_t{0};
+
+  /// Die right before job number N (0-based count of jobs this process
+  /// has started): the first N jobs are durably committed, then the
+  /// worker vanishes without any cleanup.
+  std::size_t die_after_n_jobs = kOff;
+  bool die_with_sigkill = false;  ///< raise(SIGKILL) instead of _exit(1)
+
+  /// Stall (sleep, no heartbeat) right before job number N — the wedged
+  /// worker the heartbeat monitor exists to reap.
+  std::size_t stall_after_n_jobs = kOff;
+  std::uint32_t stall_ms = 60'000;
+
+  std::string once_marker;  ///< one-shot guard file ("" = fire every time)
+};
+
+/// Worker side of the lease protocol (what `oracle_batch run
+/// --worker-slot k/W` executes).
+struct LeaseWorkerOptions {
+  std::string canonical_out;   ///< canonical store (slot files derive from it)
+  std::size_t slot = 0;        ///< this worker's slot k
+  std::size_t slot_count = 1;  ///< total slots W (sibling-store discovery)
+  bool merge_resume = false;   ///< also skip jobs already merged into the
+                               ///< canonical store (parent ran --resume)
+  std::uint64_t master_seed = 0;
+  std::size_t threads = 1;     ///< executor threads inside this worker
+  ShardTestHooks hooks;        ///< fault injection (tests only)
+};
+
+/// Run this slot's current lease: read the lease file, slice the queue to
+/// [begin, end), and execute into the slot's private store — always in
+/// append/skip-completed mode (the supervisor pre-cleans slot files on a
+/// fresh run), re-reading the lease before every job so a parent-side
+/// shrink stops the worker at the new end. An empty or missing lease
+/// still creates a valid empty store and reports 0 jobs. Returns the
+/// slice's batch report.
+BatchReport run_lease_worker(const std::vector<core::ExperimentConfig>& configs,
+                             const LeaseWorkerOptions& options);
 
 /// The parent side of `oracle_batch run --workers N`: plan shards over the
 /// sweep, spawn one self-exec worker per incomplete shard, wait, and — iff
@@ -179,6 +392,16 @@ struct ShardRunReport {
 /// failure the merge is skipped so a later resume sees every shard's
 /// surviving state. Throws SimulationError on setup errors (empty sweep,
 /// missing out path, spawn failure).
+///
+/// With options.steal, the fork-join topology becomes a supervisor: the
+/// parent partitions the job order into leases (clamped to one worker per
+/// job), spawns one lease worker per slot, and loops — reaping exits,
+/// re-leasing the unclaimed tail of the most-loaded live lease to each
+/// drained worker (work stealing), SIGKILLing heartbeat-stale workers,
+/// and respawning crashed ones up to max_restarts. The merge and its
+/// byte-identity guarantee are unchanged: worker stores hold arbitrary
+/// job subsets (possibly overlapping after steal races) and fold into the
+/// canonical store in job order with content-hash dedup.
 ShardRunReport run_sharded_processes(
     const std::vector<core::ExperimentConfig>& configs,
     const ShardRunOptions& options);

@@ -1,6 +1,7 @@
 #include "util/file_util.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 #include "util/error.hpp"
 
@@ -25,6 +26,20 @@ bool file_exists(const std::string& path) noexcept {
     return true;
   }
   return false;
+}
+
+bool touch_file(const std::string& path) noexcept {
+  // No utime on the portable fallback: an append-mode open+close creates
+  // the file when missing and must never truncate existing content.
+  if (std::FILE* f = std::fopen(path.c_str(), "ab")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::int64_t> file_mtime_ns(const std::string&) noexcept {
+  return std::nullopt;
 }
 
 #else
@@ -53,6 +68,28 @@ bool file_exists(const std::string& path) noexcept {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+bool touch_file(const std::string& path) noexcept {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  // futimens(nullptr) sets both timestamps to now even when nothing was
+  // written — cheaper than a write and never perturbs file contents.
+  const bool ok = ::futimens(fd, nullptr) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::optional<std::int64_t> file_mtime_ns(const std::string& path) noexcept {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(st.st_mtimespec.tv_sec) * 1'000'000'000 +
+         st.st_mtimespec.tv_nsec;
+#else
+  return static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+         st.st_mtim.tv_nsec;
+#endif
+}
+
 #endif
 
 void atomic_replace(const std::string& tmp, const std::string& target) {
@@ -64,6 +101,18 @@ void atomic_replace(const std::string& tmp, const std::string& target) {
 
 bool remove_file(const std::string& path) noexcept {
   return std::remove(path.c_str()) == 0;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!out) throw SimulationError("cannot open '" + tmp + "' for writing");
+    out << content;
+    out.flush();
+    if (!out) throw SimulationError("write to '" + tmp + "' failed");
+  }
+  atomic_replace(tmp, path);
 }
 
 }  // namespace oracle::util

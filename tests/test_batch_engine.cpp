@@ -534,6 +534,152 @@ TEST(Checkpoint, ReplayAfterMidWriteKillTerminatesPartialLine) {
   std::remove(path.c_str());
 }
 
+// --------------------------------------- lease workers & golden identity --
+
+TEST(BatchEngine, StopBeforeCancelsTheTailAndResumeFinishesIt) {
+  const auto configs = small_sweep();
+  const auto store = temp_path("cancel.jsonl");
+  const auto serial = temp_path("cancel_serial.jsonl");
+  for (const auto& p : {store, serial}) {
+    std::remove(p.c_str());
+    std::remove(exp::Checkpoint::default_path(p).c_str());
+  }
+
+  exp::BatchOptions sopt;
+  sopt.jsonl_path = serial;
+  sopt.collect = false;
+  ASSERT_TRUE(exp::run_batch(configs, sopt).report.ok());
+
+  // A lease shrink mid-run: stop_before vetoes job 5 and everything after.
+  exp::BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.collect = false;
+  opt.exec.workers = 2;
+  opt.exec.stop_before = [](const exp::ExperimentJob& job) {
+    return job.index >= 5;
+  };
+  const auto cancelled = exp::run_batch(configs, opt);
+  EXPECT_TRUE(cancelled.report.ok());  // cancellation is not a failure
+  EXPECT_EQ(cancelled.report.executed, 5u);
+  EXPECT_EQ(cancelled.report.cancelled, 13u);
+  EXPECT_EQ(line_count(store), 5u);  // clean prefix, no gap
+
+  // Resuming without the veto completes the sweep; the appended store is
+  // byte-identical to the serial run (ordered commit from a clean prefix).
+  opt.exec.stop_before = nullptr;
+  opt.resume = true;
+  const auto finished = exp::run_batch(configs, opt);
+  EXPECT_TRUE(finished.report.ok());
+  EXPECT_EQ(finished.report.skipped, 5u);
+  EXPECT_EQ(finished.report.cancelled, 0u);
+  std::ifstream a(serial, std::ios::binary), b(store, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+
+  for (const auto& p : {store, serial}) {
+    std::remove(p.c_str());
+    std::remove(exp::Checkpoint::default_path(p).c_str());
+  }
+}
+
+TEST(BatchEngine, GoldenSerialStaticAndAdversarialStealRunsAreByteIdentical) {
+  // The tentpole guarantee, three ways: (1) one serial run, (2) the static
+  // hash-modulo shard layout, (3) a work-stealing schedule with
+  // *adversarial* leases — overlapping ranges plus a duplicated store
+  // standing in for a steal race that ran jobs twice. All three merged
+  // stores must be byte-identical.
+  const auto configs = small_sweep();
+  const auto serial = temp_path("golden_serial.jsonl");
+  const auto statik = temp_path("golden_static.jsonl");
+  const auto steal = temp_path("golden_steal.jsonl");
+  auto cleanup = [&] {
+    for (const auto& p : {serial, statik, steal}) {
+      std::remove(p.c_str());
+      std::remove(exp::Checkpoint::default_path(p).c_str());
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto s = exp::shard_store_path(statik, i, 3);
+      std::remove(s.c_str());
+      std::remove(exp::Checkpoint::default_path(s).c_str());
+    }
+    for (std::size_t k = 0; k < 4; ++k) {
+      for (const auto& f : {exp::worker_store_path(steal, k, 4),
+                            exp::Checkpoint::default_path(
+                                exp::worker_store_path(steal, k, 4)),
+                            exp::worker_lease_path(steal, k, 4),
+                            exp::worker_heartbeat_path(steal, k, 4)})
+        std::remove(f.c_str());
+    }
+  };
+  cleanup();
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  // (1) serial.
+  exp::BatchOptions sopt;
+  sopt.jsonl_path = serial;
+  sopt.collect = false;
+  ASSERT_TRUE(exp::run_batch(configs, sopt).report.ok());
+
+  // (2) static shards.
+  for (std::size_t i = 0; i < 3; ++i) {
+    exp::BatchOptions opt;
+    opt.jsonl_path = exp::shard_store_path(statik, i, 3);
+    opt.shard_index = i;
+    opt.shard_count = 3;
+    opt.collect = false;
+    ASSERT_TRUE(exp::run_batch(configs, opt).report.ok());
+  }
+  exp::ShardMerger static_merger;
+  for (std::size_t i = 0; i < 3; ++i)
+    static_merger.add_store(exp::shard_store_path(statik, i, 3));
+  ASSERT_EQ(static_merger.merge_to(statik).records, configs.size());
+
+  // (3) adversarial steal schedule: leases overlap (jobs 8..9 and 12..13
+  // sit in two leases each) — exactly what a shrink race produces.
+  const std::vector<std::pair<std::size_t, std::size_t>> leases = {
+      {0, 10}, {8, 14}, {12, 18}};
+  for (std::size_t k = 0; k < leases.size(); ++k) {
+    exp::Lease lease;
+    lease.begin = leases[k].first;
+    lease.end = leases[k].second;
+    exp::write_lease_file(exp::worker_lease_path(steal, k, 4), lease);
+    exp::LeaseWorkerOptions wopt;
+    wopt.canonical_out = steal;
+    wopt.slot = k;
+    wopt.slot_count = 4;
+    ASSERT_TRUE(exp::run_lease_worker(configs, wopt).ok());
+  }
+  // Slot 3's store is a byte copy of slot 0's: a steal race that re-ran an
+  // entire range on a second worker.
+  {
+    std::ofstream dup(exp::worker_store_path(steal, 3, 4),
+                      std::ios::binary | std::ios::trunc);
+    dup << slurp(exp::worker_store_path(steal, 0, 4));
+  }
+  exp::ShardMerger steal_merger;
+  for (std::size_t k = 0; k < 4; ++k)
+    steal_merger.add_store(exp::worker_store_path(steal, k, 4));
+  const auto merge = steal_merger.merge_to(steal);
+  EXPECT_EQ(merge.records, configs.size());
+  EXPECT_GE(merge.duplicates_dropped, 10u);  // the copied store, at least
+
+  const auto golden = slurp(serial);
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(golden, slurp(statik));
+  EXPECT_EQ(golden, slurp(steal));
+  EXPECT_EQ(slurp(exp::Checkpoint::default_path(serial)),
+            slurp(exp::Checkpoint::default_path(steal)));
+  cleanup();
+}
+
 TEST(BatchEngine, SweepBuilderRunBatchEndToEnd) {
   exp::BatchOptions opt;
   opt.exec.workers = 2;

@@ -1,12 +1,16 @@
 // Crash-safe distributed sharding (src/exp/shard.*): shard assignment and
 // slicing, the merge protocol's byte-identical guarantee vs a serial run,
-// crash detection + resume convergence after a simulated SIGKILL, and the
-// POSIX process-spawn layer.
+// crash detection + resume convergence after a simulated SIGKILL, the
+// POSIX process-spawn layer, and property tests for the work-stealing
+// lease protocol (lease partition invariants under random steal sequences,
+// retain_range/retain_shard vs a reference model, heartbeat staleness).
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -14,6 +18,7 @@
 
 #include "core/sweep.hpp"
 #include "exp/exp.hpp"
+#include "util/file_util.hpp"
 
 namespace oracle {
 namespace {
@@ -310,6 +315,278 @@ TEST(ShardPlan, JobsMergedIntoCanonicalStoreAreNotReRun) {
   EXPECT_EQ(resumed.report.skipped, plan.shard_hashes(0).size());
 
   remove_run_files(canonical, 2);
+}
+
+// ----------------------------------------------- lease files & partition --
+
+TEST(LeaseFile, RoundTripsAndRejectsMalformed) {
+  const auto path = temp_path("lease_roundtrip");
+  exp::Lease lease;
+  lease.generation = 7;
+  lease.begin = 12;
+  lease.end = 40;
+  exp::write_lease_file(path, lease);
+  const auto back = exp::read_lease_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->generation, 7u);
+  EXPECT_EQ(back->begin, 12u);
+  EXPECT_EQ(back->end, 40u);
+
+  EXPECT_FALSE(exp::read_lease_file(temp_path("lease_missing")).has_value());
+  for (const char* bad : {"", "v2 1 0 4", "v1 1 9 4", "v1 nonsense"}) {
+    std::ofstream out(path, std::ios::trunc);
+    out << bad << "\n";
+    out.close();
+    EXPECT_FALSE(exp::read_lease_file(path).has_value()) << bad;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LeaseTable, InitialPartitionIsBalancedAndComplete) {
+  for (const auto& [jobs, slots] : std::vector<std::pair<std::size_t,
+                                                         std::size_t>>{
+           {0, 1}, {1, 1}, {5, 2}, {7, 3}, {18, 4}, {3, 8}, {100, 7}}) {
+    const exp::LeaseTable table(jobs, slots);
+    EXPECT_TRUE(table.partitions_queue()) << jobs << "/" << slots;
+    std::size_t covered = 0, max_size = 0, min_size = jobs + 1;
+    for (std::size_t k = 0; k < table.slots(); ++k) {
+      covered += table.lease(k).size();
+      max_size = std::max(max_size, table.lease(k).size());
+      min_size = std::min(min_size, table.lease(k).size());
+      // Empty leases (more slots than jobs) are born drained.
+      EXPECT_EQ(table.drained(k), table.lease(k).empty());
+    }
+    EXPECT_EQ(covered, jobs);
+    if (jobs >= slots) {
+      EXPECT_LE(max_size - min_size, 1u) << "unbalanced";
+    }
+  }
+}
+
+TEST(LeaseTable, StealValidationRejectsInvalidRequests) {
+  exp::LeaseTable table(20, 2);  // slot0 [0,10), slot1 [10,20)
+  // Thief still live.
+  EXPECT_FALSE(table.steal(0, 1, 5).has_value());
+  table.mark_drained(1);
+  // Split outside (begin, end).
+  EXPECT_FALSE(table.steal(0, 1, 0).has_value());
+  EXPECT_FALSE(table.steal(0, 1, 10).has_value());
+  EXPECT_FALSE(table.steal(0, 1, 15).has_value());
+  // Self-steal and out-of-range slots.
+  EXPECT_FALSE(table.steal(0, 0, 5).has_value());
+  EXPECT_FALSE(table.steal(7, 1, 5).has_value());
+  // Valid steal; then the drained victim cannot be stolen from.
+  const auto lease = table.steal(0, 1, 6);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->begin, 6u);
+  EXPECT_EQ(lease->end, 10u);
+  EXPECT_TRUE(table.partitions_queue());
+  table.mark_drained(0);
+  table.mark_drained(1);
+  EXPECT_FALSE(table.steal(0, 1, 8).has_value());
+  EXPECT_TRUE(table.all_drained());
+}
+
+TEST(LeaseTable, RandomStealSequencesPreserveThePartitionInvariant) {
+  // Property test: whatever interleaving of drains and (valid or invalid)
+  // steals the supervisor performs, the leases — live plus retired — must
+  // always tile [0, jobs) exactly: pairwise-disjoint, no gaps.
+  std::mt19937 rng(20260729);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t jobs = 1 + rng() % 300;
+    const std::size_t slots = 1 + rng() % 8;
+    exp::LeaseTable table(jobs, slots);
+    ASSERT_TRUE(table.partitions_queue());
+
+    std::size_t steals = 0;
+    for (int op = 0; op < 64; ++op) {
+      const std::size_t a = rng() % slots;
+      if (rng() % 2 == 0) {
+        if (!table.drained(a)) table.mark_drained(a);
+      } else {
+        const std::size_t victim = rng() % slots;
+        const std::size_t split = rng() % (jobs + 2);
+        const auto before_victim = table.lease(victim);
+        const auto lease = table.steal(victim, a, split);
+        if (lease.has_value()) {
+          ++steals;
+          // The stolen range is exactly the victim's former tail.
+          EXPECT_EQ(lease->begin, split);
+          EXPECT_EQ(lease->end, before_victim.end);
+          EXPECT_EQ(table.lease(victim).end, split);
+          EXPECT_FALSE(table.drained(a));
+        }
+      }
+      ASSERT_TRUE(table.partitions_queue())
+          << "trial " << trial << " op " << op << " jobs " << jobs
+          << " slots " << slots;
+    }
+    // Drain everything: the table must agree the queue is fully covered.
+    for (std::size_t k = 0; k < slots; ++k) table.mark_drained(k);
+    EXPECT_TRUE(table.all_drained());
+    (void)steals;
+  }
+}
+
+TEST(JobQueue, RetainRangeMatchesReferenceModelAndTilesTheQueue) {
+  const auto configs = small_sweep();
+  std::mt19937 rng(987);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t begin = rng() % (configs.size() + 2);
+    const std::size_t end = rng() % (configs.size() + 2);
+    exp::JobQueue q(configs);
+    q.retain_range(begin, end);
+    // Reference model: filter the enumerated sweep by index directly.
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      if (i >= begin && i < end) expected.push_back(i);
+    ASSERT_EQ(q.size(), expected.size()) << begin << ".." << end;
+    for (std::size_t pos = 0; pos < q.size(); ++pos)
+      EXPECT_EQ(q.job(pos).index, expected[pos]);
+  }
+
+  // A LeaseTable partition applied through retain_range covers the queue
+  // exactly once — the lease analogue of the retain_shard disjointness
+  // test above, for random slot counts.
+  for (const std::size_t slots : {1u, 2u, 3u, 5u, 18u, 30u}) {
+    const exp::LeaseTable table(configs.size(), slots);
+    std::vector<int> owners(configs.size(), 0);
+    for (std::size_t k = 0; k < table.slots(); ++k) {
+      exp::JobQueue q(configs);
+      q.retain_range(table.lease(k).begin, table.lease(k).end);
+      EXPECT_EQ(q.size(), table.lease(k).size());
+      for (std::size_t pos = 0; pos < q.size(); ++pos)
+        ++owners[q.job(pos).index];
+    }
+    for (std::size_t i = 0; i < owners.size(); ++i)
+      EXPECT_EQ(owners[i], 1) << "job " << i << " with " << slots << " slots";
+  }
+}
+
+TEST(JobQueue, RetainShardAgreesWithShardPlanReferenceModel) {
+  const auto configs = small_sweep();
+  std::mt19937 rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t count = 1 + rng() % 9;
+    exp::JobQueue full(configs);
+    const exp::ShardPlan plan(full, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      exp::JobQueue q(configs);
+      q.retain_shard(i, count);
+      // The plan's per-shard hash list is the reference model: same jobs,
+      // same order.
+      ASSERT_EQ(q.size(), plan.shard_hashes(i).size());
+      for (std::size_t pos = 0; pos < q.size(); ++pos)
+        EXPECT_EQ(q.job(pos).content_hash, plan.shard_hashes(i)[pos]);
+    }
+  }
+}
+
+// ------------------------------------------------------ heartbeat monitor --
+
+TEST(HeartbeatMonitor, DetectsStallsOnlyAfterTheTimeout) {
+  using namespace std::chrono_literals;
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  exp::HeartbeatMonitor hb(100ms);
+
+  // Unarmed slots are never stale.
+  EXPECT_FALSE(hb.stale(0, t0 + 1h));
+
+  hb.start(0, t0);
+  EXPECT_FALSE(hb.stale(0, t0 + 99ms));
+  EXPECT_TRUE(hb.stale(0, t0 + 101ms));  // no heartbeat since spawn
+
+  // A changing value keeps the slot fresh; an unchanged one goes stale.
+  hb.start(0, t0);
+  hb.observe(0, 1000, t0 + 50ms);
+  EXPECT_FALSE(hb.stale(0, t0 + 140ms));
+  hb.observe(0, 2000, t0 + 150ms);
+  hb.observe(0, 2000, t0 + 240ms);  // same mtime: no progress
+  EXPECT_FALSE(hb.stale(0, t0 + 240ms));
+  EXPECT_TRUE(hb.stale(0, t0 + 260ms));
+
+  // A missing heartbeat file (sentinel -1) is itself a value: it only
+  // counts as life once, not every poll.
+  hb.start(1, t0);
+  hb.observe(1, -1, t0 + 10ms);
+  hb.observe(1, -1, t0 + 90ms);
+  EXPECT_TRUE(hb.stale(1, t0 + 120ms));
+
+  // stop() disarms; a later start() re-arms from the new baseline.
+  hb.stop(0);
+  EXPECT_FALSE(hb.stale(0, t0 + 10h));
+  hb.start(0, t0 + 10h);
+  EXPECT_FALSE(hb.stale(0, t0 + 10h + 99ms));
+  EXPECT_TRUE(hb.stale(0, t0 + 10h + 101ms));
+}
+
+// -------------------------------------------- empty shards & empty leases --
+
+TEST(ShardWorkers, EmptyStaticShardExitsCleanlyWithValidEmptyStore) {
+  // More shards than jobs: some '--shard i/N' workers own zero jobs (the
+  // cross-host launcher does not know the hash distribution up front).
+  // They must succeed and leave a valid, empty store.
+  const auto configs = small_sweep();
+  const std::size_t count = configs.size() + 7;  // pigeonhole: empty shards
+  const auto canonical = temp_path("empty_shard.jsonl");
+  remove_run_files(canonical, count);
+
+  exp::JobQueue probe(configs);
+  const exp::ShardPlan plan(probe, count);
+  std::size_t empty_shard = count;
+  for (std::size_t i = 0; i < count; ++i)
+    if (plan.shard_hashes(i).empty()) empty_shard = i;
+  ASSERT_LT(empty_shard, count);
+
+  const auto outcome =
+      run_shard_worker(configs, canonical, empty_shard, count);
+  EXPECT_TRUE(outcome.report.ok());
+  EXPECT_EQ(outcome.report.total_jobs, 0u);
+  EXPECT_EQ(outcome.report.executed, 0u);
+  const auto store = exp::shard_store_path(canonical, empty_shard, count);
+  EXPECT_TRUE(oracle::util::file_exists(store));
+  EXPECT_TRUE(read_file(store).empty());
+  EXPECT_TRUE(exp::load_completed_hashes(store).empty());
+  // And the merger treats the empty store as a valid no-op input.
+  exp::ShardMerger merger;
+  merger.add_store(store);
+  EXPECT_EQ(merger.merge_to(canonical).records, 0u);
+
+  remove_run_files(canonical, count);
+}
+
+TEST(ShardWorkers, EmptyLeaseWorkerExitsCleanlyWithValidEmptyStore) {
+  const auto configs = small_sweep();
+  const auto canonical = temp_path("empty_lease.jsonl");
+  const auto store = exp::worker_store_path(canonical, 0, 2);
+  std::remove(store.c_str());
+  std::remove(exp::Checkpoint::default_path(store).c_str());
+
+  exp::LeaseWorkerOptions wopt;
+  wopt.canonical_out = canonical;
+  wopt.slot = 0;
+  wopt.slot_count = 2;
+
+  // Case 1: no lease file at all (supervisor died before writing it).
+  auto report = exp::run_lease_worker(configs, wopt);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.total_jobs, 0u);
+  EXPECT_TRUE(oracle::util::file_exists(store));
+  EXPECT_TRUE(read_file(store).empty());
+
+  // Case 2: an explicitly empty lease range.
+  exp::Lease lease;
+  lease.begin = lease.end = 5;
+  exp::write_lease_file(exp::worker_lease_path(canonical, 0, 2), lease);
+  report = exp::run_lease_worker(configs, wopt);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.total_jobs, 0u);
+  EXPECT_TRUE(read_file(store).empty());
+
+  std::remove(store.c_str());
+  std::remove(exp::Checkpoint::default_path(store).c_str());
+  std::remove(exp::worker_lease_path(canonical, 0, 2).c_str());
+  std::remove(exp::worker_heartbeat_path(canonical, 0, 2).c_str());
 }
 
 // ---------------------------------------------------------- process layer --

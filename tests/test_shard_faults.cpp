@@ -1,0 +1,306 @@
+// Deterministic fault-injection tests for the work-stealing shard
+// supervisor (exp::run_sharded_processes with steal=true): worker death by
+// SIGKILL and _exit(1), stall detection via the heartbeat monitor,
+// auto-restart, lease re-issue to idle workers, restart-budget exhaustion,
+// and --resume convergence — all in-process under ctest instead of only in
+// the CI kill+resume smoke script.
+//
+// The binary is its own worker: a custom main() dispatches to
+// worker_main() when argv[1] == "--shard-worker", so the supervisor under
+// test self-execs *this* test executable. Faults are injected through
+// exp::ShardTestHooks, parsed from the worker argv and targeted at one
+// slot (`--fault-slot`), with a one-shot marker file so a respawned worker
+// runs clean and the run converges.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "exp/exp.hpp"
+#include "util/error.hpp"
+#include "util/file_util.hpp"
+
+#if !defined(_WIN32)
+
+namespace oracle {
+namespace {
+
+std::string g_self;  ///< argv[0], for worker self-exec
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.topology = "grid:5x5";
+  cfg.strategy = "cwn:radius=4,horizon=1";
+  cfg.workload = "fib:9";
+  cfg.machine.seed = 1;
+  return cfg;
+}
+
+/// The fixed sweep both the tests and the self-exec'd workers rebuild:
+/// 3 (topology) x 3 (strategy) x 2 (seed) = 18 fast jobs.
+std::vector<core::ExperimentConfig> fault_sweep() {
+  return core::SweepBuilder(small_config())
+      .topologies({"grid:5x5", "grid:6x6", "dlm:5:5x5"})
+      .strategies({"cwn:radius=4,horizon=1", "gm:hwm=2,lwm=1", "random"})
+      .seeds({1, 2})
+      .build();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "oracle_faults_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Serial golden store, produced once and shared by every test.
+const std::string& serial_store() {
+  static std::string path;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    path = temp_path("serial_golden.jsonl");
+    std::remove(path.c_str());
+    std::remove(exp::Checkpoint::default_path(path).c_str());
+    exp::BatchOptions opt;
+    opt.jsonl_path = path;
+    opt.collect = false;
+    const auto outcome = exp::run_batch(fault_sweep(), opt);
+    ORACLE_REQUIRE(outcome.report.ok(), "serial golden run failed");
+  });
+  return path;
+}
+
+void remove_steal_files(const std::string& canonical, std::size_t slots) {
+  std::remove(canonical.c_str());
+  std::remove(exp::Checkpoint::default_path(canonical).c_str());
+  std::remove((canonical + ".marker").c_str());
+  for (std::size_t k = 0; k < slots; ++k) {
+    for (const auto& f :
+         {exp::worker_store_path(canonical, k, slots),
+          exp::Checkpoint::default_path(
+              exp::worker_store_path(canonical, k, slots)),
+          exp::worker_lease_path(canonical, k, slots),
+          exp::worker_heartbeat_path(canonical, k, slots)})
+      std::remove(f.c_str());
+  }
+}
+
+/// Launch a supervised steal run over fault_sweep(), with optional fault
+/// flags replayed onto every worker's command line (the worker applies
+/// them only to --fault-slot's slot).
+exp::ShardRunReport run_steal(const std::string& canonical,
+                              std::size_t workers,
+                              const std::vector<std::string>& fault_flags = {},
+                              std::uint32_t heartbeat_ms = 0,
+                              std::size_t max_restarts = 2,
+                              bool resume = false,
+                              std::size_t min_steal_jobs = 1) {
+  exp::ShardRunOptions sopt;
+  sopt.workers = workers;
+  sopt.out = canonical;
+  sopt.steal = true;
+  sopt.heartbeat_ms = heartbeat_ms;
+  sopt.max_restarts = max_restarts;
+  sopt.resume = resume;
+  sopt.min_steal_jobs = min_steal_jobs;
+  sopt.poll_ms = 10;
+  sopt.exec_path = exp::self_exec_path(g_self);
+  sopt.worker_args = {"--shard-worker", "--out", canonical};
+  sopt.worker_args.insert(sopt.worker_args.end(), fault_flags.begin(),
+                          fault_flags.end());
+  return exp::run_sharded_processes(fault_sweep(), sopt);
+}
+
+// ------------------------------------------------------------ fault tests --
+
+TEST(StealSupervisor, MatchesSerialByteIdenticallyIncludingMoreWorkersThanJobs) {
+  const auto canonical = temp_path("clean.jsonl");
+  for (const std::size_t workers : {3u, 25u}) {  // 25 > 18 jobs: clamped
+    remove_steal_files(canonical, 25);
+    const auto report = run_steal(canonical, workers);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_EQ(report.planned_jobs, 18u);
+    EXPECT_EQ(report.merge.records, 18u);
+    EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+    EXPECT_EQ(read_file(exp::Checkpoint::default_path(serial_store())),
+              read_file(exp::Checkpoint::default_path(canonical)));
+  }
+  remove_steal_files(canonical, 25);
+}
+
+TEST(StealSupervisor, SigkilledWorkerIsAutoRestartedAndConverges) {
+  const auto canonical = temp_path("sigkill.jsonl");
+  remove_steal_files(canonical, 3);
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "1", "--die-after", "2", "--kill", "--marker",
+       canonical + ".marker"});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.restarts, 1u);
+  bool saw_sigkill = false;
+  for (const auto& w : report.workers)
+    if (w.shard == 1 && w.term_signal == SIGKILL) saw_sigkill = true;
+  EXPECT_TRUE(saw_sigkill);
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+TEST(StealSupervisor, ExitFaultIsAutoRestartedAndConverges) {
+  const auto canonical = temp_path("exit1.jsonl");
+  remove_steal_files(canonical, 3);
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "0", "--die-after", "3", "--marker",
+       canonical + ".marker"});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.restarts, 1u);
+  bool saw_exit1 = false;
+  for (const auto& w : report.workers)
+    if (w.shard == 0 && w.term_signal == 0 && w.exit_code == 1)
+      saw_exit1 = true;
+  EXPECT_TRUE(saw_exit1);
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+TEST(StealSupervisor, StalledWorkerIsReapedByHeartbeatAndConverges) {
+  const auto canonical = temp_path("stall.jsonl");
+  remove_steal_files(canonical, 3);
+  // Slot 2 wedges for 60s after its first job; the 250ms heartbeat must
+  // SIGKILL it long before that and the respawn finishes the lease.
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "2", "--stall-after", "1", "--stall-ms", "60000",
+       "--marker", canonical + ".marker"},
+      /*heartbeat_ms=*/250);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.restarts, 1u);
+  bool saw_reap = false;
+  for (const auto& w : report.workers)
+    if (w.shard == 2 && w.term_signal == SIGKILL) saw_reap = true;
+  EXPECT_TRUE(saw_reap);
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+TEST(StealSupervisor, SlowWorkersTailIsStolenByIdleWorkers) {
+  const auto canonical = temp_path("steal.jsonl");
+  remove_steal_files(canonical, 3);
+  // Slot 0 stalls 1.5s before its very first job (no heartbeat timeout, so
+  // it is never killed). The other two workers drain their own leases in
+  // milliseconds and must steal slot 0's unclaimed tail instead of idling.
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "0", "--stall-after", "0", "--stall-ms", "1500",
+       "--marker", canonical + ".marker"});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.steals, 1u);
+  EXPECT_EQ(report.restarts, 0u);
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+TEST(StealSupervisor, ExhaustedRestartBudgetAbortsThenResumeConverges) {
+  const auto canonical = temp_path("budget.jsonl");
+  remove_steal_files(canonical, 3);
+  // No marker: the fault re-fires on every respawn of slot 1. Stealing is
+  // disabled (min_steal_jobs > sweep size) — otherwise the surviving
+  // workers would legitimately rescue the dying slot's lease and the run
+  // would converge anyway — so a budget of 1 restart cannot finish the
+  // lease and the run must abort with the merge skipped and every slot
+  // store preserved.
+  const auto failed = run_steal(canonical, 3,
+                                {"--fault-slot", "1", "--die-after", "2"},
+                                /*heartbeat_ms=*/0, /*max_restarts=*/1,
+                                /*resume=*/false, /*min_steal_jobs=*/1000);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(failed.merged);
+  EXPECT_EQ(failed.restarts, 1u);
+  EXPECT_FALSE(util::file_exists(canonical));
+
+  // The fault-free resume re-runs only what is missing and converges to
+  // the serial bytes.
+  const auto resumed = run_steal(canonical, 3, {}, 0, 2, /*resume=*/true);
+  EXPECT_TRUE(resumed.ok()) << resumed.summary();
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+// ------------------------------------------------------------ worker side --
+
+/// The self-exec'd worker: rebuild the sweep, apply targeted fault hooks,
+/// and run this slot's lease.
+int worker_main(int argc, char** argv) {
+  std::string out, marker;
+  std::optional<exp::ShardSpec> slot;
+  bool resume = false;
+  std::size_t fault_slot = exp::ShardTestHooks::kOff;
+  exp::ShardTestHooks hooks;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&] { return std::string(i + 1 < argc ? argv[++i] : "0"); };
+    if (arg == "--out") {
+      out = value();
+    } else if (arg == "--worker-slot") {
+      slot = exp::ShardSpec::parse(value());
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--fault-slot") {
+      fault_slot = std::stoul(value());
+    } else if (arg == "--die-after") {
+      hooks.die_after_n_jobs = std::stoul(value());
+    } else if (arg == "--kill") {
+      hooks.die_with_sigkill = true;
+    } else if (arg == "--stall-after") {
+      hooks.stall_after_n_jobs = std::stoul(value());
+    } else if (arg == "--stall-ms") {
+      hooks.stall_ms = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--marker") {
+      marker = value();
+    }
+  }
+  if (out.empty() || !slot) return 2;
+
+  exp::LeaseWorkerOptions wopt;
+  wopt.canonical_out = out;
+  wopt.slot = slot->index;
+  wopt.slot_count = slot->count;
+  wopt.merge_resume = resume;
+  if (slot->index == fault_slot) {
+    wopt.hooks = hooks;
+    wopt.hooks.once_marker = marker;
+  }
+  return exp::run_lease_worker(fault_sweep(), wopt).ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace oracle
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--shard-worker")
+    return oracle::worker_main(argc, argv);
+  oracle::g_self = argv[0];
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
+
+#else  // _WIN32: the supervisor is POSIX-only; keep the test binary valid.
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
+
+#endif
