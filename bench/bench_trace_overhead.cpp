@@ -1,0 +1,119 @@
+// bench_trace_overhead — the zero-cost-off gate for the obs tracer.
+//
+// Every instrumentation site in the executor/engine is supposed to cost
+// one relaxed atomic load + branch when tracing is disabled. This bench
+// measures that claim at two granularities:
+//   1. sweep throughput: the same in-process batch run with tracing off vs
+//      tracing on, against a baseline of bare run_experiment calls (no
+//      executor, no sink — the pre-instrumentation reference shape);
+//   2. site cost: ns/op of a disabled obs::Span construct+destruct pair in
+//      a tight loop.
+//
+// Output: one JSON object (CI saves it as BENCH_trace.json and asserts
+// off_vs_baseline stays within noise of 1.0, i.e. the disabled tracer did
+// not tax the hot path).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "oracle.hpp"
+
+namespace {
+
+using namespace oracle;
+using Clock = std::chrono::steady_clock;
+
+std::vector<core::ExperimentConfig> bench_sweep() {
+  core::ExperimentConfig base = core::paper::base_config();
+  base.topology = "grid:6x6";
+  base.workload = "fib:11";
+  return core::SweepBuilder(base)
+      .strategies({"cwn", "gm", "random"})
+      .seeds({1, 2, 3, 4, 5, 6, 7, 8})
+      .build();
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Serial run_experiment over the sweep: the uninstrumented reference
+/// shape (the executor adds claim/commit machinery on top of this).
+double time_serial(const std::vector<core::ExperimentConfig>& configs) {
+  const auto t0 = Clock::now();
+  for (const auto& cfg : configs) (void)core::run_experiment(cfg);
+  return seconds_since(t0);
+}
+
+/// One single-threaded batch-engine pass (no store: results discarded),
+/// the code path every instrumentation site lives on.
+double time_batch(const std::vector<core::ExperimentConfig>& configs) {
+  exp::JobQueue queue(configs);
+  exp::MemorySink sink;
+  exp::ExecutorOptions opts;
+  opts.workers = 1;
+  opts.progress = false;
+  exp::Executor executor(opts);
+  const auto t0 = Clock::now();
+  const auto report = executor.run(queue, sink);
+  ORACLE_ASSERT(report.ok());
+  return seconds_since(t0);
+}
+
+template <typename F>
+double best_of(int reps, F&& f) {
+  double best = f();
+  for (int i = 1; i < reps; ++i) best = std::min(best, f());
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const auto configs = bench_sweep();
+  constexpr int kReps = 3;
+
+  // Warm the topology/routing caches once so no variant pays first-use
+  // construction.
+  (void)time_serial(configs);
+
+  const double serial_s = best_of(kReps, [&] { return time_serial(configs); });
+  const double off_s = best_of(kReps, [&] { return time_batch(configs); });
+
+  obs::Tracer::enable(0, "bench_trace_overhead");
+  const double on_s = best_of(kReps, [&] {
+    obs::Tracer::clear();
+    return time_batch(configs);
+  });
+  const std::size_t traced_events = obs::Tracer::buffered();
+  obs::Tracer::disable();
+
+  // Disabled-site cost: a Span that never activates, back to back. Volatile
+  // sink keeps the loop from folding away.
+  constexpr std::size_t kSpanIters = 50'000'000;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kSpanIters; ++i) {
+    obs::Span span("bench", "noop");
+  }
+  const double span_ns = seconds_since(t0) * 1e9 / kSpanIters;
+
+  const double jobs = static_cast<double>(configs.size());
+  // Ratios > 1 mean the batch engine variant is *faster* than the serial
+  // baseline reference (it can be: commit pipelining overlaps I/O-free
+  // drain with the next job). The gate only cares that "off" is not
+  // materially slower.
+  const double off_vs_baseline = serial_s / off_s;
+  const double on_vs_off = off_s / on_s;
+
+  std::printf(
+      "{\"bench\":\"trace_overhead\",\"jobs\":%zu,"
+      "\"serial_s\":%.4f,\"traced_off_s\":%.4f,\"traced_on_s\":%.4f,"
+      "\"off_vs_baseline\":%.4f,\"on_vs_off\":%.4f,"
+      "\"disabled_span_ns\":%.3f,\"traced_events\":%zu,"
+      "\"serial_jobs_per_s\":%.1f,\"off_jobs_per_s\":%.1f,"
+      "\"on_jobs_per_s\":%.1f}\n",
+      configs.size(), serial_s, off_s, on_s, off_vs_baseline, on_vs_off,
+      span_ns, traced_events, jobs / serial_s, jobs / off_s, jobs / on_s);
+  return 0;
+}

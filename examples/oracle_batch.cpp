@@ -13,6 +13,11 @@
 //                           (all metrics x grid points; "-" = stdout)
 //     Several stores (e.g. one per host) aggregate as one pooled sweep.
 //
+//   oracle_batch trace <base> [--out PATH]
+//     Stitch the per-process trace files of a distributed --trace run
+//     (<base>.parent + <base>.<k>of<W>) into one Chrome trace JSON
+//     document at PATH (default: <base>), loadable in Perfetto.
+//
 //   oracle_batch [run] [options]
 //     --topologies A,B,..   topology spec axis   (default grid:6x6,grid:10x10,dlm:5:10x10)
 //     --strategies A,B,..   strategy spec axis   (default cwn,gm,random)
@@ -33,6 +38,18 @@
 //     --sample N            utilization sampling interval (default off)
 //     --hop-latency N       channel units per goal/response hop
 //     --no-progress         disable the jobs/s + ETA progress lines
+//     --log-level LVL       trace|debug|info|warn|error|off (default info;
+//                           the ORACLE_LOG env var sets the fleet-wide
+//                           default, the flag overrides per process)
+//     --trace PATH          record a Chrome trace (open in Perfetto). A
+//                           plain run writes the complete JSON to PATH;
+//                           a distributed run writes PATH.parent plus one
+//                           PATH.<k>of<W> per worker — stitch them with
+//                           `oracle_batch trace PATH`
+//     --status-file PATH    atomically rewrite PATH with a one-line JSON
+//                           status snapshot (jobs done/total, jobs/s, ETA,
+//                           per-worker lease frontier, steals, restarts)
+//                           every progress tick
 //
 //   run-only (multi-process distributed mode):
 //     --workers N           fork N worker processes (self-exec), one per
@@ -94,12 +111,14 @@ void print_usage() {
       "                    [--master-seed M] [--jobs N] [--shard N]\n"
       "                    [--out PATH|-] [--csv PATH] [--resume]\n"
       "                    [--sample N] [--hop-latency N] [--no-progress]\n"
+      "                    [--log-level LVL] [--trace PATH] [--status-file PATH]\n"
       "       oracle_batch run ... --workers N [--keep-shards]   (multi-process)\n"
       "       oracle_batch run ... --workers N --steal [--heartbeat-ms N]\n"
       "                    [--max-restarts N]             (work-stealing supervisor)\n"
       "       oracle_batch run ... --shard i/N                   (one shard only)\n"
       "       oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...]\n"
-      "                    [--metric NAME|all|list] [--csv PATH|-]\n");
+      "                    [--metric NAME|all|list] [--csv PATH|-]\n"
+      "       oracle_batch trace <base> [--out PATH]     (stitch --trace files)\n");
 }
 
 std::vector<std::string> parse_list(const std::string& value,
@@ -187,6 +206,50 @@ int aggregate_main(int argc, char** argv) {
   }
 }
 
+int trace_main(int argc, char** argv) {
+  std::string base;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) usage_error("--out needs a value");
+      out = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown trace option '" + arg + "'");
+    } else if (base.empty()) {
+      base = arg;
+    } else {
+      usage_error("trace takes exactly one <base> path");
+    }
+  }
+  if (base.empty()) usage_error("trace needs the --trace base path");
+  if (out.empty()) out = base;
+
+  try {
+    const auto inputs = obs::discover_trace_files(base);
+    if (inputs.empty()) {
+      std::fprintf(stderr,
+                   "oracle_batch: no trace files found for '%s' (expected "
+                   "%s.parent and/or %s.<k>of<W>)\n",
+                   base.c_str(), base.c_str(), base.c_str());
+      return 1;
+    }
+    const auto report = obs::merge_trace_files(inputs, out);
+    std::printf("%s: merged %zu event(s) from %zu file(s)", out.c_str(),
+                report.events, report.files_read);
+    if (report.corrupt_lines > 0)
+      std::printf(" (%zu corrupt line(s) skipped)", report.corrupt_lines);
+    std::printf("\nload it at https://ui.perfetto.dev\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
+    return 1;
+  }
+}
+
 /// The sweep/run mode. `run_mode` unlocks the distributed options
 /// (--workers / --shard i/N / --keep-shards); `self` is the original
 /// argv[0] for worker self-exec.
@@ -211,6 +274,8 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
   bool steal = false;
   std::uint32_t heartbeat_ms = 0;
   std::size_t max_restarts = 2;
+  std::string trace_path;   // Chrome-trace base path ("" = tracing off)
+  std::string status_path;  // live status snapshot file ("" = off)
   // Raw sweep-defining tokens, re-played verbatim onto each worker's
   // command line. Excludes the orchestration flags the parent owns
   // (--workers, --shard, --resume, --keep-shards, --no-progress).
@@ -320,6 +385,23 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
         forward(arg, v);
       } else if (arg == "--no-progress") {
         opt.exec.progress = false;
+      } else if (arg == "--log-level") {
+        const auto v = value();
+        const auto lvl = log::parse_level(v);
+        if (!lvl)
+          usage_error("--log-level needs trace|debug|info|warn|error|off");
+        log::set_level(*lvl);
+        forward(arg, v);  // workers inherit the chosen verbosity
+      } else if (arg == "--trace") {
+        const auto v = value();
+        trace_path = v;
+        // Forwarded so each spawned worker appends its own
+        // "<base>.<k>of<W>" trace-line file beside the parent's.
+        forward(arg, v);
+      } else if (arg == "--status-file") {
+        // Parent-owned: workers report through leases/heartbeats, not
+        // their own status files, so this is deliberately not forwarded.
+        status_path = value();
       } else {
         usage_error("unknown option '" + arg + "'");
       }
@@ -369,6 +451,9 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
 
     if (workers > 0) {
       // Parent of a multi-process run: self-exec one worker per shard.
+      // The supervisor's own lifecycle events (spawns, steals, reaps)
+      // record on logical pid 0; workers take pid k+1 for slot k.
+      if (!trace_path.empty()) obs::Tracer::enable(0, "supervisor");
       exp::ShardRunOptions sopt;
       sopt.workers = workers;
       sopt.out = opt.jsonl_path;
@@ -378,6 +463,8 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       sopt.steal = steal;
       sopt.heartbeat_ms = heartbeat_ms;
       sopt.max_restarts = max_restarts;
+      sopt.status_path = status_path;
+      sopt.trace_path = trace_path;
       sopt.exec_path = exp::self_exec_path(self);
       sopt.worker_args = passthrough;
       sopt.worker_args.insert(sopt.worker_args.begin(), "run");
@@ -403,26 +490,47 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
             report.merged ? "auto-restarted"
                           : "its completed jobs are safe; --resume finishes "
                             "the rest";
+        const auto lvl =
+            report.merged ? log::Level::Warn : log::Level::Error;
         if (w.term_signal != 0)
-          std::fprintf(stderr,
-                       "oracle_batch: shard %zu/%zu worker killed by signal "
-                       "%d (%s)\n",
-                       w.shard, workers, w.term_signal, hint);
+          ORACLE_LOG(lvl, strfmt("shard %zu/%zu worker killed by signal "
+                                 "%d (%s)",
+                                 w.shard, workers, w.term_signal, hint));
         else
-          std::fprintf(stderr,
-                       "oracle_batch: shard %zu/%zu worker exited with "
-                       "status %d (%s)\n",
-                       w.shard, workers, w.exit_code, hint);
+          ORACLE_LOG(lvl, strfmt("shard %zu/%zu worker exited with "
+                                 "status %d (%s)",
+                                 w.shard, workers, w.exit_code, hint));
       }
       if (report.merged)
         std::printf("store: %s (+ checkpoint %s)\n", sopt.out.c_str(),
                     exp::Checkpoint::default_path(sopt.out).c_str());
+      if (!trace_path.empty()) {
+        // Parent events go to "<base>.parent" as trace-event lines; the
+        // trace subcommand stitches them with the worker files.
+        obs::Tracer::write_event_lines(obs::parent_trace_path(trace_path),
+                                       /*append=*/false);
+        if (obs::Tracer::dropped() > 0)
+          ORACLE_LOG_WARN(strfmt("trace buffer overflow: %zu event(s) "
+                                 "dropped",
+                                 obs::Tracer::dropped()));
+        std::printf("trace: %s.{parent,<k>of<W>} (stitch with "
+                    "`oracle_batch trace %s`)\n",
+                    trace_path.c_str(), trace_path.c_str());
+      }
+      if (!status_path.empty())
+        std::printf("status: %s\n", status_path.c_str());
       return report.ok() ? 0 : 1;
     }
 
     if (worker_slot.has_value()) {
       // Steal-mode worker: run this slot's current lease into its private
       // store, re-reading the lease before every job.
+      log::set_tag(strfmt("worker %zu/%zu", worker_slot->index,
+                          worker_slot->count));
+      if (!trace_path.empty())
+        obs::Tracer::enable(
+            static_cast<std::uint32_t>(worker_slot->index + 1),
+            strfmt("worker %zu", worker_slot->index));
       exp::LeaseWorkerOptions wopt;
       wopt.canonical_out = opt.jsonl_path;
       wopt.slot = worker_slot->index;
@@ -455,16 +563,29 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
         }
       }
       const auto report = exp::run_lease_worker(sweep.build(), wopt);
-      std::fprintf(stderr, "[worker %s] %s\n",
-                   worker_slot->to_string().c_str(),
-                   report.summary().c_str());
+      ORACLE_LOG_INFO(report.summary());
+      ORACLE_LOG_DEBUG(report.job_wall.summary());
       for (const auto& err : report.errors)
-        std::fprintf(stderr, "oracle_batch: failed: %s\n", err.c_str());
+        ORACLE_LOG_ERROR("failed: " + err);
+      if (!trace_path.empty()) {
+        // Append: a respawned slot continues the same per-slot file, so
+        // the merged timeline shows the whole slot history. The durable
+        // prefix was flushed by the previous incarnation at its exit; a
+        // SIGKILLed one just loses its own buffer.
+        obs::Tracer::write_event_lines(
+            obs::worker_trace_path(trace_path, worker_slot->index,
+                                   worker_slot->count),
+            /*append=*/true);
+      }
       return report.ok() ? 0 : 1;
     }
 
     if (shard.has_value()) {
       // Worker: run only this shard's slice into its private store.
+      log::set_tag(strfmt("shard %zu/%zu", shard->index, shard->count));
+      if (!trace_path.empty())
+        obs::Tracer::enable(static_cast<std::uint32_t>(shard->index + 1),
+                            strfmt("shard %zu", shard->index));
       opt.shard_index = shard->index;
       opt.shard_count = shard->count;
       const std::string canonical = opt.jsonl_path;
@@ -474,12 +595,24 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       opt.exec.progress = false;  // parents interleave many workers
 
       const auto outcome = sweep.run_batch(opt);
-      std::fprintf(stderr, "[shard %s] %s\n", shard->to_string().c_str(),
-                   outcome.report.summary().c_str());
+      ORACLE_LOG_INFO(outcome.report.summary());
+      ORACLE_LOG_DEBUG(outcome.report.job_wall.summary());
       for (const auto& err : outcome.report.errors)
-        std::fprintf(stderr, "oracle_batch: failed: %s\n", err.c_str());
+        ORACLE_LOG_ERROR("failed: " + err);
+      if (!trace_path.empty()) {
+        // Static shards are spawned exactly once per run, so truncate
+        // rather than append — a re-run replaces the slot's trace.
+        obs::Tracer::write_event_lines(
+            obs::worker_trace_path(trace_path, shard->index, shard->count),
+            /*append=*/false);
+      }
       return outcome.report.ok() ? 0 : 1;
     }
+
+    // Plain (threaded) run: the tracer records on logical pid 0 and the
+    // complete Chrome JSON document is written directly — no merge step.
+    if (!trace_path.empty()) obs::Tracer::enable(0, "oracle_batch");
+    opt.exec.status_path = status_path;
 
     const auto outcome = sweep.run_batch(opt);
     const auto& rep = outcome.report;
@@ -491,14 +624,26 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
           rep.jobs_per_second, rep.events_per_second() / 1e6,
           static_cast<unsigned long long>(rep.total_events),
           rep.elapsed_seconds);
+      if (rep.job_wall.count > 0)
+        std::printf("%s\n", rep.job_wall.summary().c_str());
       if (!opt.jsonl_path.empty())
         std::printf("store: %s (+ checkpoint %s)\n", opt.jsonl_path.c_str(),
                     exp::Checkpoint::default_path(opt.jsonl_path).c_str());
       if (!opt.csv_path.empty())
         std::printf("csv:   %s\n", opt.csv_path.c_str());
     }
+    if (!trace_path.empty()) {
+      const std::size_t events = obs::Tracer::write_json(trace_path);
+      if (obs::Tracer::dropped() > 0)
+        ORACLE_LOG_WARN(strfmt("trace buffer overflow: %zu event(s) dropped",
+                               obs::Tracer::dropped()));
+      if (!stdout_records)
+        std::printf("trace: %s (%zu events; load at "
+                    "https://ui.perfetto.dev)\n",
+                    trace_path.c_str(), events);
+    }
     for (const auto& err : rep.errors)
-      std::fprintf(stderr, "oracle_batch: failed: %s\n", err.c_str());
+      ORACLE_LOG_ERROR("failed: " + err);
     return rep.ok() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "oracle_batch: %s\n", e.what());
@@ -509,9 +654,15 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Verbosity: CLI default Info, ORACLE_LOG env overrides fleet-wide
+  // (worker processes inherit it), an explicit --log-level flag wins.
+  if (!oracle::log::init_from_env())
+    oracle::log::set_level(oracle::log::Level::Info);
   const std::string self = argv[0];
   if (argc > 1 && std::string(argv[1]) == "aggregate")
     return aggregate_main(argc - 1, argv + 1);
+  if (argc > 1 && std::string(argv[1]) == "trace")
+    return trace_main(argc - 1, argv + 1);
   if (argc > 1 && std::string(argv[1]) == "run")
     return sweep_main(argc - 1, argv + 1, /*run_mode=*/true, self);
   return sweep_main(argc, argv, /*run_mode=*/false, self);

@@ -2,6 +2,7 @@
 
 #include "lb/strategy.hpp"
 #include "machine/machine.hpp"
+#include "obs/trace.hpp"
 #include "topo/factory.hpp"
 #include "util/string_util.hpp"
 #include "workload/workload.hpp"
@@ -23,6 +24,22 @@ stats::RunResult run_experiment(const ExperimentConfig& config) {
 
   machine::Machine machine(topology, *workload, *strategy, config.machine);
   stats::RunResult result = machine.run();
+
+  if (obs::Tracer::enabled()) {
+    // Engine health counters, one sample per run. Sampled here (not stored
+    // in RunResult) so the JSONL record layout — and its byte-identity
+    // guarantee across worker counts — is untouched.
+    const sim::Scheduler::Counters c = machine.scheduler().counters();
+    obs::counter("engine", "engine.events", "value",
+                 static_cast<std::int64_t>(c.executed));
+    obs::counter("engine", "engine.cancels", "value",
+                 static_cast<std::int64_t>(c.cancelled));
+    obs::counter("engine", "engine.sched", "wheel",
+                 static_cast<std::int64_t>(c.wheel_scheduled), "heap",
+                 static_cast<std::int64_t>(c.heap_scheduled));
+    obs::counter("engine", "engine.msg_pool_reused", "value",
+                 static_cast<std::int64_t>(machine.message_pool().reused()));
+  }
 
   // Static tree facts: fill from the workload so results are self-contained.
   const workload::TreeSummary summary = workload->summarize();

@@ -4,6 +4,7 @@
 
 #include "exp/job.hpp"
 #include "exp/result_sink.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/file_util.hpp"
 
@@ -57,6 +58,9 @@ void Checkpoint::record(std::uint64_t hash) {
   if (!enabled()) return;
   if (out_ == nullptr) open_for_append();
   const std::string line = hash_hex(hash) + '\n';
+  // The fsync dominates commit latency; a span per record makes that cost
+  // visible next to the job spans it serializes behind.
+  obs::Span fsync_span("exec", "checkpoint.fsync");
   const bool wrote =
       std::fwrite(line.data(), 1, line.size(), out_) == line.size();
   if (!wrote || !flush_and_sync(out_))

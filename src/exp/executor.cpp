@@ -1,14 +1,19 @@
 #include "exp/executor.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "core/simulator.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,6 +30,36 @@ std::string format_eta(double seconds) {
 }
 
 }  // namespace
+
+DurationStats DurationStats::from_samples(std::vector<double> seconds) {
+  DurationStats d;
+  if (seconds.empty()) return d;
+  std::sort(seconds.begin(), seconds.end());
+  d.count = seconds.size();
+  d.min_s = seconds.front();
+  d.max_s = seconds.back();
+  double sum = 0.0;
+  for (const double s : seconds) sum += s;
+  d.mean_s = sum / static_cast<double>(d.count);
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(q * static_cast<double>(d.count - 1)));
+    return seconds[idx];
+  };
+  d.p50_s = at(0.50);
+  d.p95_s = at(0.95);
+  d.p99_s = at(0.99);
+  return d;
+}
+
+std::string DurationStats::summary() const {
+  if (count == 0) return "job wall: n/a";
+  return strfmt(
+      "job wall: min %.2fms / mean %.2fms / p50 %.2fms / p95 %.2fms / "
+      "p99 %.2fms / max %.2fms (n=%zu)",
+      min_s * 1e3, mean_s * 1e3, p50_s * 1e3, p95_s * 1e3, p99_s * 1e3,
+      max_s * 1e3, count);
+}
 
 std::string BatchReport::summary() const {
   std::string s = strfmt(
@@ -77,24 +112,66 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
 
   const auto start = Clock::now();
   auto last_progress = start;
+  auto last_status = start;
   std::ostream* prog =
       opts_.progress_stream ? opts_.progress_stream : &std::cerr;
+  // Overwrite-in-place only when a human is watching: piped/CI stderr gets
+  // plain lines, throttled so the log doesn't fill with ticker output.
+  const bool tty = opts_.progress_tty < 0
+                       ? (prog == &std::cerr && ::isatty(2) != 0)
+                       : opts_.progress_tty > 0;
+  const double interval = tty ? opts_.progress_interval_s
+                              : std::max(opts_.progress_interval_s, 10.0);
 
   auto maybe_report_progress = [&](bool force) {
-    if (!opts_.progress) return;
+    if (!opts_.progress && opts_.status_path.empty()) return;
     const auto now = Clock::now();
-    const double since_last =
-        std::chrono::duration<double>(now - last_progress).count();
-    if (!force && since_last < opts_.progress_interval_s) return;
-    last_progress = now;
+    // The status file keeps the un-throttled cadence even when the plain-
+    // line ticker is throttled for CI logs: a dashboard polling the file
+    // must see progress at progress_interval_s, not every 10s.
+    const bool do_line =
+        opts_.progress &&
+        (force ||
+         std::chrono::duration<double>(now - last_progress).count() >=
+             interval);
+    const bool do_status =
+        !opts_.status_path.empty() &&
+        (force || std::chrono::duration<double>(now - last_status).count() >=
+                      opts_.progress_interval_s);
+    if (!do_line && !do_status) return;
     const double elapsed = std::chrono::duration<double>(now - start).count();
     const double rate = elapsed > 0 ? static_cast<double>(committed) / elapsed
                                     : 0.0;
     const double eta =
         rate > 0 ? static_cast<double>(n - committed) / rate : -1.0;
-    *prog << strfmt("[exp] %zu/%zu jobs (%.1f%%) | %.1f jobs/s | ETA %s\n",
-                    committed, n, 100.0 * static_cast<double>(committed) / n,
-                    rate, format_eta(eta).c_str());
+    if (do_line) {
+      last_progress = now;
+      const std::string line =
+          strfmt("[exp] %zu/%zu jobs (%.1f%%) | %.1f jobs/s | ETA %s",
+                 committed, n, 100.0 * static_cast<double>(committed) / n,
+                 rate, format_eta(eta).c_str());
+      if (tty) {
+        // Trailing pad clears residue when the line shrinks; the final
+        // (forced) line is newline-terminated so the next write starts
+        // clean.
+        *prog << '\r' << line << "   ";
+        if (force) *prog << '\n';
+        prog->flush();
+      } else {
+        *prog << line << '\n';
+      }
+    }
+    if (do_status) {
+      last_status = now;
+      obs::StatusSnapshot st;
+      st.phase = "running";
+      st.jobs_total = n;
+      st.jobs_done = committed;
+      st.jobs_per_second = rate;
+      st.eta_seconds = eta;
+      st.elapsed_seconds = elapsed;
+      obs::write_status_file(opts_.status_path, st);
+    }
   };
 
   // Called with `lock` held after slot `pos` is filled: advance the commit
@@ -123,6 +200,8 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
       }
       lock.unlock();
       try {
+        obs::Span commit_span("exec", "commit", "jobs",
+                              static_cast<std::int64_t>(batch.size()));
         for (const auto& [job, result] : batch) sink.write(*job, result);
         // Durability order matters: the store is flushed *before* the
         // checkpoint claims the jobs. A crash in between leaves records in
@@ -144,7 +223,16 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
     }
   };
 
+  // Per-job wall times, written lock-free: each queue position is run by
+  // exactly one worker thread.
+  std::vector<double> wall_s(n, 0.0);
+
   ThreadPool::parallel_for(workers, workers, [&](std::size_t) {
+    // Steady-clock mark of when this thread last finished useful work;
+    // the gap to the next job's start is its queue-wait (claim contention
+    // plus commit-lock time), recorded as an arg on the job span.
+    std::int64_t idle_since_ns =
+        obs::Tracer::enabled() ? obs::Tracer::now_ns() : 0;
     while (!aborted.load(std::memory_order_relaxed) &&
            !stopped.load(std::memory_order_relaxed)) {
       const auto shard = queue.claim(shard_size);
@@ -158,11 +246,24 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
         }
         std::optional<stats::RunResult> result;
         std::string error;
-        try {
-          result = core::run_experiment(queue.job(pos).config);
-        } catch (const std::exception& e) {
-          error = e.what();
+        std::int64_t wait_us = 0;
+        if (obs::Tracer::enabled())
+          wait_us = (obs::Tracer::now_ns() - idle_since_ns) / 1000;
+        const auto job_start = Clock::now();
+        {
+          obs::Span job_span(
+              "exec", "job", "index",
+              static_cast<std::int64_t>(queue.job(pos).index), "wait_us",
+              wait_us);
+          try {
+            result = core::run_experiment(queue.job(pos).config);
+          } catch (const std::exception& e) {
+            error = e.what();
+          }
         }
+        wall_s[pos] =
+            std::chrono::duration<double>(Clock::now() - job_start).count();
+        if (obs::Tracer::enabled()) idle_since_ns = obs::Tracer::now_ns();
         std::unique_lock<std::mutex> lock(commit_mutex);
         if (result) {
           pending[pos] = std::move(result);
@@ -192,7 +293,26 @@ BatchReport Executor::run(JobQueue& queue, ResultSink& sink,
       report.elapsed_seconds > 0
           ? static_cast<double>(committed) / report.elapsed_seconds
           : 0.0;
+  {
+    // Every job whose simulation ran to completion contributes a sample,
+    // committed or not (an uncommitted run still took that long).
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (finished[i] && !failed[i]) samples.push_back(wall_s[i]);
+    report.job_wall = DurationStats::from_samples(std::move(samples));
+  }
   maybe_report_progress(true);
+  if (!opts_.status_path.empty()) {
+    obs::StatusSnapshot st;
+    st.phase = report.ok() ? "done" : "failed";
+    st.jobs_total = n;
+    st.jobs_done = committed;
+    st.jobs_per_second = report.jobs_per_second;
+    st.eta_seconds = 0.0;
+    st.elapsed_seconds = report.elapsed_seconds;
+    obs::write_status_file(opts_.status_path, st);
+  }
   return report;
 }
 

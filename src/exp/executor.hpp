@@ -38,6 +38,18 @@ struct ExecutorOptions {
   std::ostream* progress_stream = nullptr;
   double progress_interval_s = 0.5;
 
+  /// Ticker rendering: -1 = auto (carriage-return overwrite only when the
+  /// ticker goes to stderr and stderr is a terminal), 0 = force plain
+  /// lines, 1 = force overwrite. Plain mode throttles to >= 10s between
+  /// lines so CI logs don't fill with ticker output; both modes end with
+  /// one newline-terminated summary line.
+  int progress_tty = -1;
+
+  /// When non-empty, atomically rewrite this file with a one-line JSON
+  /// obs::StatusSnapshot on every progress tick (and a final "done" /
+  /// "failed" snapshot when the run ends), independent of `progress`.
+  std::string status_path;
+
   /// Keep at most this many failure messages in the report.
   std::size_t max_errors = 8;
 
@@ -49,6 +61,24 @@ struct ExecutorOptions {
   /// new lease end are abandoned for the thief to pick up. The hook runs
   /// on worker threads, so it must be thread-safe.
   std::function<bool(const ExperimentJob&)> stop_before;
+};
+
+/// Order statistics over per-job wall-clock times. Computed from every job
+/// whose simulation ran to completion this process (committed or not);
+/// skipped/cached jobs contribute nothing.
+struct DurationStats {
+  std::size_t count = 0;
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+
+  /// Nearest-rank percentiles over the sample set (consumes/sorts it).
+  static DurationStats from_samples(std::vector<double> seconds);
+  /// One line, e.g. "job wall: min 1.2ms / p50 3.4ms / ... (n=120)".
+  std::string summary() const;
 };
 
 struct BatchReport {
@@ -63,6 +93,7 @@ struct BatchReport {
   std::uint64_t total_events = 0;
   double elapsed_seconds = 0.0;
   double jobs_per_second = 0.0;
+  DurationStats job_wall;           ///< per-job wall-time distribution
   std::vector<std::string> errors;  ///< first max_errors failure messages
 
   bool ok() const noexcept { return failed == 0; }

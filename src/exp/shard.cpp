@@ -14,8 +14,11 @@
 #include "exp/checkpoint.hpp"
 #include "exp/job_queue.hpp"
 #include "exp/result_sink.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/file_util.hpp"
+#include "util/log.hpp"
 #include "util/string_util.hpp"
 
 #if !defined(_WIN32)
@@ -177,6 +180,12 @@ bool HeartbeatMonitor::stale(std::size_t slot, TimePoint now) const {
   const auto it = slots_.find(slot);
   if (it == slots_.end() || !it->second.armed) return false;
   return now - it->second.last_change > timeout_;
+}
+
+double HeartbeatMonitor::age_seconds(std::size_t slot, TimePoint now) const {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end() || !it->second.armed) return -1.0;
+  return std::chrono::duration<double>(now - it->second.last_change).count();
 }
 
 void HeartbeatMonitor::stop(std::size_t slot) {
@@ -529,9 +538,13 @@ ShardRunReport run_stealing_processes(
   };
   if (!options.resume) {
     // A fresh run must not inherit stale slot state from an older run of
-    // the same layout (workers append to their stores by design).
-    for (std::size_t k = 0; k < slots; ++k)
+    // the same layout (workers append to their stores by design — and so
+    // do their trace files, which survive SIGKILL the same way).
+    for (std::size_t k = 0; k < slots; ++k) {
       for (const auto& f : slot_files(k)) util::remove_file(f);
+      if (!options.trace_path.empty())
+        util::remove_file(obs::worker_trace_path(options.trace_path, k, slots));
+    }
   }
 
   LeaseTable table(n, slots);
@@ -564,6 +577,12 @@ ShardRunReport run_stealing_processes(
     procs[k].kill_sent = false;
     procs[k].done = false;
     monitor.start(k, Clock::now());
+    obs::instant("shard", "worker.spawn", "slot",
+                 static_cast<std::int64_t>(k), "restarts",
+                 static_cast<std::int64_t>(procs[k].restarts));
+    ORACLE_LOG_INFO(strfmt("worker slot %zu spawned (pid %d, lease [%zu,%zu))",
+                           k, static_cast<int>(procs[k].pid),
+                           table.lease(k).begin, table.lease(k).end));
   };
 
   // The victim's committed frontier: one past the highest lease position
@@ -605,18 +624,24 @@ ShardRunReport run_stealing_processes(
         best_take = take;
       }
     }
-    if (std::getenv("ORACLE_STEAL_DEBUG")) {
-      std::fprintf(stderr, "[supervisor] try_steal(thief=%zu): ", thief);
+    // ORACLE_STEAL_DEBUG predates the leveled logger; it still forces the
+    // dump so existing test invocations keep working.
+    if (std::getenv("ORACLE_STEAL_DEBUG") ||
+        log::enabled(log::Level::Debug)) {
+      std::string line = strfmt("try_steal(thief=%zu): ", thief);
       for (std::size_t v = 0; v < slots; ++v)
-        std::fprintf(stderr, "slot%zu[%zu,%zu)%s%s f=%zu ", v,
-                     table.lease(v).begin, table.lease(v).end,
-                     table.drained(v) ? "D" : "", procs[v].pid >= 0 ? "L" : "",
-                     (procs[v].pid >= 0 && !table.drained(v))
-                         ? committed_frontier(v)
-                         : 0);
-      std::fprintf(stderr, "-> victim=%zd split=%zu take=%zu\n",
-                   best_victim == slots ? -1 : (ssize_t)best_victim,
-                   best_split, best_take);
+        line += strfmt("slot%zu[%zu,%zu)%s%s f=%zu ", v,
+                       table.lease(v).begin, table.lease(v).end,
+                       table.drained(v) ? "D" : "",
+                       procs[v].pid >= 0 ? "L" : "",
+                       (procs[v].pid >= 0 && !table.drained(v))
+                           ? committed_frontier(v)
+                           : 0);
+      line += strfmt("-> victim=%lld split=%zu take=%zu",
+                     best_victim == slots ? -1ll
+                                          : static_cast<long long>(best_victim),
+                     best_split, best_take);
+      log::write(log::Level::Debug, line);
     }
     if (best_victim == slots) return false;
     if (!table.steal(best_victim, thief, best_split)) return false;
@@ -628,7 +653,22 @@ ShardRunReport run_stealing_processes(
     write_lease_file(worker_lease_path(options.out, thief, slots),
                      table.lease(thief));
     ++report.steals;
+    // The steal renders as a flow arrow: source at the victim's shrink,
+    // sink at the thief's respawn over the stolen tail.
+    const std::uint64_t flow_id = obs::Tracer::next_flow_id();
+    obs::flow('s', flow_id, "shard", "steal", "victim",
+              static_cast<std::int64_t>(best_victim), "split",
+              static_cast<std::int64_t>(best_split));
+    obs::instant("shard", "lease.rewrite", "slot",
+                 static_cast<std::int64_t>(best_victim), "end",
+                 static_cast<std::int64_t>(best_split));
+    ORACLE_LOG_INFO(strfmt(
+        "slot %zu stole [%zu,%zu) from slot %zu", thief, best_split,
+        table.lease(thief).end, best_victim));
     spawn_slot(thief);
+    obs::flow('f', flow_id, "shard", "steal", "thief",
+              static_cast<std::int64_t>(thief), "take",
+              static_cast<std::int64_t>(best_take));
     return true;
   };
 
@@ -642,9 +682,53 @@ ShardRunReport run_stealing_processes(
     }
   };
 
+  const auto run_start = Clock::now();
+  auto last_status = run_start;
+
+  // One consistent snapshot of supervisor state, atomically rewritten so a
+  // dashboard polling the file never sees a torn read. jobs_done counts
+  // from the durable frontiers: retired/drained ranges are complete,
+  // live leases are complete up to their checkpoint frontier.
+  auto write_status = [&](const std::string& phase) {
+    if (options.status_path.empty()) return;
+    const auto now = Clock::now();
+    obs::StatusSnapshot st;
+    st.phase = phase;
+    st.jobs_total = n;
+    std::size_t remaining = 0;
+    for (std::size_t k = 0; k < slots; ++k) {
+      obs::WorkerStatus w;
+      w.slot = k;
+      w.live = procs[k].pid >= 0;
+      const Lease& lease = table.lease(k);
+      w.lease_begin = lease.begin;
+      w.lease_end = lease.end;
+      w.frontier = table.drained(k) ? lease.end : committed_frontier(k);
+      w.restarts = procs[k].restarts;
+      w.heartbeat_age_s = monitor.age_seconds(k, now);
+      if (!table.drained(k)) remaining += lease.end - w.frontier;
+      st.workers.push_back(w);
+    }
+    remaining = std::min(remaining, n);
+    st.jobs_done = n - remaining;
+    st.elapsed_seconds =
+        std::chrono::duration<double>(now - run_start).count();
+    st.jobs_per_second =
+        st.elapsed_seconds > 0
+            ? static_cast<double>(st.jobs_done) / st.elapsed_seconds
+            : 0.0;
+    st.eta_seconds = st.jobs_per_second > 0
+                         ? static_cast<double>(remaining) / st.jobs_per_second
+                         : -1.0;
+    st.steals = report.steals;
+    st.restarts = report.restarts;
+    obs::write_status_file(options.status_path, st);
+  };
+
   bool failed = false;
   try {
     for (std::size_t k = 0; k < slots; ++k) spawn_slot(k);
+    write_status("running");
 
     while (true) {
       // Reap every exited worker without blocking the poll loop.
@@ -669,19 +753,34 @@ ShardRunReport run_stealing_processes(
           we.exit_code = 126;
         }
         report.workers.push_back(we);
+        obs::instant("shard", we.ok() ? "worker.drained" : "worker.died",
+                     "slot", static_cast<std::int64_t>(k), "code",
+                     we.term_signal != 0
+                         ? static_cast<std::int64_t>(-we.term_signal)
+                         : static_cast<std::int64_t>(we.exit_code));
 
         if (we.ok()) {
           // Lease drained; go steal the biggest live tail or retire.
+          ORACLE_LOG_INFO(strfmt("worker slot %zu drained its lease", k));
           table.mark_drained(k);
           if (!try_steal(k)) proc.done = true;
         } else if (proc.restarts < options.max_restarts) {
           // Crash (or heartbeat SIGKILL): respawn over the same lease —
           // the slot store/checkpoint keep a durable prefix, so the
           // respawned worker skips straight to the first missing job.
+          ORACLE_LOG_WARN(strfmt(
+              "worker slot %zu died (%s %d); respawning (%zu/%zu)", k,
+              we.term_signal != 0 ? "signal" : "exit code",
+              we.term_signal != 0 ? we.term_signal : we.exit_code,
+              proc.restarts + 1, options.max_restarts));
           ++proc.restarts;
           ++report.restarts;
           spawn_slot(k);
         } else {
+          ORACLE_LOG_ERROR(strfmt(
+              "worker slot %zu exhausted its restart budget (%zu); "
+              "aborting (state kept for --resume)",
+              k, options.max_restarts));
           failed = true;  // budget exhausted: abort, keep state for resume
         }
       }
@@ -702,9 +801,24 @@ ShardRunReport run_stealing_processes(
           if (monitor.stale(k, now)) {
             // Wedged worker: no checkpoint progress for a full timeout.
             // SIGKILL and let the reap path above restart it.
+            ORACLE_LOG_WARN(strfmt(
+                "worker slot %zu heartbeat stale (%.1fs); sending SIGKILL",
+                k, monitor.age_seconds(k, now)));
+            obs::instant("shard", "worker.stale_kill", "slot",
+                         static_cast<std::int64_t>(k));
             ::kill(procs[k].pid, SIGKILL);
             procs[k].kill_sent = true;
           }
+        }
+      }
+
+      if (!options.status_path.empty()) {
+        const auto now = Clock::now();
+        if (now - last_status >=
+            std::chrono::milliseconds(
+                std::max<std::uint32_t>(options.status_interval_ms, 1))) {
+          last_status = now;
+          write_status("running");
         }
       }
 
@@ -721,16 +835,26 @@ ShardRunReport run_stealing_processes(
     // converge later; live workers must die now or they would race the
     // resume's respawns on the same stores.
     kill_all_live();
+    write_status("failed");
     return report;
   }
 
   ORACLE_ASSERT(table.all_drained());
-  ShardMerger merger;
-  if (options.resume) merger.add_store(options.out);
-  for (std::size_t k = 0; k < slots; ++k)
-    merger.add_store(worker_store_path(options.out, k, slots));
-  report.merge = merger.merge_to(options.out);
-  report.merged = true;
+  write_status("merging");
+  {
+    obs::Span merge_span("shard", "merge");
+    ShardMerger merger;
+    if (options.resume) merger.add_store(options.out);
+    for (std::size_t k = 0; k < slots; ++k)
+      merger.add_store(worker_store_path(options.out, k, slots));
+    report.merge = merger.merge_to(options.out);
+    report.merged = true;
+  }
+  ORACLE_LOG_INFO(strfmt(
+      "merged %zu record(s) into %s (%zu duplicate(s) dropped)",
+      report.merge.records, options.out.c_str(),
+      report.merge.duplicates_dropped));
+  write_status("done");
 
   if (!options.keep_shard_stores) {
     for (std::size_t k = 0; k < slots; ++k)

@@ -185,6 +185,10 @@ class HeartbeatMonitor {
   /// `timeout` ago. Never true for unarmed slots.
   bool stale(std::size_t slot, TimePoint now) const;
 
+  /// Seconds since the slot's heartbeat value last changed; -1 for slots
+  /// that are not armed. Feeds the live status file.
+  double age_seconds(std::size_t slot, TimePoint now) const;
+
   /// Disarm a reaped slot (stale() returns false until the next start).
   void stop(std::size_t slot);
 
@@ -324,6 +328,21 @@ struct ShardRunOptions {
   /// it when jobs are uniformly tiny and end-of-run spawns outweigh the
   /// balance gain.
   std::size_t min_steal_jobs = 1;
+
+  /// When non-empty, the supervisor atomically rewrites this file with a
+  /// one-line JSON obs::StatusSnapshot (jobs done/total, rate, ETA,
+  /// per-worker lease frontier + heartbeat age, steals, restarts) every
+  /// `status_interval_ms`, and a final "done"/"failed" snapshot at exit.
+  /// Readers never see a torn file (tmp + rename).
+  std::string status_path;
+  std::uint32_t status_interval_ms = 500;
+
+  /// Trace base path of this run (the CLI's --trace value). The
+  /// supervisor's own events are buffered by the process-wide tracer (the
+  /// CLI enables it and writes "<trace_path>.parent" afterwards); the
+  /// supervisor uses the path only to pre-clean stale per-worker trace
+  /// files ("<trace_path>.<k>of<W>") on a fresh run — workers append.
+  std::string trace_path;
 };
 
 struct ShardRunReport {

@@ -49,6 +49,7 @@ class MessagePool {
     } else {
       idx = free_.back();
       free_.pop_back();
+      ++reused_;
     }
     at(idx) = std::move(msg);
     return idx;
@@ -74,6 +75,10 @@ class MessagePool {
 
   std::size_t in_flight() const noexcept { return count_ - free_.size(); }
 
+  /// Slots handed out from the free list rather than freshly constructed —
+  /// a direct measure of how well pooling avoids allocation in steady state.
+  std::uint64_t reused() const noexcept { return reused_; }
+
  private:
   static constexpr std::uint32_t kChunkShift = 6;  // 64 messages per chunk
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
@@ -81,6 +86,7 @@ class MessagePool {
   std::vector<std::unique_ptr<Message[]>> chunks_;
   std::uint32_t count_ = 0;  // slots handed out across all chunks
   std::vector<std::uint32_t> free_;
+  std::uint64_t reused_ = 0;
 };
 
 class Machine {
@@ -173,6 +179,9 @@ class Machine {
 
   /// Machine-level execution trace (empty unless config.trace_capacity > 0).
   const Trace& trace() const noexcept { return trace_; }
+
+  /// Read-only view of the message pool, for profiling counters.
+  const MessagePool& message_pool() const noexcept { return msg_pool_; }
 
  private:
   void deliver(const Message& msg, topo::NodeId to);

@@ -1,0 +1,182 @@
+#include "obs/json_lint.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+#include "util/string_util.hpp"
+
+namespace oracle::obs {
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty())
+      error = strfmt("%s at byte %zu", what.c_str(), pos);
+    return false;
+  }
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c; ++c, ++pos)
+      if (at_end() || text[pos] != *c) return fail("bad literal");
+    return true;
+  }
+
+  bool string() {
+    if (at_end() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (at_end()) return fail("truncated escape");
+        const char esc = text[pos];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (at_end() || !std::isxdigit(static_cast<unsigned char>(text[pos])))
+              return fail("bad \\u escape");
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+      return fail("expected digit");
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    return true;
+  }
+
+  bool number() {
+    if (!at_end() && text[pos] == '-') ++pos;
+    if (at_end()) return fail("truncated number");
+    if (text[pos] == '0') {
+      ++pos;  // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (!at_end() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!at_end() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (!at_end() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("expected value");
+    switch (peek()) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      if (peek() != ',') return fail("expected ',' or '}'");
+      ++pos;
+    }
+  }
+
+  bool array(int depth) {
+    ++pos;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      if (peek() != ',') return fail("expected ',' or ']'");
+      ++pos;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(const std::string& text, std::string* error) {
+  Parser p{text, 0, {}};
+  if (!p.value(0)) {
+    if (error) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error)
+      *error = strfmt("trailing garbage at byte %zu", p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace oracle::obs

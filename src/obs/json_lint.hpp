@@ -1,0 +1,17 @@
+#pragma once
+// Strict structural JSON validator. The observability artifacts (merged
+// Chrome traces, status snapshots) promise "always valid JSON"; the tests
+// hold them to it without shelling out to python. This checks syntax only
+// (RFC 8259 grammar: matched braces, quoted keys, legal literals/numbers,
+// escape sequences) — it builds no document tree.
+
+#include <string>
+
+namespace oracle::obs {
+
+/// True when `text` is exactly one well-formed JSON value (plus optional
+/// surrounding whitespace). On failure, `*error` (when non-null) gets a
+/// short description with the byte offset.
+bool json_valid(const std::string& text, std::string* error = nullptr);
+
+}  // namespace oracle::obs

@@ -1,0 +1,59 @@
+#pragma once
+// Live run status: a small JSON snapshot the supervisor (and the
+// single-process executor) atomically rewrites every progress tick, so
+// anything — a dashboard, the future cross-host lease server, a human
+// with `watch cat` — can follow a running sweep without parsing logs.
+//
+// Atomicity contract: the file is replaced via tmp + rename
+// (util::write_file_atomic), so a reader always sees one complete
+// snapshot, never a torn write. The fault-injection tests poll-read the
+// file while a supervised run crashes and restarts workers underneath it
+// and require every read to parse.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oracle::obs {
+
+/// Per-worker-slot state inside a supervised (steal-mode) run.
+struct WorkerStatus {
+  std::size_t slot = 0;
+  bool live = false;              ///< a process currently runs this slot
+  std::size_t lease_begin = 0;    ///< current lease [begin, end)
+  std::size_t lease_end = 0;
+  std::size_t frontier = 0;       ///< first job not yet durably committed
+  std::size_t restarts = 0;       ///< respawns consumed by this slot
+  double heartbeat_age_s = -1.0;  ///< since last observed progress; -1 n/a
+};
+
+struct StatusSnapshot {
+  static constexpr int kVersion = 1;
+
+  std::string phase = "running";  ///< running | merging | done | failed
+  std::size_t jobs_total = 0;
+  std::size_t jobs_done = 0;
+  double jobs_per_second = 0.0;
+  double eta_seconds = -1.0;  ///< -1 = unknown (no committed jobs yet)
+  double elapsed_seconds = 0.0;
+  std::size_t steals = 0;
+  std::size_t restarts = 0;
+  std::vector<WorkerStatus> workers;  ///< empty for single-process runs
+
+  /// One-line JSON document (always valid JSON; schema in README).
+  std::string to_json() const;
+
+  /// Parse a snapshot written by to_json(); nullopt on malformed input.
+  static std::optional<StatusSnapshot> parse(const std::string& json);
+};
+
+/// Atomically replace `path` with the snapshot (tmp + rename). Throws
+/// SimulationError when the write fails.
+void write_status_file(const std::string& path, const StatusSnapshot& s);
+
+/// Read and parse `path`; nullopt when missing or malformed.
+std::optional<StatusSnapshot> read_status_file(const std::string& path);
+
+}  // namespace oracle::obs

@@ -1,0 +1,271 @@
+#pragma once
+// Run telemetry: a lock-free per-thread span/counter tracer that emits
+// Chrome trace-event JSON (loadable in chrome://tracing and Perfetto).
+//
+// Design constraints, in order:
+//   1. *Tracing off must be free.* Every instrumentation site is a single
+//      relaxed atomic load + branch (Tracer::enabled()); no timestamp is
+//      read, nothing is stored, no function call is made. The off path is
+//      what every production sweep runs, and bench_trace_overhead gates it
+//      against the uninstrumented executor.
+//   2. *Tracing on must stay off the hot-path locks.* Each thread appends
+//      events to its own preallocated ring buffer (registered once, under
+//      a mutex, on the thread's first event) — recording an event is a
+//      clock read plus a few stores, no lock, no allocation in steady
+//      state. A full buffer drops events and counts the drops rather than
+//      blocking or growing.
+//   3. *Crash tolerance across processes.* Multi-process runs (the shard
+//      supervisor and its workers) each write a private file of trace
+//      event *lines* (one JSON object per line, append-mode for workers);
+//      `oracle_batch trace` stitches them into one well-formed Chrome JSON
+//      timeline. A SIGKILLed worker loses only its own unflushed buffer,
+//      and a torn final line is skipped at merge time exactly like the
+//      JSONL result stores.
+//
+// Timestamps are steady-clock (CLOCK_MONOTONIC) nanoseconds. On Linux that
+// clock is shared by every process on the host, so parent and worker
+// events land on one comparable timeline with no offset negotiation.
+//
+// Process identity in the merged timeline is *logical*: the supervisor
+// enables itself as pid 0 and each worker slot k as pid k+1, so a
+// respawned worker lands on the same track as the process it replaced and
+// the timeline reads as "what happened to slot k", not "which OS pids
+// existed".
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oracle::obs {
+
+/// One buffered trace event. Name/category/arg-name strings must have
+/// static storage duration (string literals): the hot path stores the
+/// pointer only. Up to two integer args ride along (job index, slot, ...).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char ph = 'i';            ///< X=span, i=instant, C=counter, s/f=flow
+  std::int64_t ts_ns = 0;   ///< steady-clock start time
+  std::int64_t dur_ns = 0;  ///< span duration (X only)
+  std::uint64_t flow_id = 0;///< binds an s event to its f event
+  const char* arg0_name = nullptr;
+  std::int64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::int64_t arg1 = 0;
+};
+
+/// Fields recovered from one serialized trace-event line. Only what the
+/// merge/validation paths need; args stay raw in `args_json`.
+struct ParsedEvent {
+  std::string name;
+  char ph = '?';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+};
+
+/// Outcome of stitching per-process trace files into one timeline.
+struct TraceMergeReport {
+  std::size_t files_read = 0;
+  std::size_t events = 0;
+  std::size_t corrupt_lines = 0;  ///< torn tails of killed workers, skipped
+};
+
+class Tracer {
+ public:
+  /// The one check every instrumentation site performs. Inline relaxed
+  /// load: when tracing was never enabled this is the *entire* cost.
+  static bool enabled() noexcept;
+
+  /// Turn tracing on for this process. `logical_pid` is the track the
+  /// process occupies in the merged timeline (supervisor 0, worker slot k
+  /// = k+1); `process_name` labels it in Perfetto. `per_thread_capacity`
+  /// bounds each thread's preallocated event buffer; overflow drops events
+  /// (counted) instead of allocating.
+  static void enable(std::uint32_t logical_pid, std::string process_name,
+                     std::size_t per_thread_capacity = 1 << 16);
+
+  /// Stop recording. Buffered events stay readable until the next enable().
+  static void disable() noexcept;
+
+  static std::uint32_t logical_pid() noexcept;
+  static std::int64_t now_ns() noexcept;  ///< steady-clock nanoseconds
+
+  /// Append one event to the calling thread's buffer (no-op when off).
+  static void emit(const TraceEvent& ev) noexcept;
+
+  /// Process-unique id for a flow-arrow pair (steal: s at the victim,
+  /// f at the thief's respawn).
+  static std::uint64_t next_flow_id() noexcept;
+
+  /// Events dropped across all threads because a buffer filled up.
+  static std::size_t dropped() noexcept;
+  /// Events currently buffered across all threads.
+  static std::size_t buffered() noexcept;
+
+  /// Write every buffered event as trace-event *lines* (one JSON object
+  /// per line, no surrounding array) — the crash-tolerant per-process
+  /// format `oracle_batch trace` stitches. Append mode lets sequential
+  /// processes of one worker slot share a file. Returns events written;
+  /// throws SimulationError on I/O failure. Metadata (process/thread
+  /// names) is emitted first.
+  static std::size_t write_event_lines(const std::string& path, bool append);
+
+  /// Write a complete, self-contained Chrome trace JSON document
+  /// ({"traceEvents":[...]}) — the single-process fast path that needs no
+  /// later merge. Atomic (tmp + rename).
+  static std::size_t write_json(const std::string& path);
+
+  /// Drop all buffered events (buffers stay allocated for reuse).
+  static void clear() noexcept;
+};
+
+/// RAII span: records the start time at construction and emits one
+/// complete ('X') event at destruction. When tracing is off, construction
+/// is one branch and destruction another — no clock reads.
+class Span {
+ public:
+  explicit Span(const char* cat, const char* name) noexcept {
+    if (!Tracer::enabled()) return;
+    begin(cat, name);
+  }
+  Span(const char* cat, const char* name, const char* arg0_name,
+       std::int64_t arg0) noexcept {
+    if (!Tracer::enabled()) return;
+    begin(cat, name);
+    ev_.arg0_name = arg0_name;
+    ev_.arg0 = arg0;
+  }
+  Span(const char* cat, const char* name, const char* arg0_name,
+       std::int64_t arg0, const char* arg1_name, std::int64_t arg1) noexcept {
+    if (!Tracer::enabled()) return;
+    begin(cat, name);
+    ev_.arg0_name = arg0_name;
+    ev_.arg0 = arg0;
+    ev_.arg1_name = arg1_name;
+    ev_.arg1 = arg1;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Set/overwrite an arg after construction (e.g. a result computed
+  /// inside the span). No-op when the span is inactive.
+  void set_arg0(const char* name, std::int64_t value) noexcept {
+    if (!active_) return;
+    ev_.arg0_name = name;
+    ev_.arg0 = value;
+  }
+  void set_arg1(const char* name, std::int64_t value) noexcept {
+    if (!active_) return;
+    ev_.arg1_name = name;
+    ev_.arg1 = value;
+  }
+
+  ~Span() {
+    if (!active_) return;
+    ev_.dur_ns = Tracer::now_ns() - ev_.ts_ns;
+    Tracer::emit(ev_);
+  }
+
+ private:
+  void begin(const char* cat, const char* name) noexcept {
+    active_ = true;
+    ev_.cat = cat;
+    ev_.name = name;
+    ev_.ph = 'X';
+    ev_.ts_ns = Tracer::now_ns();
+  }
+
+  TraceEvent ev_;
+  bool active_ = false;
+};
+
+/// Instant event (thread-scoped tick mark in the timeline).
+inline void instant(const char* cat, const char* name,
+                    const char* arg0_name = nullptr, std::int64_t arg0 = 0,
+                    const char* arg1_name = nullptr,
+                    std::int64_t arg1 = 0) noexcept {
+  if (!Tracer::enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ph = 'i';
+  ev.ts_ns = Tracer::now_ns();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  Tracer::emit(ev);
+}
+
+/// Counter sample: Perfetto draws one counter track per (name, arg) pair.
+inline void counter(const char* cat, const char* name, const char* arg0_name,
+                    std::int64_t arg0, const char* arg1_name = nullptr,
+                    std::int64_t arg1 = 0) noexcept {
+  if (!Tracer::enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ph = 'C';
+  ev.ts_ns = Tracer::now_ns();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  Tracer::emit(ev);
+}
+
+/// Flow-arrow endpoints: emit 's' (start) at the source instant and 'f'
+/// (finish) with the same id at the destination. Perfetto renders the
+/// pair as an arrow — the steal visualization.
+inline void flow(char ph, std::uint64_t id, const char* cat, const char* name,
+                 const char* arg0_name = nullptr, std::int64_t arg0 = 0,
+                 const char* arg1_name = nullptr,
+                 std::int64_t arg1 = 0) noexcept {
+  if (!Tracer::enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ph = ph;
+  ev.flow_id = id;
+  ev.ts_ns = Tracer::now_ns();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  Tracer::emit(ev);
+}
+
+/// Serialize one event to its JSON line (exposed for tests).
+std::string event_to_json_line(const TraceEvent& ev, std::uint32_t pid,
+                               std::uint32_t tid);
+
+/// Parse the fields merge/validation need from one trace-event line
+/// written by this tracer; nullopt for corrupt/torn lines.
+std::optional<ParsedEvent> parse_event_line(const std::string& line);
+
+/// Stitch per-process trace-line files into one Chrome JSON document at
+/// `out_path` (atomic write). Events are stably sorted by timestamp, so
+/// the merge of a fixed input set is byte-deterministic. Missing inputs
+/// are skipped; corrupt lines (a killed worker's torn tail) are counted
+/// and dropped. Throws SimulationError when the output cannot be written.
+TraceMergeReport merge_trace_files(const std::vector<std::string>& inputs,
+                                   const std::string& out_path);
+
+/// Discover the per-process trace files of a distributed run from the
+/// parent path `trace_base`: "<base>.parent" plus every
+/// "<base>.<k>of<W>" sibling present on disk, in deterministic (parent
+/// first, then slot-number) order.
+std::vector<std::string> discover_trace_files(const std::string& trace_base);
+
+/// Per-worker trace-line file: "<base>.<k>of<W>" beside the parent's
+/// "<base>.parent".
+std::string worker_trace_path(const std::string& trace_base, std::size_t slot,
+                              std::size_t count);
+std::string parent_trace_path(const std::string& trace_base);
+
+}  // namespace oracle::obs

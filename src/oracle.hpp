@@ -24,7 +24,11 @@
 #include "lb/gradient.hpp"
 #include "lb/strategy.hpp"
 #include "machine/machine.hpp"
+#include "obs/json_lint.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
 #include "stats/run_result.hpp"
+#include "util/log.hpp"
 #include "topo/dlm.hpp"
 #include "topo/factory.hpp"
 #include "topo/graph_algos.hpp"

@@ -50,6 +50,7 @@ bool Scheduler::cancel(EventHandle handle) {
   ++s.gen;
   s.cb.reset();  // free captured resources now, not at pop time
   --live_events_;
+  ++cancelled_;
   // The wheel/heap entry stays as a tombstone, dropped in O(1) amortized
   // when it surfaces — no scan.
   return true;

@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <mutex>
 
 namespace oracle::log {
@@ -8,6 +10,7 @@ namespace oracle::log {
 namespace {
 std::atomic<int> g_level{static_cast<int>(Level::Warn)};
 std::mutex g_write_mutex;
+std::string g_tag;  // written once at startup, then read-only
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -28,13 +31,48 @@ void set_level(Level lvl) noexcept {
   g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
 }
 
+std::optional<Level> parse_level(const std::string& name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return Level::Trace;
+  if (lower == "debug") return Level::Debug;
+  if (lower == "info") return Level::Info;
+  if (lower == "warn" || lower == "warning") return Level::Warn;
+  if (lower == "error") return Level::Error;
+  if (lower == "off" || lower == "none") return Level::Off;
+  return std::nullopt;
+}
+
+bool init_from_env() noexcept {
+  const char* env = std::getenv("ORACLE_LOG");
+  if (!env) return false;
+  const auto lvl = parse_level(env);
+  if (!lvl) return false;
+  set_level(*lvl);
+  return true;
+}
+
+void set_tag(std::string tag) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_tag = std::move(tag);
+}
+
+const std::string& tag() noexcept { return g_tag; }
+
 bool enabled(Level lvl) noexcept {
   return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed);
 }
 
 void write(Level lvl, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  if (g_tag.empty())
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  else
+    std::fprintf(stderr, "[%s] [%s] %s\n", level_name(lvl), g_tag.c_str(),
+                 msg.c_str());
 }
 
 }  // namespace oracle::log

@@ -2,8 +2,16 @@
 // Minimal leveled logger. The simulator is performance-sensitive, so trace
 // logging compiles to a level check plus (lazily) formatting; the default
 // level is Warn so large sweeps are silent.
+//
+// Multi-process runs tag their lines: a worker calls set_tag("worker 1/4")
+// at startup and every line it writes carries the tag, so the interleaved
+// stderr of a supervised run still attributes each line to its origin.
+// `ORACLE_LOG=debug` (see init_from_env) raises the level fleet-wide
+// because child processes inherit the environment; an explicit --log-level
+// flag overrides it per invocation.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 namespace oracle::log {
@@ -13,6 +21,20 @@ enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Of
 /// Process-wide log level. Not thread-local: sweep workers share it.
 Level level() noexcept;
 void set_level(Level lvl) noexcept;
+
+/// Parse "trace|debug|info|warn|error|off" (case-insensitive); nullopt on
+/// anything else.
+std::optional<Level> parse_level(const std::string& name) noexcept;
+
+/// Apply the ORACLE_LOG environment variable, if set to a valid level
+/// name. Returns true when a level was applied. Malformed values are
+/// ignored (the logger must never abort the process it observes).
+bool init_from_env() noexcept;
+
+/// Origin tag prepended to every line (e.g. "worker 1/4"); "" disables.
+/// Process-wide: set once at startup, before threads spawn.
+void set_tag(std::string tag);
+const std::string& tag() noexcept;
 
 /// True if a message at `lvl` would be emitted.
 bool enabled(Level lvl) noexcept;

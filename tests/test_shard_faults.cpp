@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -21,10 +23,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sweep.hpp"
 #include "exp/exp.hpp"
+#include "obs/status.hpp"
 #include "util/error.hpp"
 #include "util/file_util.hpp"
 
@@ -106,7 +110,8 @@ exp::ShardRunReport run_steal(const std::string& canonical,
                               std::uint32_t heartbeat_ms = 0,
                               std::size_t max_restarts = 2,
                               bool resume = false,
-                              std::size_t min_steal_jobs = 1) {
+                              std::size_t min_steal_jobs = 1,
+                              const std::string& status_path = {}) {
   exp::ShardRunOptions sopt;
   sopt.workers = workers;
   sopt.out = canonical;
@@ -116,6 +121,8 @@ exp::ShardRunReport run_steal(const std::string& canonical,
   sopt.resume = resume;
   sopt.min_steal_jobs = min_steal_jobs;
   sopt.poll_ms = 10;
+  sopt.status_path = status_path;
+  sopt.status_interval_ms = 25;  // many rewrites for the atomicity poller
   sopt.exec_path = exp::self_exec_path(g_self);
   sopt.worker_args = {"--shard-worker", "--out", canonical};
   sopt.worker_args.insert(sopt.worker_args.end(), fault_flags.begin(),
@@ -235,6 +242,56 @@ TEST(StealSupervisor, ExhaustedRestartBudgetAbortsThenResumeConverges) {
   const auto resumed = run_steal(canonical, 3, {}, 0, 2, /*resume=*/true);
   EXPECT_TRUE(resumed.ok()) << resumed.summary();
   EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+TEST(StealSupervisor, StatusFileIsAlwaysACompleteSnapshot) {
+  const auto canonical = temp_path("status.jsonl");
+  const auto status = canonical + ".status.json";
+  remove_steal_files(canonical, 3);
+  std::remove(status.c_str());
+
+  // Hammer-read the status file while the supervisor rewrites it every
+  // 25ms *and* absorbs a SIGKILLed worker underneath: the tmp+rename
+  // contract means every non-empty read must parse as a full snapshot.
+  std::atomic<bool> done{false};
+  std::size_t reads = 0;
+  std::size_t torn = 0;
+  std::string first_torn;
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::string text = read_file(status);
+      if (!text.empty()) {
+        ++reads;
+        if (!obs::StatusSnapshot::parse(text)) {
+          if (torn++ == 0) first_torn = text;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "1", "--die-after", "2", "--kill", "--marker",
+       canonical + ".marker"},
+      /*heartbeat_ms=*/0, /*max_restarts=*/2, /*resume=*/false,
+      /*min_steal_jobs=*/1, status);
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(reads, 0u);
+  EXPECT_EQ(torn, 0u) << "first torn status read: " << first_torn;
+
+  const auto final_status = obs::read_status_file(status);
+  ASSERT_TRUE(final_status.has_value());
+  EXPECT_EQ(final_status->phase, "done");
+  EXPECT_EQ(final_status->jobs_total, 18u);
+  EXPECT_EQ(final_status->jobs_done, 18u);
+  EXPECT_GE(final_status->restarts, 1u);
+  EXPECT_EQ(final_status->workers.size(), 3u);
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  std::remove(status.c_str());
   remove_steal_files(canonical, 3);
 }
 
