@@ -63,15 +63,47 @@
 //                           steals the unclaimed tail of the most-loaded
 //                           lease (heavy-tailed sweeps stop idling on one
 //                           slow shard). Single-host only.
-//     --heartbeat-ms N      (steal) SIGKILL+restart a worker whose
-//                           heartbeat file is untouched for N ms (0 = off;
-//                           must exceed the longest single job)
+//     --heartbeat-ms N      (steal/lease-server) SIGKILL+restart a worker
+//                           whose heartbeat file is untouched for N ms
+//                           (0 = off; must exceed the longest single job).
+//                           When absent, stall detection is *adaptive*:
+//                           the timeout tracks the observed job pace
+//                           (p99-based, whale-guarded) with no tuning.
 //     --max-restarts N      (steal) per-worker respawn budget for crashed
-//                           or stalled workers (default 2)
+//                           or stalled workers (default 2). Also the
+//                           poison-job threshold: a job whose worker dies
+//                           on it N times is quarantined (skipped +
+//                           recorded in <out>.quarantine) instead of
+//                           aborting the sweep.
+//     --retry-quarantined   with --resume: forget recorded quarantine
+//                           verdicts and give those jobs another chance
+//     --lease-server H:P    take leases from a `serve-leases` server over
+//                           TCP instead of local lease files (fenced
+//                           epochs, retry/backoff, works cross-host).
+//                           Parent mode (--workers) spawns lease-client
+//                           workers; the server owns stealing and expiry.
+//     --lease-timeout-ms N  (lease-server) per-request deadline (default 2000)
+//     --lease-retries N     (lease-server) consecutive-failure budget before
+//                           a worker orphans itself (exit 3; default 10)
 //     --shard i/N           internal/cross-host: run only shard i of N
 //                           into the per-shard store derived from --out
 //     --worker-slot k/W     internal (steal): run slot k's current lease
 //     --keep-shards         keep the per-shard stores after a merge
+//
+//   oracle_batch serve-leases [sweep options] --workers W --journal PATH
+//     Run the cross-host lease service for the given sweep: owns the
+//     lease table, hands out fenced job-range leases, steals/expires with
+//     an adaptive timeout, journals every transition (fsynced) to PATH
+//     and replays it on restart. Workers connect with
+//     `run ... --worker-slot k/W --lease-server HOST:PORT` (or via the
+//     parent: `run ... --workers W --lease-server HOST:PORT`).
+//     --listen H:P          bind address (default 127.0.0.1:0 = ephemeral;
+//                           the chosen port is printed on stdout)
+//     --journal PATH        crash-recovery journal (required)
+//     --status-file PATH    live obs status snapshot (incl. fenced/retry
+//                           counters) rewritten atomically
+//     --linger-ms N         keep answering `done` this long after the
+//                           sweep completes (default 1500)
 //
 // Examples:
 //   oracle_batch --topologies grid:10x10,dlm:5:10x10 --strategies cwn,gm
@@ -84,6 +116,7 @@
 //   oracle_batch run ... --workers 4 --out sweep.jsonl --resume
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -114,7 +147,14 @@ void print_usage() {
       "                    [--log-level LVL] [--trace PATH] [--status-file PATH]\n"
       "       oracle_batch run ... --workers N [--keep-shards]   (multi-process)\n"
       "       oracle_batch run ... --workers N --steal [--heartbeat-ms N]\n"
-      "                    [--max-restarts N]             (work-stealing supervisor)\n"
+      "                    [--max-restarts N] [--retry-quarantined]\n"
+      "                                                  (work-stealing supervisor)\n"
+      "       oracle_batch run ... --workers N --lease-server HOST:PORT\n"
+      "                    [--lease-timeout-ms N] [--lease-retries N]\n"
+      "                                                  (cross-host lease client)\n"
+      "       oracle_batch serve-leases ... --workers W --journal PATH\n"
+      "                    [--listen H:P] [--status-file PATH] [--linger-ms N]\n"
+      "                                                  (cross-host lease server)\n"
       "       oracle_batch run ... --shard i/N                   (one shard only)\n"
       "       oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...]\n"
       "                    [--metric NAME|all|list] [--csv PATH|-]\n"
@@ -250,6 +290,133 @@ int trace_main(int argc, char** argv) {
   }
 }
 
+// ----------------------------------------------------------- serve-leases --
+
+exp::LeaseService* g_lease_service = nullptr;
+
+void stop_lease_service(int) {
+  if (g_lease_service != nullptr) g_lease_service->stop();
+}
+
+int serve_main(int argc, char** argv) {
+  core::ExperimentConfig base = core::paper::base_config();
+  std::vector<std::string> topologies = {"grid:6x6", "grid:10x10",
+                                         "dlm:5:10x10"};
+  std::vector<std::string> strategies = {"cwn", "gm", "random"};
+  std::vector<std::string> workloads = {"fib:13"};
+  std::vector<std::uint64_t> seeds = {1};
+  exp::LeaseServiceOptions sopt;
+  std::string listen = "127.0.0.1:0";
+  std::size_t workers = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return 0;
+      } else if (arg == "--topologies") {
+        topologies = parse_list(value(), arg);
+      } else if (arg == "--strategies") {
+        strategies = parse_list(value(), arg);
+      } else if (arg == "--workloads") {
+        workloads = parse_list(value(), arg);
+      } else if (arg == "--seeds") {
+        const std::string v = value();
+        seeds.clear();
+        if (v.find(',') != std::string::npos) {
+          for (const auto& s : parse_list(v, arg))
+            seeds.push_back(static_cast<std::uint64_t>(parse_int(s, arg)));
+        } else {
+          const auto n = parse_int(v, arg);
+          if (n < 1) usage_error("--seeds must be >= 1");
+          for (std::int64_t s = 1; s <= n; ++s)
+            seeds.push_back(static_cast<std::uint64_t>(s));
+        }
+      } else if (arg == "--master-seed") {
+        const auto m = parse_int(value(), arg);
+        if (m < 1) usage_error("--master-seed must be >= 1");
+        sopt.master_seed = static_cast<std::uint64_t>(m);
+      } else if (arg == "--workers") {
+        const auto n = parse_int(value(), arg);
+        if (n < 1) usage_error("--workers must be >= 1");
+        workers = static_cast<std::size_t>(n);
+      } else if (arg == "--listen") {
+        listen = value();
+      } else if (arg == "--journal") {
+        sopt.journal_path = value();
+      } else if (arg == "--status-file") {
+        sopt.status_path = value();
+      } else if (arg == "--linger-ms") {
+        const auto n = parse_int(value(), arg);
+        if (n < 0) usage_error("--linger-ms must be >= 0");
+        sopt.linger_ms = static_cast<std::uint32_t>(n);
+      } else if (arg == "--log-level") {
+        const auto lvl = log::parse_level(value());
+        if (!lvl)
+          usage_error("--log-level needs trace|debug|info|warn|error|off");
+        log::set_level(*lvl);
+      } else {
+        usage_error("unknown serve-leases option '" + arg + "'");
+      }
+    } catch (const ConfigError& e) {
+      usage_error(e.what());
+    }
+  }
+  if (workers == 0)
+    usage_error("serve-leases needs --workers W (the worker slot count)");
+  if (sopt.journal_path.empty())
+    usage_error("serve-leases needs --journal PATH (the recovery journal)");
+  const auto hp = util::HostPort::parse(listen, /*allow_port_zero=*/true);
+  if (!hp) usage_error("--listen needs HOST:PORT (or :PORT)");
+  sopt.listen = *hp;
+
+  try {
+    core::SweepBuilder sweep(base);
+    sweep.topologies(topologies).strategies(strategies).workloads(workloads);
+    sweep.seeds(seeds);
+    const auto configs = sweep.build();
+    sopt.jobs = configs.size();
+    // Identical clamp to the run parent's: slot_count must agree between
+    // server and every worker or acquire is rejected.
+    sopt.slots = std::max<std::size_t>(1, std::min(workers, sopt.jobs));
+
+    log::set_tag("lease-server");
+    exp::LeaseService service(sopt);
+    service.start();
+    // Line-buffered contract for launchers: the port is the first token a
+    // wrapper (or the CI smoke script) needs, flushed before serving.
+    std::printf("serving %zu job(s) to %zu slot(s) on %s:%u (journal %s)\n",
+                sopt.jobs, sopt.slots, sopt.listen.host.c_str(),
+                static_cast<unsigned>(service.port()),
+                sopt.journal_path.c_str());
+    std::fflush(stdout);
+
+    g_lease_service = &service;
+    std::signal(SIGINT, stop_lease_service);
+    std::signal(SIGTERM, stop_lease_service);
+    const auto stats = service.run();
+    g_lease_service = nullptr;
+
+    std::printf(
+        "%s: %zu request(s), %zu grant(s), %zu steal(s), %zu reassign(s), "
+        "%zu expiration(s), %zu fenced, %zu journal record(s) "
+        "(%zu replayed, %zu torn skipped)\n",
+        stats.completed ? "sweep complete" : "stopped",
+        stats.requests, stats.grants, stats.steals, stats.reassigns,
+        stats.expirations, stats.fenced, stats.journal_records,
+        stats.replayed_records, stats.torn_journal_records);
+    return stats.completed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
+    return 1;
+  }
+}
+
 /// The sweep/run mode. `run_mode` unlocks the distributed options
 /// (--workers / --shard i/N / --keep-shards); `self` is the original
 /// argv[0] for worker self-exec.
@@ -273,7 +440,12 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
   bool keep_shards = false;
   bool steal = false;
   std::uint32_t heartbeat_ms = 0;
+  bool heartbeat_given = false;  // absent ⇒ adaptive stall detection
   std::size_t max_restarts = 2;
+  bool retry_quarantined = false;
+  std::string lease_server;  // "" = single-host file-lease protocol
+  std::uint32_t lease_timeout_ms = 2'000;
+  std::size_t lease_retries = 10;
   std::string trace_path;   // Chrome-trace base path ("" = tracing off)
   std::string status_path;  // live status snapshot file ("" = off)
   // Raw sweep-defining tokens, re-played verbatim onto each worker's
@@ -356,10 +528,29 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
         const auto n = parse_int(value(), arg);
         if (n < 0) usage_error("--heartbeat-ms must be >= 0");
         heartbeat_ms = static_cast<std::uint32_t>(n);
+        heartbeat_given = true;  // explicit (even 0) disables adaptive mode
       } else if (arg == "--max-restarts" && run_mode) {
         const auto n = parse_int(value(), arg);
         if (n < 0) usage_error("--max-restarts must be >= 0");
         max_restarts = static_cast<std::size_t>(n);
+      } else if (arg == "--retry-quarantined" && run_mode) {
+        retry_quarantined = true;
+      } else if (arg == "--lease-server" && run_mode) {
+        lease_server = value();
+        if (!util::HostPort::parse(lease_server))
+          usage_error("--lease-server needs HOST:PORT");
+      } else if (arg == "--lease-timeout-ms" && run_mode) {
+        const auto v = value();
+        const auto n = parse_int(v, arg);
+        if (n < 1) usage_error("--lease-timeout-ms must be >= 1");
+        lease_timeout_ms = static_cast<std::uint32_t>(n);
+        forward(arg, v);  // the budget belongs to the (spawned) workers
+      } else if (arg == "--lease-retries" && run_mode) {
+        const auto v = value();
+        const auto n = parse_int(v, arg);
+        if (n < 0) usage_error("--lease-retries must be >= 0");
+        lease_retries = static_cast<std::size_t>(n);
+        forward(arg, v);
       } else if (arg == "--worker-slot" && run_mode) {
         worker_slot = exp::ShardSpec::parse(value());
         if (!worker_slot) usage_error("--worker-slot needs k/W with k < W");
@@ -428,6 +619,14 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
   }
   if (steal && workers == 0 && !worker_slot.has_value())
     usage_error("--steal needs --workers N (the supervisor forks them)");
+  if (!lease_server.empty() && workers == 0 && !worker_slot.has_value())
+    usage_error(
+        "--lease-server needs --workers N (parent) or --worker-slot k/W "
+        "(one worker)");
+  if (!lease_server.empty() && shard.has_value())
+    usage_error("--lease-server and --shard i/N are exclusive");
+  if (retry_quarantined && !opt.resume)
+    usage_error("--retry-quarantined needs --resume");
 
   if (opt.jsonl_path == "-") {
     if (opt.resume)
@@ -462,7 +661,14 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       sopt.master_seed = opt.master_seed;
       sopt.steal = steal;
       sopt.heartbeat_ms = heartbeat_ms;
+      // No explicit --heartbeat-ms in a supervised (steal or lease-server)
+      // run: stall detection defaults to the adaptive, pace-tracking
+      // timeout instead of a fixed guess.
+      sopt.adaptive_heartbeat =
+          (steal || !lease_server.empty()) && !heartbeat_given;
       sopt.max_restarts = max_restarts;
+      sopt.retry_quarantined = retry_quarantined;
+      sopt.lease_server = lease_server;
       sopt.status_path = status_path;
       sopt.trace_path = trace_path;
       sopt.exec_path = exp::self_exec_path(self);
@@ -545,29 +751,37 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
       // supervisor's respawn of the same slot runs clean.
       if (const char* fault = std::getenv("ORACLE_SHARD_FAULT")) {
         const auto parts = split(fault, ':');
-        if (parts.size() >= 3 &&
-            static_cast<std::size_t>(parse_int(parts[1], "fault slot")) ==
-                wopt.slot) {
-          wopt.hooks.once_marker = opt.jsonl_path + ".fault_fired";
+        const bool slot_match =
+            parts.size() >= 3 &&
+            (parts[1] == "*" ||
+             static_cast<std::size_t>(parse_int(parts[1], "fault slot")) ==
+                 wopt.slot);
+        if (slot_match) {
           const auto n =
               static_cast<std::size_t>(parse_int(parts[2], "fault job count"));
-          if (parts[0] == "die" || parts[0] == "kill") {
-            wopt.hooks.die_after_n_jobs = n;
-            wopt.hooks.die_with_sigkill = parts[0] == "kill";
-          } else if (parts[0] == "stall") {
-            wopt.hooks.stall_after_n_jobs = n;
-            if (parts.size() >= 4)
-              wopt.hooks.stall_ms = static_cast<std::uint32_t>(
-                  parse_int(parts[3], "fault stall ms"));
+          if (parts[0] == "poison") {
+            // A poison *job*: kills whichever worker starts sweep index n,
+            // every time — deliberately no once-marker, so only the
+            // quarantine verdict stops the carnage.
+            wopt.hooks.die_on_job_index = n;
+            wopt.hooks.die_with_sigkill = true;
+          } else {
+            wopt.hooks.once_marker = opt.jsonl_path + ".fault_fired";
+            if (parts[0] == "die" || parts[0] == "kill") {
+              wopt.hooks.die_after_n_jobs = n;
+              wopt.hooks.die_with_sigkill = parts[0] == "kill";
+            } else if (parts[0] == "stall") {
+              wopt.hooks.stall_after_n_jobs = n;
+              if (parts.size() >= 4)
+                wopt.hooks.stall_ms = static_cast<std::uint32_t>(
+                    parse_int(parts[3], "fault stall ms"));
+            }
           }
         }
       }
-      const auto report = exp::run_lease_worker(sweep.build(), wopt);
-      ORACLE_LOG_INFO(report.summary());
-      ORACLE_LOG_DEBUG(report.job_wall.summary());
-      for (const auto& err : report.errors)
-        ORACLE_LOG_ERROR("failed: " + err);
-      if (!trace_path.empty()) {
+
+      auto write_worker_trace = [&] {
+        if (trace_path.empty()) return;
         // Append: a respawned slot continues the same per-slot file, so
         // the merged timeline shows the whole slot history. The durable
         // prefix was flushed by the previous incarnation at its exit; a
@@ -576,7 +790,35 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
             obs::worker_trace_path(trace_path, worker_slot->index,
                                    worker_slot->count),
             /*append=*/true);
+      };
+
+      if (!lease_server.empty()) {
+        // Cross-host mode: fenced leases over TCP instead of lease files.
+        wopt.lease_server = lease_server;
+        wopt.op_timeout_ms = lease_timeout_ms;
+        wopt.retry_budget = lease_retries;
+        const auto report = exp::run_lease_client_worker(sweep.build(), wopt);
+        ORACLE_LOG_INFO(strfmt(
+            "%zu lease(s) run, %zu job(s) executed, %zu skipped; "
+            "%llu retries, %llu reconnects%s%s",
+            report.leases_run, report.batch.executed, report.batch.skipped,
+            static_cast<unsigned long long>(report.retries),
+            static_cast<unsigned long long>(report.reconnects),
+            report.fenced ? "; fenced" : "",
+            report.orphaned ? "; ORPHANED" : ""));
+        for (const auto& err : report.batch.errors)
+          ORACLE_LOG_ERROR("failed: " + err);
+        write_worker_trace();
+        if (report.orphaned) return exp::kOrphanedExitCode;
+        return report.batch.ok() ? 0 : 1;
       }
+
+      const auto report = exp::run_lease_worker(sweep.build(), wopt);
+      ORACLE_LOG_INFO(report.summary());
+      ORACLE_LOG_DEBUG(report.job_wall.summary());
+      for (const auto& err : report.errors)
+        ORACLE_LOG_ERROR("failed: " + err);
+      write_worker_trace();
       return report.ok() ? 0 : 1;
     }
 
@@ -663,6 +905,8 @@ int main(int argc, char** argv) {
     return aggregate_main(argc - 1, argv + 1);
   if (argc > 1 && std::string(argv[1]) == "trace")
     return trace_main(argc - 1, argv + 1);
+  if (argc > 1 && std::string(argv[1]) == "serve-leases")
+    return serve_main(argc - 1, argv + 1);
   if (argc > 1 && std::string(argv[1]) == "run")
     return sweep_main(argc - 1, argv + 1, /*run_mode=*/true, self);
   return sweep_main(argc, argv, /*run_mode=*/false, self);

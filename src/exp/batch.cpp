@@ -3,6 +3,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "exp/checkpoint.hpp"
@@ -47,6 +48,13 @@ BatchOutcome run_batch(const std::vector<core::ExperimentConfig>& configs,
     for (const auto& store : options.extra_resume_stores)
       checkpoint.merge(load_completed_hashes(store));
     skipped = queue.skip_completed(checkpoint.completed());
+  }
+  if (!options.skip_hashes.empty()) {
+    // Quarantined poison jobs: dropped even on a fresh run — the record of
+    // the verdict lives outside the checkpoint on purpose.
+    const std::unordered_set<std::uint64_t> poison(
+        options.skip_hashes.begin(), options.skip_hashes.end());
+    skipped += queue.skip_completed(poison);
   }
 
   // A fresh (non-resume) run starts a fresh checkpoint too, and must do so

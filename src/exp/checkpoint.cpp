@@ -7,31 +7,19 @@
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/file_util.hpp"
+#include "util/posix_io.hpp"
 
 #if !defined(_WIN32)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
 namespace oracle::exp {
 
-namespace {
-
-/// Push one appended line all the way to stable storage. fflush moves it
-/// from the stdio buffer into the OS (enough to survive kill -9); fsync
-/// persists it across power loss where the platform/filesystem allows.
-bool flush_and_sync(std::FILE* f) {
-  if (std::fflush(f) != 0) return false;
-#if !defined(_WIN32)
-  const int fd = ::fileno(f);
-  if (fd >= 0) ::fsync(fd);  // best-effort: some filesystems reject fsync
-#endif
-  return true;
-}
-
-}  // namespace
-
 Checkpoint::~Checkpoint() {
-  if (out_ != nullptr) std::fclose(out_);
+#if !defined(_WIN32)
+  if (out_fd_ >= 0) ::close(out_fd_);
+#endif
 }
 
 std::size_t Checkpoint::load() {
@@ -56,27 +44,34 @@ void Checkpoint::record(std::uint64_t hash) {
   std::lock_guard<std::mutex> lock(mutex_);
   completed_.insert(hash);
   if (!enabled()) return;
-  if (out_ == nullptr) open_for_append();
+  if (out_fd_ < 0) open_for_append();
   const std::string line = hash_hex(hash) + '\n';
   // The fsync dominates commit latency; a span per record makes that cost
-  // visible next to the job spans it serializes behind.
+  // visible next to the job spans it serializes behind. write_full retries
+  // EINTR/short writes — a SIGCHLD from the supervisor landing mid-append
+  // must not truncate the record; the fsync is best-effort (some
+  // filesystems reject it) but also EINTR-proof.
   obs::Span fsync_span("exec", "checkpoint.fsync");
-  const bool wrote =
-      std::fwrite(line.data(), 1, line.size(), out_) == line.size();
-  if (!wrote || !flush_and_sync(out_))
+  if (!util::write_full(out_fd_, line.data(), line.size()))
     throw SimulationError("checkpoint write to '" + path_ + "' failed");
+  util::fsync_retry(out_fd_);
   // Heartbeat after the durable append: the supervisor may only conclude
   // "alive" from progress that is already safe on disk.
   if (!heartbeat_path_.empty()) util::touch_file(heartbeat_path_);
 }
 
 void Checkpoint::open_for_append() {
+#if defined(_WIN32)
+  throw SimulationError("checkpointing requires a POSIX host");
+#else
   const bool partial_tail = has_partial_last_line(path_);
-  out_ = std::fopen(path_.c_str(), "ab");
-  if (out_ == nullptr)
+  out_fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (out_fd_ < 0)
     throw SimulationError("cannot open checkpoint '" + path_ + "' for writing");
   // Terminate a killed run's partial final hash line before appending.
-  if (partial_tail) std::fputc('\n', out_);
+  if (partial_tail && !util::write_full(out_fd_, "\n", 1))
+    throw SimulationError("checkpoint write to '" + path_ + "' failed");
+#endif
 }
 
 }  // namespace oracle::exp

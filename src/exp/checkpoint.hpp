@@ -12,7 +12,6 @@
 // match nothing and the changed jobs re-run.
 
 #include <cstdint>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -73,7 +72,7 @@ class Checkpoint {
   std::string path_;
   std::string heartbeat_path_;  ///< touched per record when non-empty
   std::unordered_set<std::uint64_t> completed_;
-  std::FILE* out_ = nullptr;  ///< raw stdio handle so every append can fsync
+  int out_fd_ = -1;  ///< raw append fd: EINTR-safe write_full + fsync_retry
   std::mutex mutex_;
 };
 

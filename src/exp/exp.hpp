@@ -21,5 +21,8 @@
 #include "exp/executor.hpp"
 #include "exp/job.hpp"
 #include "exp/job_queue.hpp"
+#include "exp/lease_client.hpp"
+#include "exp/lease_protocol.hpp"
+#include "exp/lease_service.hpp"
 #include "exp/result_sink.hpp"
 #include "exp/shard.hpp"

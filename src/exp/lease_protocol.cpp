@@ -1,0 +1,183 @@
+#include "exp/lease_protocol.hpp"
+
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace oracle::exp {
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+const char* kind_name(LeaseResponseKind k) {
+  switch (k) {
+    case LeaseResponseKind::kLease: return "lease";
+    case LeaseResponseKind::kOk: return "ok";
+    case LeaseResponseKind::kFenced: return "fenced";
+    case LeaseResponseKind::kEmpty: return "empty";
+    case LeaseResponseKind::kDone: return "done";
+    case LeaseResponseKind::kStatus: return "status";
+    case LeaseResponseKind::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string LeaseRequest::encode() const {
+  switch (op) {
+    case LeaseOp::kAcquire:
+      return strfmt("%s %llu acquire %zu %zu %zu", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq), slot, slot_count,
+                    jobs);
+    case LeaseOp::kHeartbeat:
+      return strfmt("%s %llu heartbeat %zu %llu", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq), slot,
+                    static_cast<unsigned long long>(epoch));
+    case LeaseOp::kCommit:
+      return strfmt("%s %llu commit %zu %llu %zu %llu %llu",
+                    kLeaseProtoVersion, static_cast<unsigned long long>(seq),
+                    slot, static_cast<unsigned long long>(epoch), frontier,
+                    static_cast<unsigned long long>(wall_us),
+                    static_cast<unsigned long long>(retries));
+    case LeaseOp::kSteal:
+      return strfmt("%s %llu steal %zu %llu", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq), slot,
+                    static_cast<unsigned long long>(epoch));
+    case LeaseOp::kStatus:
+      return strfmt("%s %llu status", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq));
+  }
+  return {};
+}
+
+std::optional<LeaseRequest> LeaseRequest::parse(const std::string& payload) {
+  const auto tok = split(trim(payload), ' ');
+  if (tok.size() < 3 || tok[0] != kLeaseProtoVersion) return std::nullopt;
+  const auto seq = parse_u64(tok[1]);
+  if (!seq) return std::nullopt;
+  LeaseRequest req;
+  req.seq = *seq;
+  const std::string& op = tok[2];
+  const auto u64_at = [&](std::size_t i) -> std::optional<std::uint64_t> {
+    return i < tok.size() ? parse_u64(tok[i]) : std::nullopt;
+  };
+  if (op == "acquire") {
+    req.op = LeaseOp::kAcquire;
+    const auto a = u64_at(3), b = u64_at(4), c = u64_at(5);
+    if (!a || !b || !c || tok.size() != 6) return std::nullopt;
+    req.slot = static_cast<std::size_t>(*a);
+    req.slot_count = static_cast<std::size_t>(*b);
+    req.jobs = static_cast<std::size_t>(*c);
+    return req;
+  }
+  if (op == "heartbeat" || op == "steal") {
+    req.op = op == "heartbeat" ? LeaseOp::kHeartbeat : LeaseOp::kSteal;
+    const auto a = u64_at(3), b = u64_at(4);
+    if (!a || !b || tok.size() != 5) return std::nullopt;
+    req.slot = static_cast<std::size_t>(*a);
+    req.epoch = *b;
+    return req;
+  }
+  if (op == "commit") {
+    req.op = LeaseOp::kCommit;
+    const auto a = u64_at(3), b = u64_at(4), c = u64_at(5), d = u64_at(6),
+               e = u64_at(7);
+    if (!a || !b || !c || !d || !e || tok.size() != 8) return std::nullopt;
+    req.slot = static_cast<std::size_t>(*a);
+    req.epoch = *b;
+    req.frontier = static_cast<std::size_t>(*c);
+    req.wall_us = *d;
+    req.retries = *e;
+    return req;
+  }
+  if (op == "status") {
+    if (tok.size() != 3) return std::nullopt;
+    req.op = LeaseOp::kStatus;
+    return req;
+  }
+  return std::nullopt;
+}
+
+std::string LeaseResponse::encode() const {
+  switch (kind) {
+    case LeaseResponseKind::kLease:
+      return strfmt("%s %llu lease %llu %zu %zu", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(epoch), begin, end);
+    case LeaseResponseKind::kOk:
+      return strfmt("%s %llu ok %zu %zu", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq), begin, end);
+    case LeaseResponseKind::kFenced:
+    case LeaseResponseKind::kEmpty:
+    case LeaseResponseKind::kDone:
+      return strfmt("%s %llu %s", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq), kind_name(kind));
+    case LeaseResponseKind::kStatus:
+    case LeaseResponseKind::kError:
+      return strfmt("%s %llu %s %s", kLeaseProtoVersion,
+                    static_cast<unsigned long long>(seq), kind_name(kind),
+                    text.c_str());
+  }
+  return {};
+}
+
+std::optional<LeaseResponse> LeaseResponse::parse(
+    const std::string& payload) {
+  const auto tok = split(trim(payload), ' ');
+  if (tok.size() < 3 || tok[0] != kLeaseProtoVersion) return std::nullopt;
+  const auto seq = parse_u64(tok[1]);
+  if (!seq) return std::nullopt;
+  LeaseResponse rsp;
+  rsp.seq = *seq;
+  const std::string& kind = tok[2];
+  const auto u64_at = [&](std::size_t i) -> std::optional<std::uint64_t> {
+    return i < tok.size() ? parse_u64(tok[i]) : std::nullopt;
+  };
+  if (kind == "lease") {
+    rsp.kind = LeaseResponseKind::kLease;
+    const auto a = u64_at(3), b = u64_at(4), c = u64_at(5);
+    if (!a || !b || !c || tok.size() != 6) return std::nullopt;
+    rsp.epoch = *a;
+    rsp.begin = static_cast<std::size_t>(*b);
+    rsp.end = static_cast<std::size_t>(*c);
+    return rsp;
+  }
+  if (kind == "ok") {
+    rsp.kind = LeaseResponseKind::kOk;
+    const auto a = u64_at(3), b = u64_at(4);
+    if (!a || !b || tok.size() != 5) return std::nullopt;
+    rsp.begin = static_cast<std::size_t>(*a);
+    rsp.end = static_cast<std::size_t>(*b);
+    return rsp;
+  }
+  if (kind == "fenced" || kind == "empty" || kind == "done") {
+    if (tok.size() != 3) return std::nullopt;
+    rsp.kind = kind == "fenced"  ? LeaseResponseKind::kFenced
+               : kind == "empty" ? LeaseResponseKind::kEmpty
+                                 : LeaseResponseKind::kDone;
+    return rsp;
+  }
+  if (kind == "status" || kind == "error") {
+    rsp.kind = kind == "status" ? LeaseResponseKind::kStatus
+                                : LeaseResponseKind::kError;
+    // The remainder of the payload (may itself contain spaces).
+    const auto pos = payload.find(kind);
+    rsp.text = std::string(trim(payload.substr(pos + kind.size())));
+    return rsp;
+  }
+  return std::nullopt;
+}
+
+}  // namespace oracle::exp

@@ -1,0 +1,668 @@
+#include "exp/lease_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+#include "exp/lease_protocol.hpp"
+#include "exp/result_sink.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/file_util.hpp"
+#include "util/log.hpp"
+#include "util/posix_io.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::exp {
+
+namespace {
+constexpr const char* kJournalTag = "J1";
+}
+
+struct LeaseService::Impl {
+  using Clock = std::chrono::steady_clock;
+
+  explicit Impl(const LeaseServiceOptions& opt)
+      : table(opt.jobs, opt.slots), timeout(opt.timeout) {
+    slots.resize(std::max<std::size_t>(opt.slots, 1));
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      slots[k].frontier = table.lease(k).begin;
+  }
+
+  struct SlotState {
+    std::uint64_t epoch = 0;     ///< current fencing epoch (0 = never granted)
+    std::size_t frontier = 0;    ///< highest committed frontier reported
+    bool expired = false;        ///< adaptive timeout fired; epoch is fenced
+    std::size_t grants = 0;      ///< epochs issued to this slot
+    std::uint64_t last_retries = 0;  ///< client-reported retry counter
+    Clock::time_point last_life{};   ///< last message seen from this slot
+  };
+
+  LeaseTable table;
+  std::vector<SlotState> slots;
+  AdaptiveTimeout timeout;
+  util::Socket listener;
+  std::vector<util::Socket> conns;
+  int journal_fd = -1;
+  bool completed = false;
+
+  ~Impl() {
+#if !defined(_WIN32)
+    if (journal_fd >= 0) ::close(journal_fd);
+#endif
+  }
+};
+
+LeaseService::LeaseService(LeaseServiceOptions options)
+    : impl_(new Impl(options)), options_(std::move(options)) {}
+
+LeaseService::~LeaseService() { delete impl_; }
+
+std::uint16_t LeaseService::port() const {
+  return impl_->listener.valid() ? util::local_port(impl_->listener.fd()) : 0;
+}
+
+#if defined(_WIN32)
+
+void LeaseService::start() {
+  throw SimulationError("the lease service requires a POSIX host");
+}
+
+LeaseServiceStats LeaseService::run() { return stats_; }
+
+#else
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct JournalRecord {
+  std::string op;
+  std::vector<std::uint64_t> args;
+};
+
+std::optional<JournalRecord> parse_journal_line(const std::string& line) {
+  const auto tok = split(trim(line), ' ');
+  if (tok.size() < 2 || tok[0] != kJournalTag) return std::nullopt;
+  JournalRecord rec;
+  rec.op = tok[1];
+  for (std::size_t i = 2; i < tok.size(); ++i) {
+    try {
+      const std::int64_t v = parse_int(tok[i], "journal field");
+      if (v < 0) return std::nullopt;
+      rec.args.push_back(static_cast<std::uint64_t>(v));
+    } catch (const ConfigError&) {
+      return std::nullopt;
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+void LeaseService::start() {
+  Impl& im = *impl_;
+  ORACLE_REQUIRE(!options_.journal_path.empty(),
+                 "the lease service requires a --journal path");
+  ORACLE_REQUIRE(options_.jobs > 0, "lease service over an empty sweep");
+
+  // ---- journal replay --------------------------------------------------
+  // The journal is write-ahead: every record below was fsynced before the
+  // transition it describes was applied or acknowledged, so replaying the
+  // readable prefix reconstructs exactly the state every worker could have
+  // observed. A torn final record (server killed mid-append) describes a
+  // transition nobody was ever told about — skipping it is correct, and
+  // the terminating newline we add below keeps it inert forever.
+  {
+    std::ifstream in(options_.journal_path);
+    std::string line;
+    bool saw_init = false;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto rec = parse_journal_line(line);
+      if (!rec) {
+        ++stats_.torn_journal_records;
+        continue;
+      }
+      auto& a = rec->args;
+      if (rec->op == "init") {
+        if (a.size() != 3)
+          throw SimulationError("corrupt journal init record in '" +
+                                options_.journal_path + "'");
+        if (a[0] != options_.jobs || a[1] != impl_->slots.size() ||
+            a[2] != options_.master_seed)
+          throw SimulationError(strfmt(
+              "journal '%s' belongs to a different run (%llu jobs / %llu "
+              "slots / seed %llu vs %zu/%zu/%llu); remove it to start over",
+              options_.journal_path.c_str(),
+              static_cast<unsigned long long>(a[0]),
+              static_cast<unsigned long long>(a[1]),
+              static_cast<unsigned long long>(a[2]), options_.jobs,
+              impl_->slots.size(),
+              static_cast<unsigned long long>(options_.master_seed)));
+        saw_init = true;
+        continue;
+      }
+      if (!saw_init) {
+        ++stats_.torn_journal_records;
+        continue;
+      }
+      ++stats_.replayed_records;
+      if (rec->op == "grant" && a.size() == 2 && a[0] < im.slots.size()) {
+        im.slots[a[0]].epoch = a[1];
+        im.slots[a[0]].expired = false;
+        ++im.slots[a[0]].grants;
+      } else if (rec->op == "frontier" && a.size() == 2 &&
+                 a[0] < im.slots.size()) {
+        im.slots[a[0]].frontier =
+            std::max(im.slots[a[0]].frontier, static_cast<std::size_t>(a[1]));
+      } else if (rec->op == "drained" && a.size() == 1 &&
+                 a[0] < im.slots.size()) {
+        im.table.mark_drained(a[0]);
+      } else if (rec->op == "expire" && a.size() == 2 &&
+                 a[0] < im.slots.size()) {
+        im.slots[a[0]].epoch = a[1];
+        im.slots[a[0]].expired = true;
+      } else if (rec->op == "reassign" && a.size() == 4 &&
+                 a[0] < im.slots.size() && a[1] < im.slots.size()) {
+        im.table.reassign(a[0], a[1], static_cast<std::size_t>(a[2]));
+        im.slots[a[0]].expired = false;
+        auto& thief = im.slots[a[1]];
+        thief.epoch = a[3];
+        thief.expired = false;
+        thief.frontier = static_cast<std::size_t>(a[2]);
+        ++thief.grants;
+      } else if (rec->op == "steal" && a.size() == 4 &&
+                 a[0] < im.slots.size() && a[1] < im.slots.size()) {
+        im.table.steal(a[0], a[1], static_cast<std::size_t>(a[2]));
+        auto& thief = im.slots[a[1]];
+        thief.epoch = a[3];
+        thief.expired = false;
+        thief.frontier = static_cast<std::size_t>(a[2]);
+        ++thief.grants;
+      } else if (rec->op == "done" && a.empty()) {
+        im.completed = true;
+      } else {
+        ++stats_.torn_journal_records;  // unknown/short record: skip
+        --stats_.replayed_records;
+      }
+    }
+    if (stats_.replayed_records > 0 || saw_init)
+      ORACLE_LOG_INFO(strfmt(
+          "lease journal replayed: %zu record(s), %zu torn/skipped",
+          stats_.replayed_records, stats_.torn_journal_records));
+  }
+
+  const bool partial_tail = has_partial_last_line(options_.journal_path);
+  const bool fresh = !util::file_exists(options_.journal_path);
+  im.journal_fd = ::open(options_.journal_path.c_str(),
+                         O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (im.journal_fd < 0)
+    throw SimulationError("cannot open lease journal '" +
+                          options_.journal_path + "' for append");
+  if (partial_tail) {
+    const char nl = '\n';
+    util::write_full(im.journal_fd, &nl, 1);
+  }
+  if (fresh) {
+    const std::string init = strfmt(
+        "%s init %zu %zu %llu\n", kJournalTag, options_.jobs,
+        im.slots.size(), static_cast<unsigned long long>(options_.master_seed));
+    if (!util::write_full(im.journal_fd, init.data(), init.size()) ||
+        !util::fsync_retry(im.journal_fd))
+      throw SimulationError("lease journal write failed");
+  }
+
+  im.listener = util::listen_tcp(options_.listen);
+  if (!im.listener.valid())
+    throw SimulationError("lease service cannot listen on " +
+                          options_.listen.str());
+
+  const auto now = Clock::now();
+  for (auto& s : im.slots) s.last_life = now;
+  ORACLE_LOG_INFO(strfmt("lease service listening on %s:%u (%zu jobs, %zu "
+                         "slots, journal %s)",
+                         options_.listen.host.c_str(),
+                         static_cast<unsigned>(port()), options_.jobs,
+                         im.slots.size(), options_.journal_path.c_str()));
+}
+
+LeaseServiceStats LeaseService::run() {
+  Impl& im = *impl_;
+  ORACLE_REQUIRE(im.listener.valid(), "LeaseService::start() not called");
+
+  const std::size_t n = options_.jobs;
+  const std::size_t w = im.slots.size();
+  const std::size_t min_steal =
+      std::max<std::size_t>(options_.min_steal_jobs, 1);
+
+  // Append one record durably; write-ahead of the state change it names.
+  auto journal = [&](const std::string& body) {
+    const std::string line = std::string(kJournalTag) + " " + body + "\n";
+    obs::Span span("lease", "journal.fsync");
+    if (!util::write_full(im.journal_fd, line.data(), line.size()) ||
+        !util::fsync_retry(im.journal_fd))
+      throw SimulationError("lease journal write failed");
+    ++stats_.journal_records;
+  };
+
+  auto remaining_jobs = [&] {
+    std::size_t remaining = 0;
+    for (std::size_t k = 0; k < w; ++k)
+      if (!im.table.drained(k))
+        remaining += im.table.lease(k).end -
+                     std::min(im.slots[k].frontier, im.table.lease(k).end);
+    return std::min(remaining, n);
+  };
+
+  const auto run_start = Clock::now();
+  auto snapshot = [&] {
+    const auto now = Clock::now();
+    obs::StatusSnapshot st;
+    st.phase = im.completed ? "done" : "serving";
+    st.jobs_total = n;
+    st.jobs_done = n - remaining_jobs();
+    st.elapsed_seconds = std::chrono::duration<double>(now - run_start).count();
+    st.jobs_per_second =
+        st.elapsed_seconds > 0
+            ? static_cast<double>(st.jobs_done) / st.elapsed_seconds
+            : 0.0;
+    st.eta_seconds =
+        st.jobs_per_second > 0
+            ? static_cast<double>(n - st.jobs_done) / st.jobs_per_second
+            : -1.0;
+    st.steals = stats_.steals + stats_.reassigns;
+    st.fenced = stats_.fenced;
+    st.retries = stats_.client_retries;
+    for (std::size_t k = 0; k < w; ++k) {
+      const auto& s = im.slots[k];
+      obs::WorkerStatus ws;
+      ws.slot = k;
+      ws.live = !im.table.drained(k) && !s.expired && s.epoch > 0;
+      ws.lease_begin = im.table.lease(k).begin;
+      ws.lease_end = im.table.lease(k).end;
+      ws.frontier = im.table.drained(k) ? im.table.lease(k).end
+                                        : std::min(s.frontier,
+                                                   im.table.lease(k).end);
+      ws.restarts = s.grants > 0 ? s.grants - 1 : 0;
+      ws.heartbeat_age_s =
+          s.epoch > 0
+              ? std::chrono::duration<double>(now - s.last_life).count()
+              : -1.0;
+      st.workers.push_back(ws);
+    }
+    return st;
+  };
+
+  auto sum_client_retries = [&] {
+    std::uint64_t total = 0;
+    for (const auto& s : im.slots) total += s.last_retries;
+    stats_.client_retries = total;
+  };
+
+  auto mark_done_if_drained = [&] {
+    if (!im.completed && im.table.all_drained()) {
+      journal("done");
+      im.completed = true;
+      ORACLE_LOG_INFO("lease service: sweep complete (all leases drained)");
+      obs::instant("lease", "sweep.done");
+    }
+  };
+
+  // Hand work to a drained slot: expired leases first (takeover), then the
+  // biggest live unclaimed tail (steal), else empty/done.
+  auto find_work = [&](std::size_t thief) {
+    LeaseResponse rsp;
+    // 1. Take over an expired lease: its committed head retires, its tail
+    //    moves to the thief under a fresh epoch; the expired holder is
+    //    permanently fenced.
+    for (std::size_t v = 0; v < w; ++v) {
+      if (v == thief || !im.slots[v].expired || im.table.drained(v)) continue;
+      const std::size_t f =
+          std::min(im.slots[v].frontier, im.table.lease(v).end);
+      const std::uint64_t epoch = im.slots[thief].epoch + 1;
+      journal(strfmt("reassign %zu %zu %zu %llu", v, thief, f,
+                     static_cast<unsigned long long>(epoch)));
+      const auto lease = im.table.reassign(v, thief, f);
+      im.slots[v].expired = false;
+      if (!lease) {
+        // Everything in the expired lease was already committed: it just
+        // retired. Keep looking.
+        mark_done_if_drained();
+        continue;
+      }
+      auto& t = im.slots[thief];
+      t.epoch = epoch;
+      t.expired = false;
+      t.frontier = lease->begin;
+      ++t.grants;
+      ++stats_.reassigns;
+      obs::instant("lease", "reassign", "victim", static_cast<std::int64_t>(v),
+                   "thief", static_cast<std::int64_t>(thief));
+      ORACLE_LOG_INFO(strfmt(
+          "slot %zu took over expired lease [%zu,%zu) from slot %zu (epoch "
+          "%llu)",
+          thief, lease->begin, lease->end, v,
+          static_cast<unsigned long long>(epoch)));
+      rsp.kind = LeaseResponseKind::kLease;
+      rsp.epoch = epoch;
+      rsp.begin = lease->begin;
+      rsp.end = lease->end;
+      return rsp;
+    }
+    // 2. Steal the biggest unclaimed tail among live leases.
+    std::size_t best_victim = w, best_split = 0, best_take = 0;
+    for (std::size_t v = 0; v < w; ++v) {
+      if (v == thief || im.table.drained(v) || im.slots[v].expired) continue;
+      const Lease& lease = im.table.lease(v);
+      const std::size_t f = std::min(im.slots[v].frontier, lease.end);
+      if (lease.end - f < min_steal + 1) continue;  // head must stay
+      const std::size_t split = f + (lease.end - f + 1) / 2;
+      const std::size_t take = lease.end - split;
+      if (take >= min_steal && take > best_take) {
+        best_victim = v;
+        best_split = split;
+        best_take = take;
+      }
+    }
+    if (best_victim < w) {
+      const std::uint64_t epoch = im.slots[thief].epoch + 1;
+      journal(strfmt("steal %zu %zu %zu %llu", best_victim, thief, best_split,
+                     static_cast<unsigned long long>(epoch)));
+      const auto lease = im.table.steal(best_victim, thief, best_split);
+      ORACLE_ASSERT(lease.has_value());
+      auto& t = im.slots[thief];
+      t.epoch = epoch;
+      t.expired = false;
+      t.frontier = lease->begin;
+      ++t.grants;
+      ++stats_.steals;
+      const std::uint64_t flow_id = obs::Tracer::next_flow_id();
+      obs::flow('s', flow_id, "lease", "steal", "victim",
+                static_cast<std::int64_t>(best_victim), "split",
+                static_cast<std::int64_t>(best_split));
+      obs::flow('f', flow_id, "lease", "steal", "thief",
+                static_cast<std::int64_t>(thief), "take",
+                static_cast<std::int64_t>(best_take));
+      ORACLE_LOG_INFO(strfmt("slot %zu stole [%zu,%zu) from slot %zu", thief,
+                             lease->begin, lease->end, best_victim));
+      // The victim keeps committing into its shrunk head; it learns the
+      // new end from its next commit/heartbeat response.
+      rsp.kind = LeaseResponseKind::kLease;
+      rsp.epoch = epoch;
+      rsp.begin = lease->begin;
+      rsp.end = lease->end;
+      return rsp;
+    }
+    // 3. Nothing to hand out: done if everything drained, else "not yet".
+    mark_done_if_drained();
+    rsp.kind =
+        im.completed ? LeaseResponseKind::kDone : LeaseResponseKind::kEmpty;
+    return rsp;
+  };
+
+  auto handle = [&](const LeaseRequest& req) {
+    LeaseResponse rsp;
+    rsp.seq = req.seq;
+    ++stats_.requests;
+    obs::Span span("lease", "request", "op",
+                   static_cast<std::int64_t>(req.op), "slot",
+                   static_cast<std::int64_t>(req.slot));
+
+    if (req.op == LeaseOp::kStatus) {
+      rsp.kind = LeaseResponseKind::kStatus;
+      rsp.text = snapshot().to_json();
+      return rsp;
+    }
+    if (req.slot >= w) {
+      rsp.kind = LeaseResponseKind::kError;
+      rsp.text = strfmt("slot %zu out of range (%zu slots)", req.slot, w);
+      ++stats_.bad_requests;
+      return rsp;
+    }
+    auto& slot = im.slots[req.slot];
+    slot.last_life = Clock::now();
+
+    switch (req.op) {
+      case LeaseOp::kAcquire: {
+        if (req.slot_count != w || req.jobs != n) {
+          rsp.kind = LeaseResponseKind::kError;
+          rsp.text = strfmt(
+              "sweep mismatch: worker says %zu slots / %zu jobs, server has "
+              "%zu / %zu",
+              req.slot_count, req.jobs, w, n);
+          ++stats_.bad_requests;
+          return rsp;
+        }
+        if (im.completed) {
+          rsp.kind = LeaseResponseKind::kDone;
+          return rsp;
+        }
+        if (im.table.drained(req.slot)) return find_work(req.slot);
+        // Grant (or re-grant after a crash/expiry) under a fresh epoch:
+        // whatever process held this slot before is fenced from here on.
+        const std::uint64_t epoch = slot.epoch + 1;
+        journal(strfmt("grant %zu %llu", req.slot,
+                       static_cast<unsigned long long>(epoch)));
+        slot.epoch = epoch;
+        slot.expired = false;
+        ++slot.grants;
+        ++stats_.grants;
+        obs::instant("lease", "grant", "slot",
+                     static_cast<std::int64_t>(req.slot), "epoch",
+                     static_cast<std::int64_t>(epoch));
+        rsp.kind = LeaseResponseKind::kLease;
+        rsp.epoch = epoch;
+        rsp.begin = im.table.lease(req.slot).begin;
+        rsp.end = im.table.lease(req.slot).end;
+        return rsp;
+      }
+      case LeaseOp::kCommit:
+      case LeaseOp::kHeartbeat: {
+        if (im.completed) {
+          rsp.kind = LeaseResponseKind::kDone;
+          return rsp;
+        }
+        if (req.epoch != slot.epoch || slot.expired) {
+          // The fencing check: a reaped-then-resurrected worker (or one
+          // whose lease was expired and reassigned) may not advance the
+          // frontier of a range it no longer owns.
+          ++stats_.fenced;
+          obs::counter("lease", "fenced", "total",
+                       static_cast<std::int64_t>(stats_.fenced));
+          ORACLE_LOG_WARN(strfmt(
+              "slot %zu: stale epoch %llu (current %llu) rejected", req.slot,
+              static_cast<unsigned long long>(req.epoch),
+              static_cast<unsigned long long>(slot.epoch)));
+          rsp.kind = LeaseResponseKind::kFenced;
+          return rsp;
+        }
+        if (req.op == LeaseOp::kCommit) {
+          const Lease& lease = im.table.lease(req.slot);
+          const std::size_t f =
+              std::min(req.frontier, lease.end);
+          if (f > slot.frontier) {
+            journal(strfmt("frontier %zu %zu", req.slot, f));
+            slot.frontier = f;
+          }
+          if (req.wall_us > 0)
+            im.timeout.record(static_cast<double>(req.wall_us) / 1e6);
+          slot.last_retries = req.retries;
+          sum_client_retries();
+        }
+        rsp.kind = LeaseResponseKind::kOk;
+        rsp.begin = im.table.lease(req.slot).begin;
+        rsp.end = im.table.lease(req.slot).end;
+        return rsp;
+      }
+      case LeaseOp::kSteal: {
+        if (im.completed) {
+          rsp.kind = LeaseResponseKind::kDone;
+          return rsp;
+        }
+        if (!im.table.drained(req.slot)) {
+          const Lease& lease = im.table.lease(req.slot);
+          const std::size_t f = std::min(slot.frontier, lease.end);
+          if (f < lease.end && req.epoch == slot.epoch && !slot.expired) {
+            // The worker believes it drained but the server still sees a
+            // tail — a lost/reordered final commit. Re-grant the remainder
+            // under the same epoch; resume-skip makes the re-run cheap.
+            rsp.kind = LeaseResponseKind::kLease;
+            rsp.epoch = slot.epoch;
+            rsp.begin = f;
+            rsp.end = lease.end;
+            return rsp;
+          }
+          if (req.epoch != slot.epoch || slot.expired) {
+            ++stats_.fenced;
+            rsp.kind = LeaseResponseKind::kFenced;
+            return rsp;
+          }
+          journal(strfmt("drained %zu", req.slot));
+          im.table.mark_drained(req.slot);
+          obs::instant("lease", "drained", "slot",
+                       static_cast<std::int64_t>(req.slot));
+        }
+        return find_work(req.slot);
+      }
+      default: {
+        rsp.kind = LeaseResponseKind::kError;
+        rsp.text = "unsupported op";
+        ++stats_.bad_requests;
+        return rsp;
+      }
+    }
+  };
+
+  auto last_status = Clock::now();
+  std::optional<Clock::time_point> linger_until;
+
+  auto write_status = [&] {
+    if (options_.status_path.empty()) return;
+    obs::write_status_file(options_.status_path, snapshot());
+  };
+  write_status();
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto now = Clock::now();
+    if (im.completed) {
+      if (!linger_until)
+        linger_until = now + std::chrono::milliseconds(options_.linger_ms);
+      else if (now >= *linger_until)
+        break;
+    }
+
+    // Adaptive expiry: a granted, undrained slot silent for longer than
+    // the observed-pace timeout is presumed wedged/dead. Its epoch bumps
+    // — the journal record *is* the fencing event — and the next idle
+    // worker takes the uncommitted tail over.
+    if (!im.completed) {
+      const double timeout_s = im.timeout.timeout_seconds();
+      for (std::size_t k = 0; k < w; ++k) {
+        auto& slot = im.slots[k];
+        if (im.table.drained(k) || slot.expired) continue;
+        if (slot.epoch == 0 && im.timeout.samples() == 0) continue;
+        const double age =
+            std::chrono::duration<double>(now - slot.last_life).count();
+        if (age > timeout_s) {
+          const std::uint64_t epoch = slot.epoch + 1;
+          journal(strfmt("expire %zu %llu", k,
+                         static_cast<unsigned long long>(epoch)));
+          slot.epoch = epoch;
+          slot.expired = true;
+          ++stats_.expirations;
+          obs::instant("lease", "expire", "slot", static_cast<std::int64_t>(k),
+                       "age_ms", static_cast<std::int64_t>(age * 1e3));
+          ORACLE_LOG_WARN(strfmt(
+              "slot %zu expired after %.1fs silence (timeout %.1fs); lease "
+              "[%zu,%zu) f=%zu up for takeover",
+              k, age, timeout_s, im.table.lease(k).begin,
+              im.table.lease(k).end, slot.frontier));
+        }
+      }
+    }
+
+    if (now - last_status >=
+        std::chrono::milliseconds(
+            std::max<std::uint32_t>(options_.status_interval_ms, 1))) {
+      last_status = now;
+      write_status();
+    }
+
+    // ---- poll listen + client sockets ---------------------------------
+    std::vector<pollfd> fds;
+    fds.reserve(im.conns.size() + 1);
+    fds.push_back({im.listener.fd(), POLLIN, 0});
+    for (const auto& c : im.conns) fds.push_back({c.fd(), POLLIN, 0});
+    const int ready = util::poll_retry(
+        fds.data(), fds.size(), static_cast<int>(options_.poll_ms));
+    if (ready <= 0) continue;
+
+    // Conns accepted below were not part of this poll: fds only covers
+    // the first `polled` entries, and indexing past it is UB (the bug
+    // mode: a fresh conn inherits garbage revents and is dropped on
+    // arrival). They are served from the next tick on.
+    const std::size_t polled = im.conns.size();
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        auto conn = util::accept_tcp(im.listener.fd());
+        if (!conn.valid()) break;
+        im.conns.push_back(std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled;) {
+      const short rev = fds[i + 1].revents;
+      if (rev == 0) {
+        ++i;
+        continue;
+      }
+      bool drop = (rev & (POLLERR | POLLNVAL)) != 0;
+      if (!drop && (rev & (POLLIN | POLLHUP))) {
+        // Frames are tiny; a peer that cannot complete one inside this
+        // deadline is dropped (it reconnects and retries — the protocol
+        // is retry-safe by construction).
+        const auto frame = util::recv_frame(
+            im.conns[i].fd(), Clock::now() + std::chrono::milliseconds(250));
+        if (!frame) {
+          drop = true;
+        } else if (const auto req = LeaseRequest::parse(*frame)) {
+          LeaseResponse rsp = handle(*req);
+          // The seq echo is the client's stale-frame filter; enforce the
+          // invariant here so no handler path (find_work in particular)
+          // can return a frame the client would discard.
+          rsp.seq = req->seq;
+          if (!util::send_frame(im.conns[i].fd(), rsp.encode(),
+                                Clock::now() + std::chrono::seconds(2)))
+            drop = true;
+        } else {
+          ++stats_.bad_requests;
+          drop = true;  // unparseable request: the stream is not trusted
+        }
+      }
+      if (drop) {
+        im.conns.erase(im.conns.begin() + static_cast<std::ptrdiff_t>(i));
+        // fds is rebuilt next tick; indices past i are off by one now, so
+        // finish this tick conservatively by re-polling.
+        break;
+      }
+      ++i;
+    }
+  }
+
+  stats_.completed = im.completed;
+  write_status();
+  return stats_;
+}
+
+#endif
+
+}  // namespace oracle::exp

@@ -106,12 +106,20 @@ struct Lease {
 
 /// Serialize `lease` into its one-line control file, atomically (tmp +
 /// rename): a worker mid-read sees the whole old lease or the whole new
-/// one, never a torn line. Throws SimulationError on I/O failure.
+/// one, never a torn line. Writes the checksummed v2 format
+/// ("v2 <gen> <begin> <end> <cksum>"). Throws SimulationError on I/O
+/// failure.
 void write_lease_file(const std::string& path, const Lease& lease);
 
-/// Parse a lease control file; nullopt when missing or malformed (a worker
-/// treats that as an empty lease and exits cleanly).
+/// Parse a lease control file (v1 or checksummed v2); nullopt when missing
+/// or malformed (a worker treats that as an empty lease and exits
+/// cleanly). A file that *exists* but fails to parse — a torn/partial
+/// write observed mid-rename on filesystems without atomic rename — bumps
+/// the process-wide torn-read counter instead of asserting.
 std::optional<Lease> read_lease_file(const std::string& path);
+
+/// Process-wide count of lease files that existed but failed to parse.
+std::size_t lease_file_torn_reads() noexcept;
 
 /// The parent's lease bookkeeping: every job position in [0, jobs) belongs
 /// to exactly one lease — live (a worker owns it) or retired (drained).
@@ -139,6 +147,17 @@ class LeaseTable {
   /// range, thief still live, split outside (victim.begin, victim.end)).
   std::optional<Lease> steal(std::size_t victim, std::size_t thief,
                              std::size_t split);
+
+  /// Take over a dead/expired victim's lease: [begin, frontier) is
+  /// durably committed and retires; the drained `thief` slot gets
+  /// [frontier, end); the victim is left with an empty, drained lease
+  /// (its fencing epoch was bumped by the caller, so a resurrected victim
+  /// can no longer commit into the moved range). frontier == end retires
+  /// the whole lease (everything was committed) and returns nullopt with
+  /// the victim drained; other invalid inputs (victim drained, thief
+  /// live, frontier outside [begin, end]) return nullopt with no change.
+  std::optional<Lease> reassign(std::size_t victim, std::size_t thief,
+                                std::size_t frontier);
 
   /// Partition invariant: every job position [0, jobs) is covered by
   /// exactly one live or retired lease. Always true by construction; the
@@ -178,8 +197,14 @@ class HeartbeatMonitor {
 
   /// Feed one observation of the slot's heartbeat value (e.g. the
   /// heartbeat file's mtime in ns, or any sentinel for "missing"). A
-  /// changed value resets the slot's staleness clock.
-  void observe(std::size_t slot, std::int64_t value, TimePoint now);
+  /// changed value resets the slot's staleness clock; when it does, the
+  /// seconds since the previous change are returned — the inter-progress
+  /// interval that feeds the adaptive timeout.
+  std::optional<double> observe(std::size_t slot, std::int64_t value,
+                                TimePoint now);
+
+  /// Replace the staleness threshold (adaptive mode re-tunes it online).
+  void set_timeout(std::chrono::nanoseconds timeout) { timeout_ = timeout; }
 
   /// True when the slot is armed and its value last changed more than
   /// `timeout` ago. Never true for unarmed slots.
@@ -200,6 +225,49 @@ class HeartbeatMonitor {
   };
   std::unordered_map<std::size_t, State> slots_;
   std::chrono::nanoseconds timeout_;
+};
+
+struct AdaptiveTimeoutConfig {
+  double multiplier = 8.0;    ///< timeout >= p99 * multiplier
+  double floor_s = 3.0;       ///< never reap faster than this
+  double cap_s = 600.0;       ///< never wait longer than this
+  std::size_t window = 512;   ///< sliding sample window for the p99
+};
+
+/// Replaces the fixed --heartbeat-ms guess: a staleness timeout derived
+/// from observed job wall times. Seeded from a prior run's
+/// BatchReport::job_wall p99 and updated online from per-job samples
+/// (committed job walls in server mode, inter-heartbeat intervals in file
+/// mode), it tracks the sweep's actual pace:
+///
+///   timeout = clamp(max(p99 * multiplier, max_sample * 2), floor, cap)
+///
+/// The max_sample * 2 term is the whale guard — a healthy job twice as
+/// slow as the slowest ever seen is still given time — and with *no*
+/// samples the timeout is infinite (never reap on pure guesswork).
+class AdaptiveTimeout {
+ public:
+  explicit AdaptiveTimeout(AdaptiveTimeoutConfig config = {})
+      : config_(config) {}
+
+  /// Seed from a previous run's job-wall distribution (no-op when empty).
+  void seed(const DurationStats& stats);
+
+  /// Feed one observed job wall / progress interval (<= 0 is ignored).
+  void record(double seconds);
+
+  std::size_t samples() const noexcept { return count_; }
+
+  /// Current staleness threshold in seconds; +infinity until the first
+  /// sample arrives.
+  double timeout_seconds() const;
+
+ private:
+  AdaptiveTimeoutConfig config_;
+  std::vector<double> window_;   ///< ring buffer of recent samples
+  std::size_t next_ = 0;         ///< ring write position
+  std::size_t count_ = 0;        ///< total samples ever recorded
+  double max_sample_ = 0.0;      ///< all-time max (whale guard)
 };
 
 /// The parent's view of a sharded run: which content hashes each shard is
@@ -315,10 +383,31 @@ struct ShardRunOptions {
   /// by the exit status). Must exceed the longest single job.
   std::uint32_t heartbeat_ms = 0;
 
+  /// Adaptive stall detection (ignores heartbeat_ms): the timeout is
+  /// derived online from observed inter-heartbeat intervals via
+  /// AdaptiveTimeout, so no per-sweep tuning is needed and a healthy slow
+  /// whale job is never reaped. The CLI turns this on by default in steal
+  /// mode when --heartbeat-ms is not given.
+  bool adaptive_heartbeat = false;
+  AdaptiveTimeoutConfig adaptive_config;
+
   /// Per-slot respawn budget for crashed/stalled workers. Exhausting it
   /// aborts the run (remaining workers are killed, stores kept, merge
-  /// skipped) so a --resume can pick up later.
+  /// skipped) so a --resume can pick up later. It doubles as the
+  /// poison-job threshold: a job whose worker dies on it this many times
+  /// is quarantined (skipped + recorded) instead of burning the budget.
   std::size_t max_restarts = 2;
+
+  /// With resume: forget previous quarantine verdicts (delete the
+  /// quarantine file) so the recorded poison jobs get another chance.
+  bool retry_quarantined = false;
+
+  /// Cross-host lease service ("host:port", empty = single-host file
+  /// protocol). The parent then only spawns/reaps/merges; leases, steals,
+  /// fencing, and stall expiry live in the server (`oracle_batch
+  /// serve-leases`), which must already be running and must have been
+  /// started over the same sweep with the same slot count.
+  std::string lease_server;
 
   /// Supervisor poll period (reap + heartbeat checks).
   std::uint32_t poll_ms = 25;
@@ -354,10 +443,39 @@ struct ShardRunReport {
   MergeReport merge;
   std::size_t steals = 0;           ///< leases re-issued to idle workers
   std::size_t restarts = 0;         ///< crashed/stalled workers respawned
+  std::size_t quarantined = 0;      ///< poison jobs skipped this run
+  std::size_t orphaned = 0;         ///< workers that lost the lease server
 
   bool ok() const noexcept;
   std::string summary() const;
 };
+
+// ---------------------------------------------------------------------
+// Poison-job quarantine. When a slot's worker dies repeatedly at the same
+// committed frontier, the job at that frontier is the prime suspect;
+// after max_restarts deaths (never fewer than two — a single death is
+// coincidence, not conviction) it is quarantined — appended (fsynced) to
+// "<out>.quarantine", skipped by every worker from then on, and reported
+// — instead of burning the whole restart budget and aborting the sweep.
+// `--resume --retry-quarantined` clears the file to retry the jobs.
+// ---------------------------------------------------------------------
+
+/// "<canonical>.quarantine": one "hash_hex index" line per poisoned job.
+std::string quarantine_path(const std::string& canonical_store);
+
+struct QuarantineEntry {
+  std::uint64_t content_hash = 0;
+  std::size_t job_index = 0;  ///< sweep index, for the report/status file
+};
+
+/// Load the quarantine file; missing file or malformed lines (a torn
+/// tail) yield an empty/shorter list, never an error.
+std::vector<QuarantineEntry> read_quarantine_file(const std::string& path);
+
+/// Append one entry durably (fsynced) so a supervisor crash right after
+/// the verdict cannot resurrect the poison job on resume.
+void append_quarantine_entry(const std::string& path,
+                             const QuarantineEntry& entry);
 
 /// Deterministic fault injection for the supervised-worker process tests:
 /// kills or stalls a lease worker on cue, mid-shard. `once_marker` (when
@@ -378,6 +496,11 @@ struct ShardTestHooks {
   std::size_t stall_after_n_jobs = kOff;
   std::uint32_t stall_ms = 60'000;
 
+  /// Die right before running the job with *sweep index* N — a
+  /// deterministic poison job that kills whichever worker picks it up,
+  /// every time (unless once_marker limits it): the quarantine scenario.
+  std::size_t die_on_job_index = kOff;
+
   std::string once_marker;  ///< one-shot guard file ("" = fire every time)
 };
 
@@ -392,6 +515,36 @@ struct LeaseWorkerOptions {
   std::uint64_t master_seed = 0;
   std::size_t threads = 1;     ///< executor threads inside this worker
   ShardTestHooks hooks;        ///< fault injection (tests only)
+
+  // --- cross-host lease service mode (lease_server non-empty) ---
+
+  /// Lease server address ("host:port"); empty keeps the file protocol.
+  std::string lease_server;
+
+  /// Per-request deadline and retry/backoff budget for the lease client.
+  /// Exhausting retry_budget consecutive failures orphans the worker: it
+  /// keeps its committed prefix durable and exits with the distinct
+  /// orphaned status instead of spinning forever.
+  std::uint32_t op_timeout_ms = 2'000;
+  std::size_t retry_budget = 10;
+  std::uint32_t backoff_base_ms = 50;
+  std::uint32_t backoff_cap_ms = 2'000;
+};
+
+/// Exit status a lease-client worker process uses when orphaned (the
+/// server stayed unreachable past the retry budget). Distinct from crash
+/// codes so the launcher can tell "server gone, committed prefix durable,
+/// do not respawn" from "worker bug, respawn".
+constexpr int kOrphanedExitCode = 3;
+
+/// Outcome of a lease-service worker (run_lease_client_worker).
+struct LeaseWorkerReport {
+  BatchReport batch;          ///< aggregate over every lease it ran
+  std::size_t leases_run = 0; ///< leases acquired/stolen and executed
+  bool orphaned = false;      ///< lost the server past the retry budget
+  bool fenced = false;        ///< a stale epoch stopped this worker
+  std::uint64_t retries = 0;    ///< client-side request retries
+  std::uint64_t reconnects = 0; ///< TCP reconnects
 };
 
 /// Run this slot's current lease: read the lease file, slice the queue to
@@ -403,6 +556,20 @@ struct LeaseWorkerOptions {
 /// slice's batch report.
 BatchReport run_lease_worker(const std::vector<core::ExperimentConfig>& configs,
                              const LeaseWorkerOptions& options);
+
+/// The lease-service flavour of run_lease_worker (options.lease_server
+/// set): instead of re-reading a lease file, the worker acquires fenced
+/// leases from the server and loops — run the lease, commit the frontier
+/// per job (the commit doubles as the heartbeat), then ask for more work
+/// until the server says `done`. A `fenced` verdict stops the worker
+/// mid-lease (its durable records are harmless duplicates); an
+/// unreachable server past the retry budget orphans it: the committed
+/// prefix is already fsynced, the report says orphaned, and the caller
+/// exits with the distinct orphaned status so `--resume` reshapes leases
+/// around it.
+LeaseWorkerReport run_lease_client_worker(
+    const std::vector<core::ExperimentConfig>& configs,
+    const LeaseWorkerOptions& options);
 
 /// The parent side of `oracle_batch run --workers N`: plan shards over the
 /// sweep, spawn one self-exec worker per incomplete shard, wait, and — iff

@@ -53,9 +53,11 @@ std::string StatusSnapshot::to_json() const {
   std::string out = strfmt(
       "{\"v\":%d,\"phase\":\"%s\",\"jobs_total\":%zu,\"jobs_done\":%zu,"
       "\"jobs_per_s\":%.3f,\"eta_s\":%.3f,\"elapsed_s\":%.3f,"
-      "\"steals\":%zu,\"restarts\":%zu,\"workers\":[",
+      "\"steals\":%zu,\"restarts\":%zu,\"quarantined\":%zu,\"fenced\":%zu,"
+      "\"retries\":%zu,\"workers\":[",
       kVersion, phase.c_str(), jobs_total, jobs_done, jobs_per_second,
-      eta_seconds, elapsed_seconds, steals, restarts);
+      eta_seconds, elapsed_seconds, steals, restarts, quarantined, fenced,
+      retries);
   for (std::size_t i = 0; i < workers.size(); ++i) {
     const WorkerStatus& w = workers[i];
     if (i > 0) out += ',';
@@ -88,6 +90,13 @@ std::optional<StatusSnapshot> StatusSnapshot::parse(const std::string& json) {
       static_cast<std::size_t>(find_number(json, "steals").value_or(0.0));
   s.restarts =
       static_cast<std::size_t>(find_number(json, "restarts").value_or(0.0));
+  // Lease-service era additions; absent in snapshots from older writers.
+  s.quarantined =
+      static_cast<std::size_t>(find_number(json, "quarantined").value_or(0.0));
+  s.fenced =
+      static_cast<std::size_t>(find_number(json, "fenced").value_or(0.0));
+  s.retries =
+      static_cast<std::size_t>(find_number(json, "retries").value_or(0.0));
 
   const auto arr = json.find("\"workers\":[");
   if (arr == std::string::npos) return std::nullopt;

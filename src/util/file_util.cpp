@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "util/error.hpp"
+#include "util/posix_io.hpp"
 
 #if defined(_WIN32)
 #include <io.h>
@@ -47,7 +48,7 @@ std::optional<std::int64_t> file_mtime_ns(const std::string&) noexcept {
 bool fsync_path(const std::string& path) noexcept {
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
   if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
+  const bool ok = fsync_retry(fd);  // EINTR must not drop the barrier
   ::close(fd);
   return ok;
 }
@@ -58,7 +59,7 @@ bool fsync_parent_dir(const std::string& path) noexcept {
                                                      : path.substr(0, slash + 1);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
+  const bool ok = fsync_retry(fd);
   ::close(fd);
   return ok;
 }

@@ -1,0 +1,274 @@
+#include "util/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "util/error.hpp"
+#include "util/posix_io.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::util {
+
+std::optional<HostPort> HostPort::parse(const std::string& text,
+                                        bool allow_port_zero) {
+  const std::string t{trim(text)};
+  if (t.empty()) return std::nullopt;
+  HostPort hp;
+  std::string port_str;
+  const auto colon = t.rfind(':');
+  if (colon == std::string::npos) {
+    hp.host = "127.0.0.1";
+    port_str = t;
+  } else {
+    hp.host = t.substr(0, colon);
+    if (hp.host.empty()) hp.host = "127.0.0.1";
+    port_str = t.substr(colon + 1);
+  }
+  std::int64_t port = 0;
+  try {
+    port = parse_int(port_str, "port");
+  } catch (const ConfigError&) {
+    return std::nullopt;
+  }
+  if (port < 0 || port > 65535) return std::nullopt;
+  if (port == 0 && !allow_port_zero) return std::nullopt;
+  hp.port = static_cast<std::uint16_t>(port);
+  return hp;
+}
+
+std::string HostPort::str() const {
+  return strfmt("%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+#if defined(_WIN32)
+
+void Socket::close() { fd_ = -1; }
+Socket listen_tcp(const HostPort&, int) { return Socket(); }
+std::uint16_t local_port(int) { return 0; }
+Socket connect_tcp(const HostPort&, NetDeadline) { return Socket(); }
+Socket accept_tcp(int) { return Socket(); }
+bool send_frame(int, const std::string&, NetDeadline) { return false; }
+std::optional<std::string> recv_frame(int, NetDeadline) {
+  return std::nullopt;
+}
+
+#else
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Remaining milliseconds until `deadline`, clamped to >= 0.
+int ms_until(NetDeadline deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - NetClock::now())
+                        .count();
+  if (left <= 0) return 0;
+  if (left > 60'000) return 60'000;
+  return static_cast<int>(left);
+}
+
+/// Wait for `events` on fd until deadline. True iff the fd became ready.
+bool wait_ready(int fd, short events, NetDeadline deadline) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  while (true) {
+    const int r = poll_retry(&p, 1, ms_until(deadline));
+    if (r > 0) return true;
+    if (r == 0) {
+      if (NetClock::now() >= deadline) return false;
+      continue;  // clamped wait expired; deadline still ahead
+    }
+    return false;
+  }
+}
+
+std::optional<sockaddr_in> resolve_ipv4(const HostPort& hp) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  if (::inet_pton(AF_INET, hp.host.c_str(), &addr.sin_addr) == 1) return addr;
+  struct addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  if (::getaddrinfo(hp.host.c_str(), nullptr, &hints, &res) != 0 || !res)
+    return std::nullopt;
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return addr;
+}
+
+/// Write exactly n bytes to a (possibly nonblocking) socket under a
+/// deadline. Unlike write_full this must poll on EAGAIN.
+bool write_all_deadline(int fd, const char* p, std::size_t n,
+                        NetDeadline deadline) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_ready(fd, POLLOUT, deadline)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Read exactly n bytes under a deadline. False on EOF/timeout/error.
+bool read_all_deadline(int fd, char* p, std::size_t n, NetDeadline deadline) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, p + done, n - done, 0);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd, POLLIN, deadline)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket listen_tcp(const HostPort& at, int backlog) {
+  const auto addr = resolve_ipv4(at);
+  if (!addr) return Socket();
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Socket();
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0)
+    return Socket();
+  if (::listen(s.fd(), backlog) != 0) return Socket();
+  set_nonblocking(s.fd());
+  return s;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_tcp(const HostPort& to, NetDeadline deadline) {
+  const auto addr = resolve_ipv4(to);
+  if (!addr) return Socket();
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Socket();
+  set_nonblocking(s.fd());
+  const int rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&*addr),
+                           sizeof(*addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Socket();
+    if (!wait_ready(s.fd(), POLLOUT, deadline)) return Socket();
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0)
+      return Socket();
+  }
+  set_nodelay(s.fd());
+  return s;
+}
+
+Socket accept_tcp(int listen_fd) {
+  Socket s(::accept(listen_fd, nullptr, nullptr));
+  if (!s.valid()) return Socket();
+  set_nonblocking(s.fd());
+  set_nodelay(s.fd());
+  return s;
+}
+
+bool send_frame(int fd, const std::string& payload, NetDeadline deadline) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  unsigned char hdr[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  hdr[0] = static_cast<unsigned char>(n & 0xff);
+  hdr[1] = static_cast<unsigned char>((n >> 8) & 0xff);
+  hdr[2] = static_cast<unsigned char>((n >> 16) & 0xff);
+  hdr[3] = static_cast<unsigned char>((n >> 24) & 0xff);
+  // Header and payload in one buffer: a single send() usually covers both,
+  // and a peer can never observe a header-only partial frame from us.
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.append(reinterpret_cast<const char*>(hdr), 4);
+  buf.append(payload);
+  return write_all_deadline(fd, buf.data(), buf.size(), deadline);
+}
+
+std::optional<std::string> recv_frame(int fd, NetDeadline deadline) {
+  unsigned char hdr[4];
+  if (!read_all_deadline(fd, reinterpret_cast<char*>(hdr), 4, deadline))
+    return std::nullopt;
+  const std::uint32_t n = static_cast<std::uint32_t>(hdr[0]) |
+                          (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                          (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                          (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (n > kMaxFrameBytes) return std::nullopt;
+  std::string payload(n, '\0');
+  if (n > 0 && !read_all_deadline(fd, payload.data(), n, deadline))
+    return std::nullopt;
+  return payload;
+}
+
+#endif
+
+}  // namespace oracle::util

@@ -1,0 +1,77 @@
+#pragma once
+// Minimal TCP plumbing for the lease service: parse "host:port", listen,
+// connect with a deadline, and exchange length-prefixed frames. POSIX
+// sockets only (the shard supervisor is already POSIX-gated); no new
+// dependencies. All blocking calls honour an absolute deadline via
+// poll_retry so a wedged peer can never hang a worker past its retry
+// budget.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace oracle::util {
+
+using NetClock = std::chrono::steady_clock;
+using NetDeadline = NetClock::time_point;
+
+/// "host:port" (or ":port" / bare "port" meaning 127.0.0.1). Port must be
+/// in [1, 65535] for connect; 0 is allowed for listen (ephemeral).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+
+  static std::optional<HostPort> parse(const std::string& text,
+                                       bool allow_port_zero = false);
+  std::string str() const;
+};
+
+/// Owning socket fd; closes on destruction. Moveable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Relinquish ownership (caller closes).
+  int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on host:port (SO_REUSEADDR). Port 0 picks an ephemeral
+/// port; read it back with local_port(). Invalid Socket on failure
+/// (errno preserved).
+Socket listen_tcp(const HostPort& at, int backlog = 64);
+
+/// The locally-bound port of a listening/connected socket (0 on error).
+std::uint16_t local_port(int fd);
+
+/// Connect with a deadline (nonblocking connect + poll). Invalid Socket
+/// on failure or timeout. Resolves numeric IPv4 or names via getaddrinfo.
+Socket connect_tcp(const HostPort& to, NetDeadline deadline);
+
+/// Accept one pending connection (socket must be ready). Invalid on error.
+Socket accept_tcp(int listen_fd);
+
+inline constexpr std::size_t kMaxFrameBytes = 1 << 16;
+
+/// Write one [u32-le length][payload] frame before `deadline`. The socket
+/// may be nonblocking; partial writes are continued under poll. False on
+/// error/timeout.
+bool send_frame(int fd, const std::string& payload, NetDeadline deadline);
+
+/// Read one frame before `deadline`. nullopt on EOF, timeout, error, or
+/// an oversized/corrupt length prefix (connection should be dropped).
+std::optional<std::string> recv_frame(int fd, NetDeadline deadline);
+
+}  // namespace oracle::util

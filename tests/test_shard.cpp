@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <random>
@@ -342,6 +343,46 @@ TEST(LeaseFile, RoundTripsAndRejectsMalformed) {
   std::remove(path.c_str());
 }
 
+TEST(LeaseFile, ChecksumMismatchReadsAsTornAndBumpsTheCounter) {
+  const auto path = temp_path("lease_torn");
+
+  // A torn write can leave a line whose prefix parses as plausible
+  // numbers; only the checksum betrays it. Valid "v2" shape, wrong sum.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "v2 7 12 40 deadbeefdeadbeef\n";
+  }
+  const auto before = exp::lease_file_torn_reads();
+  EXPECT_FALSE(exp::read_lease_file(path).has_value());
+  EXPECT_EQ(exp::lease_file_torn_reads(), before + 1);
+
+  // Pre-checksum "v1" files have no sum to verify: still readable, and
+  // not counted as torn.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "v1 7 12 40\n";
+  }
+  const auto v1 = exp::read_lease_file(path);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->generation, 7u);
+  EXPECT_EQ(v1->begin, 12u);
+  EXPECT_EQ(v1->end, 40u);
+  EXPECT_EQ(exp::lease_file_torn_reads(), before + 1);
+
+  // A rewrite through the real writer repairs the file in place.
+  exp::Lease lease;
+  lease.generation = 8;
+  lease.begin = 12;
+  lease.end = 40;
+  exp::write_lease_file(path, lease);
+  const auto repaired = exp::read_lease_file(path);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->generation, 8u);
+  EXPECT_EQ(exp::lease_file_torn_reads(), before + 1);
+
+  std::remove(path.c_str());
+}
+
 TEST(LeaseTable, InitialPartitionIsBalancedAndComplete) {
   for (const auto& [jobs, slots] : std::vector<std::pair<std::size_t,
                                                          std::size_t>>{
@@ -518,6 +559,145 @@ TEST(HeartbeatMonitor, DetectsStallsOnlyAfterTheTimeout) {
   hb.start(0, t0 + 10h);
   EXPECT_FALSE(hb.stale(0, t0 + 10h + 99ms));
   EXPECT_TRUE(hb.stale(0, t0 + 10h + 101ms));
+}
+
+TEST(LeaseTable, ReassignMovesTheUncommittedTailToTheThief) {
+  exp::LeaseTable table(20, 2);  // slot0 [0,10), slot1 [10,20)
+  table.mark_drained(1);
+
+  // Invalid requests leave the table untouched: self-reassign,
+  // out-of-range slots, live thief, drained victim, frontier outside
+  // the victim's lease.
+  EXPECT_FALSE(table.reassign(0, 0, 5).has_value());
+  EXPECT_FALSE(table.reassign(7, 1, 5).has_value());
+  EXPECT_FALSE(table.reassign(1, 0, 15).has_value());  // thief 0 is live
+  EXPECT_FALSE(table.reassign(0, 1, 11).has_value());  // frontier > end
+  EXPECT_FALSE(table.drained(0));
+  EXPECT_EQ(table.lease(0).begin, 0u);
+  EXPECT_EQ(table.lease(0).end, 10u);
+  EXPECT_TRUE(table.partitions_queue());
+
+  // The thief takes the dead victim's uncommitted tail; the committed
+  // head retires and the victim collapses to an empty drained lease.
+  const auto old_gen = table.lease(1).generation;
+  const auto moved = table.reassign(0, 1, 4);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->begin, 4u);
+  EXPECT_EQ(moved->end, 10u);
+  EXPECT_GT(moved->generation, old_gen);
+  EXPECT_TRUE(table.drained(0));
+  EXPECT_TRUE(table.lease(0).empty());
+  EXPECT_FALSE(table.drained(1));
+  EXPECT_TRUE(table.partitions_queue());
+
+  // A fully-committed victim has no tail to move: the lease just
+  // retires (nullopt), the victim drains, the thief stays drained.
+  table.mark_drained(1);
+  exp::LeaseTable done(8, 2);  // slot0 [0,4), slot1 [4,8)
+  done.mark_drained(1);
+  EXPECT_FALSE(done.reassign(0, 1, 4).has_value());
+  EXPECT_TRUE(done.drained(0));
+  EXPECT_TRUE(done.drained(1));
+  EXPECT_TRUE(done.partitions_queue());
+  EXPECT_TRUE(done.all_drained());
+}
+
+TEST(HeartbeatMonitor, ObserveYieldsInterProgressIntervals) {
+  using namespace std::chrono_literals;
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  exp::HeartbeatMonitor hb(1s);
+
+  // Unarmed slots never yield intervals.
+  EXPECT_FALSE(hb.observe(0, 100, t0).has_value());
+
+  hb.start(0, t0);
+  // The first change after arming is spawn latency, not job pace.
+  EXPECT_FALSE(hb.observe(0, 100, t0 + 250ms).has_value());
+  // An unchanged value is not progress.
+  EXPECT_FALSE(hb.observe(0, 100, t0 + 400ms).has_value());
+  // From the second change on, the inter-progress interval comes back.
+  const auto a = hb.observe(0, 200, t0 + 750ms);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(*a, 0.5, 1e-9);
+  const auto b = hb.observe(0, 300, t0 + 850ms);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(*b, 0.1, 1e-9);
+
+  // set_timeout re-tunes staleness online (the adaptive path).
+  EXPECT_FALSE(hb.stale(0, t0 + 850ms + 999ms));
+  EXPECT_TRUE(hb.stale(0, t0 + 850ms + 1001ms));
+  hb.set_timeout(100ms);
+  EXPECT_TRUE(hb.stale(0, t0 + 850ms + 101ms));
+  hb.set_timeout(10s);
+  EXPECT_FALSE(hb.stale(0, t0 + 850ms + 5s));
+
+  // Re-arming resets the spawn-latency skip.
+  hb.start(0, t0 + 10s);
+  EXPECT_FALSE(hb.observe(0, 400, t0 + 10s + 50ms).has_value());
+  EXPECT_TRUE(hb.observe(0, 500, t0 + 10s + 150ms).has_value());
+}
+
+// ----------------------------------------------------- adaptive timeout --
+
+TEST(AdaptiveTimeout, IsInfiniteUntilTheFirstSampleArrives) {
+  exp::AdaptiveTimeout at;
+  EXPECT_TRUE(std::isinf(at.timeout_seconds()));
+  EXPECT_EQ(at.samples(), 0u);
+
+  // Garbage samples are ignored, not recorded.
+  at.record(0.0);
+  at.record(-1.5);
+  EXPECT_TRUE(std::isinf(at.timeout_seconds()));
+  EXPECT_EQ(at.samples(), 0u);
+
+  // Seeding from an empty distribution is a no-op too.
+  exp::DurationStats empty;
+  at.seed(empty);
+  EXPECT_TRUE(std::isinf(at.timeout_seconds()));
+}
+
+TEST(AdaptiveTimeout, ClampsToTheFloorAndTheCap) {
+  exp::AdaptiveTimeout fast;
+  fast.record(0.01);  // raw = max(0.08, 0.02) — far below the 3s floor
+  EXPECT_DOUBLE_EQ(fast.timeout_seconds(), 3.0);
+
+  exp::AdaptiveTimeout slow;
+  slow.record(100.0);  // raw = max(800, 200) — far above the 600s cap
+  EXPECT_DOUBLE_EQ(slow.timeout_seconds(), 600.0);
+}
+
+TEST(AdaptiveTimeout, TracksTheP99AndKeepsAWhaleGuard) {
+  // A uniform distribution drives the p99 * multiplier term.
+  exp::AdaptiveTimeout at;
+  for (int i = 0; i < 100; ++i) at.record(1.0);
+  EXPECT_DOUBLE_EQ(at.timeout_seconds(), 8.0);  // 1.0 * 8
+
+  // One whale: the max*2 guard dominates a p99 that stayed small.
+  exp::AdaptiveTimeout whale;
+  for (int i = 0; i < 100; ++i) whale.record(0.1);
+  whale.record(10.0);
+  EXPECT_DOUBLE_EQ(whale.timeout_seconds(), 20.0);  // max(0.8, 20)
+
+  // The whale guard is all-time: evicting the whale from the sliding
+  // window does not forget it.
+  exp::AdaptiveTimeoutConfig tiny;
+  tiny.window = 2;
+  exp::AdaptiveTimeout evicted(tiny);
+  evicted.record(5.0);
+  evicted.record(0.1);
+  evicted.record(0.1);  // window now holds {0.1, 0.1}
+  EXPECT_DOUBLE_EQ(evicted.timeout_seconds(), 10.0);  // 5.0 * 2
+}
+
+TEST(AdaptiveTimeout, SeedsFromAPriorRunsDistribution) {
+  exp::DurationStats stats;
+  stats.count = 18;
+  stats.p99_s = 2.0;
+  stats.max_s = 2.5;
+  exp::AdaptiveTimeout at;
+  at.seed(stats);
+  EXPECT_EQ(at.samples(), 2u);  // p99 + max stand in for the prior run
+  EXPECT_DOUBLE_EQ(at.timeout_seconds(), 20.0);  // max(2.5 * 8, 5.0)
 }
 
 // -------------------------------------------- empty shards & empty leases --

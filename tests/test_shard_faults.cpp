@@ -34,6 +34,8 @@
 
 #if !defined(_WIN32)
 
+#include <unistd.h>
+
 namespace oracle {
 namespace {
 
@@ -58,6 +60,21 @@ std::vector<core::ExperimentConfig> fault_sweep() {
       .build();
 }
 
+/// A slower sweep for the adaptive-heartbeat tests: 6 jobs of ~100ms+
+/// each, so every job boundary spans several supervisor poll windows and
+/// the heartbeat monitor is guaranteed to observe real inter-job
+/// intervals (the fast sweep's jobs can start and finish inside one poll
+/// tick, leaving the adaptive timeout unseeded).
+std::vector<core::ExperimentConfig> slow_sweep() {
+  auto cfg = small_config();
+  cfg.workload = "fib:24";
+  cfg.topology = "grid:6x6";
+  return core::SweepBuilder(cfg)
+      .strategies({"cwn:radius=4,horizon=1", "random"})
+      .seeds({1, 2, 3})
+      .build();
+}
+
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "oracle_faults_" + name;
 }
@@ -69,12 +86,16 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-/// Serial golden store, produced once and shared by every test.
+/// Serial golden store, produced once per process and shared by every
+/// test. The pid in the name matters: ctest runs each TEST as its own
+/// process, concurrently — a shared path would be remove()d and
+/// rewritten under a sibling process mid-comparison.
 const std::string& serial_store() {
   static std::string path;
   static std::once_flag once;
   std::call_once(once, [] {
-    path = temp_path("serial_golden.jsonl");
+    path = temp_path("serial_golden." + std::to_string(::getpid()) +
+                     ".jsonl");
     std::remove(path.c_str());
     std::remove(exp::Checkpoint::default_path(path).c_str());
     exp::BatchOptions opt;
@@ -82,6 +103,24 @@ const std::string& serial_store() {
     opt.collect = false;
     const auto outcome = exp::run_batch(fault_sweep(), opt);
     ORACLE_REQUIRE(outcome.report.ok(), "serial golden run failed");
+  });
+  return path;
+}
+
+/// Serial golden for the slow sweep (adaptive-heartbeat tests only).
+const std::string& slow_serial_store() {
+  static std::string path;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    path = temp_path("slow_serial_golden." + std::to_string(::getpid()) +
+                     ".jsonl");
+    std::remove(path.c_str());
+    std::remove(exp::Checkpoint::default_path(path).c_str());
+    exp::BatchOptions opt;
+    opt.jsonl_path = path;
+    opt.collect = false;
+    const auto outcome = exp::run_batch(slow_sweep(), opt);
+    ORACLE_REQUIRE(outcome.report.ok(), "slow serial golden run failed");
   });
   return path;
 }
@@ -111,23 +150,32 @@ exp::ShardRunReport run_steal(const std::string& canonical,
                               std::size_t max_restarts = 2,
                               bool resume = false,
                               std::size_t min_steal_jobs = 1,
-                              const std::string& status_path = {}) {
+                              const std::string& status_path = {},
+                              bool adaptive_heartbeat = false,
+                              bool retry_quarantined = false,
+                              bool slow = false) {
   exp::ShardRunOptions sopt;
   sopt.workers = workers;
   sopt.out = canonical;
   sopt.steal = true;
   sopt.heartbeat_ms = heartbeat_ms;
+  sopt.adaptive_heartbeat = adaptive_heartbeat;
   sopt.max_restarts = max_restarts;
   sopt.resume = resume;
+  sopt.retry_quarantined = retry_quarantined;
   sopt.min_steal_jobs = min_steal_jobs;
   sopt.poll_ms = 10;
   sopt.status_path = status_path;
   sopt.status_interval_ms = 25;  // many rewrites for the atomicity poller
   sopt.exec_path = exp::self_exec_path(g_self);
   sopt.worker_args = {"--shard-worker", "--out", canonical};
+  if (slow) {
+    sopt.worker_args.push_back("--sweep");
+    sopt.worker_args.push_back("slow");
+  }
   sopt.worker_args.insert(sopt.worker_args.end(), fault_flags.begin(),
                           fault_flags.end());
-  return exp::run_sharded_processes(fault_sweep(), sopt);
+  return exp::run_sharded_processes(slow ? slow_sweep() : fault_sweep(), sopt);
 }
 
 // ------------------------------------------------------------ fault tests --
@@ -295,15 +343,94 @@ TEST(StealSupervisor, StatusFileIsAlwaysACompleteSnapshot) {
   remove_steal_files(canonical, 3);
 }
 
+TEST(StealSupervisor, PoisonJobIsQuarantinedThenRetryQuarantinedConverges) {
+  const auto canonical = temp_path("poison.jsonl");
+  const auto qpath = exp::quarantine_path(canonical);
+  remove_steal_files(canonical, 3);
+  std::remove(qpath.c_str());
+
+  // Job 7 SIGKILLs whichever worker runs it, every time (no marker, no
+  // slot guard — steals move it but never save it). After max_restarts
+  // deaths on the same content hash the job must be quarantined: recorded
+  // in the .quarantine file, skipped by every worker, and the remaining
+  // 17 jobs still merge.
+  const auto report =
+      run_steal(canonical, 3, {"--poison-index", "7"});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.merge.records, 17u);
+  const auto entries = exp::read_quarantine_file(qpath);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].job_index, 7u);
+
+  // --resume --retry-quarantined forgets the verdict; the fault-free
+  // re-run executes the poison job and converges to the serial bytes.
+  const auto resumed =
+      run_steal(canonical, 3, {}, /*heartbeat_ms=*/0, /*max_restarts=*/2,
+                /*resume=*/true, /*min_steal_jobs=*/1, /*status_path=*/{},
+                /*adaptive_heartbeat=*/false, /*retry_quarantined=*/true);
+  EXPECT_TRUE(resumed.ok()) << resumed.summary();
+  EXPECT_EQ(resumed.quarantined, 0u);
+  EXPECT_EQ(resumed.merge.records, 18u);
+  EXPECT_EQ(read_file(serial_store()), read_file(canonical));
+  EXPECT_TRUE(exp::read_quarantine_file(qpath).empty());
+  remove_steal_files(canonical, 3);
+  std::remove(qpath.c_str());
+}
+
+TEST(StealSupervisor, AdaptiveHeartbeatReapsWedgedWorkerWithoutTuning) {
+  const auto canonical = temp_path("adaptive.jsonl");
+  remove_steal_files(canonical, 3);
+  // No --heartbeat-ms anywhere: the monitor seeds its timeout from the
+  // observed per-job heartbeat pace (~100ms jobs → the adaptive floor, a
+  // few seconds) and must reap the 60s wedge long before it resolves.
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "2", "--stall-after", "1", "--stall-ms", "60000",
+       "--marker", canonical + ".marker"},
+      /*heartbeat_ms=*/0, /*max_restarts=*/2, /*resume=*/false,
+      /*min_steal_jobs=*/1, /*status_path=*/{}, /*adaptive_heartbeat=*/true,
+      /*retry_quarantined=*/false, /*slow=*/true);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.restarts, 1u);
+  bool saw_reap = false;
+  for (const auto& w : report.workers)
+    if (w.shard == 2 && w.term_signal == SIGKILL) saw_reap = true;
+  EXPECT_TRUE(saw_reap);
+  EXPECT_EQ(read_file(slow_serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
+TEST(StealSupervisor, AdaptiveHeartbeatNeverReapsAHealthySlowWhale) {
+  const auto canonical = temp_path("whale.jsonl");
+  remove_steal_files(canonical, 3);
+  // A 1.2s "whale" job: ~10x slower than its siblings but well inside
+  // the adaptive floor. It must be left alone — zero restarts — and the
+  // run still converges.
+  const auto report = run_steal(
+      canonical, 3,
+      {"--fault-slot", "1", "--stall-after", "1", "--stall-ms", "1200",
+       "--marker", canonical + ".marker"},
+      /*heartbeat_ms=*/0, /*max_restarts=*/2, /*resume=*/false,
+      /*min_steal_jobs=*/1, /*status_path=*/{}, /*adaptive_heartbeat=*/true,
+      /*retry_quarantined=*/false, /*slow=*/true);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.restarts, 0u);
+  for (const auto& w : report.workers) EXPECT_NE(w.term_signal, SIGKILL);
+  EXPECT_EQ(read_file(slow_serial_store()), read_file(canonical));
+  remove_steal_files(canonical, 3);
+}
+
 // ------------------------------------------------------------ worker side --
 
 /// The self-exec'd worker: rebuild the sweep, apply targeted fault hooks,
 /// and run this slot's lease.
 int worker_main(int argc, char** argv) {
-  std::string out, marker;
+  std::string out, marker, sweep_name;
   std::optional<exp::ShardSpec> slot;
   bool resume = false;
   std::size_t fault_slot = exp::ShardTestHooks::kOff;
+  std::size_t poison_index = exp::ShardTestHooks::kOff;
   exp::ShardTestHooks hooks;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -324,6 +451,10 @@ int worker_main(int argc, char** argv) {
       hooks.stall_after_n_jobs = std::stoul(value());
     } else if (arg == "--stall-ms") {
       hooks.stall_ms = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--poison-index") {
+      poison_index = std::stoul(value());
+    } else if (arg == "--sweep") {
+      sweep_name = value();
     } else if (arg == "--marker") {
       marker = value();
     }
@@ -339,7 +470,14 @@ int worker_main(int argc, char** argv) {
     wopt.hooks = hooks;
     wopt.hooks.once_marker = marker;
   }
-  return exp::run_lease_worker(fault_sweep(), wopt).ok() ? 0 : 1;
+  if (poison_index != exp::ShardTestHooks::kOff) {
+    // A poison job kills *whichever* worker picks it up, every time — the
+    // quarantine scenario — so it is applied to every slot, unguarded.
+    wopt.hooks.die_on_job_index = poison_index;
+    wopt.hooks.die_with_sigkill = true;
+  }
+  const auto sweep = sweep_name == "slow" ? slow_sweep() : fault_sweep();
+  return exp::run_lease_worker(sweep, wopt).ok() ? 0 : 1;
 }
 
 }  // namespace
