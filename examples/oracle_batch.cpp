@@ -37,6 +37,13 @@
 //                           checkpoint, append the rest
 //     --sample N            utilization sampling interval (default off)
 //     --hop-latency N       channel units per goal/response hop
+//     --preset NAME         start from a named baseline config (applied
+//                           before every other flag, wherever it appears);
+//                           currently: million-pe (10^6-PE torus showcase)
+//     --sim-threads N       worker threads for the conservative parallel
+//                           engine (default 1 = the serial golden engine)
+//     --sim-partitions K    scheduler shards for the parallel engine
+//                           (0 = auto; results depend on K, never on N)
 //     --no-progress         disable the jobs/s + ETA progress lines
 //     --log-level LVL       trace|debug|info|warn|error|off (default info;
 //                           the ORACLE_LOG env var sets the fleet-wide
@@ -144,6 +151,7 @@ void print_usage() {
       "                    [--master-seed M] [--jobs N] [--shard N]\n"
       "                    [--out PATH|-] [--csv PATH] [--resume]\n"
       "                    [--sample N] [--hop-latency N] [--no-progress]\n"
+      "                    [--preset NAME] [--sim-threads N] [--sim-partitions K]\n"
       "                    [--log-level LVL] [--trace PATH] [--status-file PATH]\n"
       "       oracle_batch run ... --workers N [--keep-shards]   (multi-process)\n"
       "       oracle_batch run ... --workers N --steal [--heartbeat-ms N]\n"
@@ -453,6 +461,21 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
   // (--workers, --shard, --resume, --keep-shards, --no-progress).
   std::vector<std::string> passthrough;
 
+  // --preset is applied in a pre-scan so explicit axes and knobs always
+  // win, regardless of where they appear relative to --preset.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--preset") continue;
+    const std::string name = argv[i + 1];
+    if (name == "million-pe" || name == "million_pe") {
+      base = core::paper::million_pe_config();
+      topologies = {base.topology};
+      strategies = {base.strategy};
+      workloads = {base.workload};
+    } else {
+      usage_error("unknown preset '" + name + "' (available: million-pe)");
+    }
+  }
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -566,6 +589,22 @@ int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
         forward(arg, v);
       } else if (arg == "--resume") {
         opt.resume = true;
+      } else if (arg == "--preset") {
+        // Already applied by the pre-scan above; consume and forward so
+        // spawned workers start from the same baseline.
+        forward(arg, value());
+      } else if (arg == "--sim-threads") {
+        const auto v = value();
+        const auto n = parse_int(v, arg);
+        if (n < 1) usage_error("--sim-threads must be >= 1");
+        base.machine.sim_threads = static_cast<std::uint32_t>(n);
+        forward(arg, v);
+      } else if (arg == "--sim-partitions") {
+        const auto v = value();
+        const auto n = parse_int(v, arg);
+        if (n < 0) usage_error("--sim-partitions must be >= 0 (0 = auto)");
+        base.machine.sim_partitions = static_cast<std::uint32_t>(n);
+        forward(arg, v);
       } else if (arg == "--sample") {
         const auto v = value();
         base.machine.sample_interval = parse_int(v, arg);

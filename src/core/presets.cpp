@@ -65,4 +65,26 @@ ExperimentConfig sample_point(Family family, const SizePoint& size, bool cwn,
   return cfg;
 }
 
+ExperimentConfig million_pe_config() {
+  ExperimentConfig cfg = base_config();
+  // A torus halves the grid diameter — at 10^6 PEs diffusion distance is
+  // what bounds completion. CWN with a small radius keeps goals near their
+  // creators; the long broadcast interval keeps the per-PE control traffic
+  // from dwarfing the computation (10^6 broadcasters add up fast).
+  cfg.topology = "torus:1000x1000";
+  cfg.strategy = "cwn:radius=3,horizon=2,interval=20000";
+  cfg.workload = "dc:1:2000000";
+  cfg.machine.hop_latency = 4;
+  cfg.machine.ctrl_latency = 2;
+  cfg.machine.seed = 1;
+  // Parallel engine: 16 contiguous shards (auto would pick 16 here too;
+  // pinning it keeps results stable if the auto heuristic ever moves).
+  // The thread count is left at 1 — pass --sim-threads to actually engage
+  // the workers; the trajectory only depends on the partition count.
+  cfg.machine.sim_partitions = 16;
+  // ~10^8-event scale; leave generous headroom over the default budget.
+  cfg.machine.max_events = 4'000'000'000;
+  return cfg;
+}
+
 }  // namespace oracle::core::paper

@@ -44,4 +44,11 @@ ExperimentConfig base_config();
 ExperimentConfig sample_point(Family family, const SizePoint& size, bool cwn,
                               const std::string& workload_spec);
 
+/// Million-PE showcase: a 1000x1000 torus under CWN with a long broadcast
+/// interval, divide-and-conquer over two million leaves, and the parallel
+/// engine enabled (16 partitions; pair with --sim-threads). Far beyond the
+/// paper's 400-PE ceiling — this is the scale the batched/partitioned
+/// engine exists for. Expect minutes serial, and a large (~GB) topology.
+ExperimentConfig million_pe_config();
+
 }  // namespace oracle::core::paper

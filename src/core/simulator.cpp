@@ -29,16 +29,30 @@ stats::RunResult run_experiment(const ExperimentConfig& config) {
     // Engine health counters, one sample per run. Sampled here (not stored
     // in RunResult) so the JSONL record layout — and its byte-identity
     // guarantee across worker counts — is untouched.
-    const sim::Scheduler::Counters c = machine.scheduler().counters();
+    const machine::Machine::EngineStats es = machine.engine_stats();
     obs::counter("engine", "engine.events", "value",
-                 static_cast<std::int64_t>(c.executed));
+                 static_cast<std::int64_t>(es.sched.executed));
     obs::counter("engine", "engine.cancels", "value",
-                 static_cast<std::int64_t>(c.cancelled));
+                 static_cast<std::int64_t>(es.sched.cancelled));
     obs::counter("engine", "engine.sched", "wheel",
-                 static_cast<std::int64_t>(c.wheel_scheduled), "heap",
-                 static_cast<std::int64_t>(c.heap_scheduled));
+                 static_cast<std::int64_t>(es.sched.wheel_scheduled), "heap",
+                 static_cast<std::int64_t>(es.sched.heap_scheduled));
+    obs::counter("engine", "engine.batches", "ticks",
+                 static_cast<std::int64_t>(es.sched.tick_batches), "slides",
+                 static_cast<std::int64_t>(es.sched.base_slides));
     obs::counter("engine", "engine.msg_pool_reused", "value",
-                 static_cast<std::int64_t>(machine.message_pool().reused()));
+                 static_cast<std::int64_t>(es.msg_pool_reused));
+    if (es.shards > 1) {
+      // Parallel-engine health: shard count + barrier windows, per-window
+      // starvation, and the cross-partition traffic volume.
+      obs::counter("engine", "engine.windows", "shards",
+                   static_cast<std::int64_t>(es.shards), "windows",
+                   static_cast<std::int64_t>(es.windows));
+      obs::counter("engine", "engine.window_stalls", "value",
+                   static_cast<std::int64_t>(es.window_stalls));
+      obs::counter("engine", "engine.cross_messages", "value",
+                   static_cast<std::int64_t>(es.cross_messages));
+    }
   }
 
   // Static tree facts: fill from the workload so results are self-contained.

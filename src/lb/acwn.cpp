@@ -57,7 +57,7 @@ void Acwn::maybe_redistribute(topo::NodeId pe, topo::NodeId toward,
   if (params_.redistribute_delta <= 0) return;
   if (machine().load_of(pe) - neighbor_load < params_.redistribute_delta)
     return;
-  const sim::SimTime now = machine().now();
+  const sim::SimTime now = machine().now_of(pe);
   if (last_move_[pe] >= 0 &&
       now - last_move_[pe] < params_.redistribute_cooldown)
     return;

@@ -29,7 +29,7 @@ void RandomPush::on_goal_created(topo::NodeId pe, machine::Message msg) {
     machine().keep_goal(pe, msg);
     return;
   }
-  const auto pick = nbrs[machine().rng().below(nbrs.size())];
+  const auto pick = nbrs[machine().rng_for(pe).below(nbrs.size())];
   msg.hops += 1;
   machine().send_goal(pe, pick, std::move(msg));
 }
@@ -93,7 +93,8 @@ void WorkStealing::on_start() {
                                             std::max<sim::Duration>(
                                                 params_.backoff, 1)));
     stealing_[pe] = true;
-    machine().scheduler().schedule_after(offset, [this, pe] { try_steal(pe); });
+    machine().scheduler_for(pe).schedule_after(offset,
+                                               [this, pe] { try_steal(pe); });
   }
 }
 
@@ -121,7 +122,7 @@ void WorkStealing::try_steal(topo::NodeId pe) {
     return;
   }
   stealing_[pe] = true;
-  const auto victim = nbrs[machine().rng().below(nbrs.size())];
+  const auto victim = nbrs[machine().rng_for(pe).below(nbrs.size())];
   machine().send_control(pe, victim, machine::kCtrlStealReq, 0);
 }
 
@@ -142,7 +143,7 @@ void WorkStealing::on_control(topo::NodeId pe, const machine::Message& msg) {
     }
     case machine::kCtrlStealNack: {
       // Back off, then retry if still idle.
-      machine().scheduler().schedule_after(params_.backoff,
+      machine().scheduler_for(pe).schedule_after(params_.backoff,
                                            [this, pe] { try_steal(pe); });
       return;
     }

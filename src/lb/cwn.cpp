@@ -23,7 +23,8 @@ void Cwn::attach(machine::Machine& m) {
 }
 
 void Cwn::schedule_broadcast(topo::NodeId pe) {
-  machine().scheduler().schedule_after(params_.broadcast_interval, [this, pe] {
+  machine().scheduler_for(pe).schedule_after(params_.broadcast_interval,
+                                             [this, pe] {
     if (!machine().config().lb_coprocessor)
       machine().pe(pe).add_overhead(params_.broadcast_cpu_cost);
     machine().broadcast_control(pe, machine::kCtrlLoadInfo,
@@ -41,7 +42,7 @@ void Cwn::on_start() {
 void Cwn::on_goal_created(topo::NodeId pe, machine::Message msg) {
   // "this scheme sends every subgoal out to another PE as soon as it is
   // created" — unconditionally, to look over the horizon.
-  const topo::NodeId target = table_.least_loaded(pe, machine().rng());
+  const topo::NodeId target = table_.least_loaded(pe, machine().rng_for(pe));
   if (target == topo::kInvalidNode) {  // isolated PE (1-node topologies)
     machine().keep_goal(pe, msg);
     return;
@@ -62,7 +63,7 @@ void Cwn::on_goal_arrived(topo::NodeId pe, machine::Message msg) {
     machine().keep_goal(pe, msg);  // local minimum of the load gradient
     return;
   }
-  const topo::NodeId target = table_.least_loaded(pe, machine().rng());
+  const topo::NodeId target = table_.least_loaded(pe, machine().rng_for(pe));
   ORACLE_ASSERT(target != topo::kInvalidNode);
   msg.hops += 1;
   machine().send_goal(pe, target, std::move(msg));

@@ -41,7 +41,8 @@ void GradientModel::on_start() {
                   (static_cast<std::uint64_t>(pe) * params_.interval) /
                   std::max<std::uint32_t>(machine().num_pes(), 1))
             : 0;
-    machine().scheduler().schedule_after(offset, [this, pe] { wakeup(pe); });
+    machine().scheduler_for(pe).schedule_after(offset,
+                                               [this, pe] { wakeup(pe); });
   }
 }
 
@@ -79,7 +80,7 @@ void GradientModel::wakeup(topo::NodeId pe) {
       for (std::size_t i = 0; i < row.size(); ++i) {
         if (row[i] == best) {
           ++ties;
-          if (machine().rng().below(ties) == 0) chosen = i;
+          if (machine().rng_for(pe).below(ties) == 0) chosen = i;
         }
       }
       if (!params_.require_gradient || best < proximity_cap_) {
@@ -92,7 +93,7 @@ void GradientModel::wakeup(topo::NodeId pe) {
     }
   }
 
-  machine().scheduler().schedule_after(params_.interval,
+  machine().scheduler_for(pe).schedule_after(params_.interval,
                                        [this, pe] { wakeup(pe); });
 }
 

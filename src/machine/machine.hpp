@@ -1,15 +1,37 @@
 #pragma once
 // The simulated multiprocessor: topology + channels + PEs + strategy +
 // workload, wired into one discrete-event simulation. One Machine = one
-// ORACLE run. Machines are single-threaded; sweeps parallelize across
-// independent Machine instances.
+// ORACLE run.
+//
+// Two execution engines share this model:
+//   - Serial (sim_threads == 1, the default): one scheduler dispatches
+//     every event in (time, seq) order. This is the golden reference —
+//     its dispatch order is pinned byte-identical by the regression suite.
+//   - Conservative parallel (sim_threads > 1): PEs are partitioned into K
+//     contiguous shards (machine/partition.hpp), each with its own
+//     scheduler, channel resources, message pool, and RNG stream. Shards
+//     advance in lock-stepped windows bounded by the topology lookahead
+//     (min cross-shard link latency); cross-shard messages are exchanged
+//     at the window barriers. The trajectory is a deterministic function
+//     of (config, K) and *independent of the thread count*: shards run
+//     identically whether 1 or 16 workers execute them, so RunResult
+//     metrics are reproducible across hosts. Parallel runs are a distinct
+//     trajectory from serial (control timing differs), documented in
+//     README "Million-PE runs".
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "lb/strategy.hpp"
 #include "machine/machine_config.hpp"
 #include "machine/message.hpp"
+#include "machine/partition.hpp"
 #include "machine/pe.hpp"
 #include "machine/trace.hpp"
 #include "sim/simulation.hpp"
@@ -17,6 +39,7 @@
 #include "topo/factory.hpp"
 #include "topo/graph_algos.hpp"
 #include "topo/topology.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -89,10 +112,147 @@ class MessagePool {
   std::uint64_t reused_ = 0;
 };
 
+/// Structure-of-arrays block of the per-PE fields the dispatch loop, the
+/// strategies, and the samplers touch on every event. Owned by Machine;
+/// PE objects write through on every queue/execution transition, so load
+/// queries (load_of), utilization sampling, and end-of-run aggregation
+/// walk dense columns instead of chasing one heap object per PE. In
+/// parallel runs each shard writes only its own PEs' rows — the index
+/// ranges are disjoint, so the columns are shared without synchronization.
+struct HotState {
+  std::vector<std::int64_t> queue_len;    // ready-queue length
+  std::vector<std::int64_t> waiting;      // goals awaiting child responses
+  std::vector<std::uint8_t> executing;    // activation in flight?
+  std::vector<sim::SimTime> exec_start;   // in-flight activation start
+  std::vector<sim::Duration> exec_cost;   // in-flight activation cost
+  std::vector<sim::Duration> busy_accum;  // completed busy time
+  std::vector<std::uint64_t> goals_executed;
+
+  void resize(std::size_t n) {
+    queue_len.assign(n, 0);
+    waiting.assign(n, 0);
+    executing.assign(n, 0);
+    exec_start.assign(n, 0);
+    exec_cost.assign(n, 0);
+    busy_accum.assign(n, 0);
+    goals_executed.assign(n, 0);
+  }
+
+  /// Busy time of PE `i` through `t`, counting the clamped prefix of any
+  /// in-flight activation. Clamped below as well: in a parallel run other
+  /// shards may have advanced past the root completion time, so `t` can
+  /// precede an in-flight activation's start.
+  sim::Duration busy_through(std::size_t i, sim::SimTime t) const noexcept {
+    sim::Duration busy = busy_accum[i];
+    if (executing[i]) {
+      const sim::Duration elapsed = t - exec_start[i];
+      if (elapsed > 0)
+        busy += elapsed < exec_cost[i] ? elapsed : exec_cost[i];
+    }
+    return busy;
+  }
+
+  std::int64_t load(std::size_t i, LoadMeasure measure) const noexcept {
+    std::int64_t load = queue_len[i];
+    if (measure == LoadMeasure::QueuePlusWaiting) load += waiting[i];
+    return load;
+  }
+};
+
+/// A message crossing a shard boundary, exchanged at window barriers.
+/// `order` is the sender shard's running send counter: sorting by
+/// (deliver, src_shard, order) makes the injection sequence — and thus
+/// the receiver's (time, seq) dispatch order — deterministic.
+struct CrossMsg {
+  sim::SimTime deliver = 0;
+  topo::NodeId to = topo::kInvalidNode;
+  std::uint32_t src_shard = 0;
+  std::uint64_t order = 0;
+  Message payload;
+};
+
+/// Analytic stand-in for a sim::Resource on a link whose members span
+/// shards: a capacity-1 FIFO server's k-th departure is
+/// max(arrival_k, prev_departure) + service_k, which this tracks in two
+/// words. Each *sender* shard keeps its own occupancy per cross link (a
+/// shared Resource would race); the one modeling deviation — opposite
+/// directions of a cross link don't contend — is documented in README.
+struct CrossChannel {
+  sim::SimTime busy_until = 0;
+  sim::Duration busy_sum = 0;
+
+  sim::SimTime occupy(sim::SimTime now, sim::Duration service) noexcept {
+    const sim::SimTime start = now > busy_until ? now : busy_until;
+    busy_until = start + service;
+    busy_sum += service;
+    return busy_until;
+  }
+};
+
+/// Everything one scheduler shard owns. No member is ever touched by two
+/// threads: a shard is executed by exactly one worker per window, and the
+/// main thread reads it only between windows (the barrier's mutex orders
+/// the handoff).
+struct ShardState {
+  explicit ShardState(std::uint32_t ring_ticks) : sim(ring_ticks) {}
+
+  sim::Simulation sim;  // own scheduler + channel resources
+  MessagePool pool;     // own in-flight slots (indices are shard-local)
+  Rng rng{1};           // per-shard stream; deterministic given K
+  bool stopped = false; // root finished here; skip further windows
+  sim::SimTime completion_time = 0;
+
+  std::uint64_t goal_counter = 0;  // goal ids: counter * K + shard + 1
+  std::uint64_t send_order = 0;    // CrossMsg sequencing
+  std::uint64_t goal_tx = 0, response_tx = 0, control_tx = 0;
+  std::uint64_t cross_sent = 0;    // messages pushed to outboxes
+  std::uint64_t window_stalls = 0; // windows in which this shard ran 0 events
+  stats::Histogram goal_hops;
+
+  /// Sender-side occupancy per cross-shard link.
+  std::unordered_map<topo::LinkId, CrossChannel> cross_channels;
+  /// Outgoing cross messages of the current window, per destination shard.
+  std::vector<std::vector<CrossMsg>> outbox;
+  /// Messages addressed here whose delivery time is still beyond the
+  /// window horizon, sorted by (deliver, src_shard, order).
+  std::vector<CrossMsg> holdback;
+};
+
+/// Shared coordination state of a parallel run: the shards, the lookahead,
+/// and the worker-release barrier. Allocated only when sim_threads > 1.
+struct ParallelState {
+  PartitionPlan plan;
+  Lookahead lookahead;
+  std::vector<std::unique_ptr<ShardState>> shards;
+  std::uint32_t num_workers = 1;
+
+  // Window barrier (condition variables, not spinning: correctness must
+  // not depend on having a core per worker). Workers wait for `epoch` to
+  // advance, run their shards to `window_until`, then decrement `pending`.
+  std::mutex mutex;
+  std::condition_variable work_cv, done_cv;
+  std::uint64_t epoch = 0;
+  std::uint32_t pending = 0;
+  sim::SimTime window_until = 0;
+  bool shutdown = false;
+  std::vector<std::exception_ptr> errors;
+  std::vector<std::thread> workers;
+
+  // Set by the root shard's worker when the root goal completes; the main
+  // thread reads it at barriers.
+  std::atomic<bool> completed{false};
+
+  // Barrier-side telemetry (main thread only).
+  std::uint64_t windows = 0;
+  std::uint64_t cross_delivered = 0;
+};
+
 class Machine {
  public:
-  /// The topology, workload and strategy must outlive the Machine. Routing
-  /// structures are built privately (one BFS sweep per destination).
+  /// The topology, workload and strategy must outlive the Machine. Exact
+  /// routing structures (one BFS sweep per destination) are built
+  /// privately up to topo::kExactRoutingMaxNodes; beyond that the
+  /// topology must provide analytic_next_hop / diameter_hint.
   Machine(const topo::Topology& topo, const workload::Workload& workload,
           lb::Strategy& strategy, const MachineConfig& config);
 
@@ -105,6 +265,7 @@ class Machine {
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+  ~Machine();
 
   /// Inject the root goal at config.start_pe, run to completion, and
   /// aggregate statistics. Callable exactly once.
@@ -117,6 +278,28 @@ class Machine {
   Rng& rng() noexcept { return rng_; }
   const MachineConfig& config() const noexcept { return config_; }
 
+  /// The scheduler that owns `pe`'s events: the global one in a serial
+  /// run, pe's shard scheduler in a parallel run. Strategies must route
+  /// their timers through this (not scheduler()) to stay engine-agnostic.
+  sim::Scheduler& scheduler_for(topo::NodeId pe) noexcept {
+    return par_ ? par_->shards[shard_of(pe)]->sim.scheduler()
+                : sim_.scheduler();
+  }
+
+  /// Simulated time at `pe` (its shard's clock). In a parallel run clocks
+  /// advance per shard within a window; per-PE decisions (cooldowns,
+  /// backoffs) must use this, never the global now().
+  sim::SimTime now_of(topo::NodeId pe) const noexcept {
+    return par_ ? par_->shards[shard_of(pe)]->sim.now() : sim_.now();
+  }
+
+  /// The RNG stream for decisions made at `pe`. Serial runs share one
+  /// stream (the golden trajectory); parallel runs use one stream per
+  /// shard, so draws depend only on the shard's deterministic event order.
+  Rng& rng_for(topo::NodeId pe) noexcept {
+    return par_ ? par_->shards[shard_of(pe)]->rng : rng_;
+  }
+
   const topo::Topology& topology() const noexcept { return topo_; }
   std::uint32_t num_pes() const noexcept { return topo_.num_nodes(); }
   std::uint32_t diameter() const noexcept { return diameter_; }
@@ -124,8 +307,11 @@ class Machine {
   PE& pe(topo::NodeId id) { return *pes_.at(id); }
   const PE& pe(topo::NodeId id) const { return *pes_.at(id); }
 
-  /// The strategy-visible load of a PE (per config().load_measure).
-  std::int64_t load_of(topo::NodeId id) const { return pes_.at(id)->load(); }
+  /// The strategy-visible load of a PE (per config().load_measure), read
+  /// straight from the SoA column.
+  std::int64_t load_of(topo::NodeId id) const {
+    return hot_.load(id, config_.load_measure);
+  }
 
   /// Execution-time multiplier for a PE (1 unless degradation injection is
   /// configured via slow_pe_percent / slow_factor).
@@ -154,8 +340,14 @@ class Machine {
     return workload_.expand(spec);
   }
 
-  /// Allocate a fresh goal id.
-  workload::GoalId next_goal_id() noexcept { return next_goal_id_++; }
+  /// Allocate a fresh goal id for a goal created on `pe`. Serial ids are
+  /// sequential; parallel ids interleave per shard (counter * K + shard
+  /// + 1) so they are unique and independent of worker count.
+  workload::GoalId next_goal_id(topo::NodeId pe) noexcept {
+    if (!par_) return next_goal_id_++;
+    ShardState& shard = *par_->shards[shard_of(pe)];
+    return shard.goal_counter++ * par_->plan.num_shards + shard_of(pe) + 1;
+  }
 
   // --- Hooks called by PEs -------------------------------------------------
 
@@ -171,8 +363,9 @@ class Machine {
   void send_response(topo::NodeId from, topo::NodeId to,
                      workload::GoalId parent_id);
 
-  /// The root goal finished: stop the run.
-  void on_root_complete();
+  /// The root goal finished on `pe`: stop the run (pe's shard, in a
+  /// parallel run; the other shards stop at the next window barrier).
+  void on_root_complete(topo::NodeId pe);
 
   /// PE became idle (strategy hook passthrough).
   void notify_idle(topo::NodeId pe);
@@ -183,14 +376,64 @@ class Machine {
   /// Read-only view of the message pool, for profiling counters.
   const MessagePool& message_pool() const noexcept { return msg_pool_; }
 
+  /// Engine telemetry aggregated across shards, for obs::Tracer sampling
+  /// after a run. Serial runs report the single scheduler with zero
+  /// windows/cross traffic.
+  struct EngineStats {
+    sim::Scheduler::Counters sched;       // summed over shards
+    std::uint64_t shards = 1;
+    std::uint64_t windows = 0;            // horizon barriers executed
+    std::uint64_t window_stalls = 0;      // (shard, window) pairs with 0 events
+    std::uint64_t cross_messages = 0;     // messages crossing shard edges
+    std::uint64_t msg_pool_reused = 0;    // summed over shard pools
+  };
+  EngineStats engine_stats() const;
+
  private:
+  friend class PE;
+
+  static std::uint32_t tuned_ring_ticks(const MachineConfig& config,
+                                        const workload::Workload& workload);
+  static std::uint32_t resolve_diameter(const topo::Topology& topo);
+
+  std::uint32_t shard_of(topo::NodeId pe) const noexcept {
+    return par_->plan.shard_of(pe);
+  }
+  topo::NodeId next_hop(topo::NodeId from, topo::NodeId to) const {
+    if (routing_) return routing_->next_hop(from, to);
+    const topo::NodeId hop = topo_.analytic_next_hop(from, to);
+    ORACLE_ASSERT_MSG(hop != topo::kInvalidNode,
+                      "topology offers neither exact nor analytic routing");
+    return hop;
+  }
+  MessagePool& pool_for(topo::NodeId pe) noexcept {
+    return par_ ? par_->shards[shard_of(pe)]->pool : msg_pool_;
+  }
+  /// True when delivery at `pe` should be dropped because its shard's run
+  /// is over (root completion). Reads only shard-local state in parallel.
+  bool stopped_at(topo::NodeId pe) const noexcept {
+    return par_ ? par_->shards[shard_of(pe)]->stopped : root_done_;
+  }
+
   void deliver(const Message& msg, topo::NodeId to);
   void deliver_pooled(std::uint32_t slot, topo::NodeId to);
-  sim::Resource& channel_for(topo::NodeId from, topo::NodeId to);
   void transmit(topo::NodeId from, topo::NodeId to, Message msg);
   void transmit_pooled(topo::NodeId from, topo::NodeId to, std::uint32_t slot);
+  void count_tx(topo::NodeId from, MsgKind kind);
+  sim::Duration occupancy_of(const Message& msg) const noexcept;
   double busy_fraction_since_last_sample();
   void init();
+
+  // Parallel engine (machine_parallel.cpp).
+  void setup_parallel();
+  void transmit_over_cross_link(topo::NodeId from, topo::NodeId to,
+                                topo::LinkId lid, std::uint32_t slot);
+  void broadcast_over_cross_link(topo::NodeId from, topo::LinkId lid,
+                                 Message msg);
+  void run_parallel();
+  void worker_loop(std::uint32_t worker);
+  double cross_channel_utilization(topo::LinkId lid,
+                                   sim::SimTime horizon) const;
 
   // Keeps a cache-shared topology alive; null when the caller owns the
   // topology (reference-only constructor).
@@ -202,12 +445,18 @@ class Machine {
 
   sim::Simulation sim_;
   Rng rng_;
-  std::shared_ptr<const topo::RoutingTable> routing_;
+  std::shared_ptr<const topo::RoutingTable> routing_;  // null beyond the
+                                                       // exact-routing cap
   std::uint32_t diameter_;
   MessagePool msg_pool_;
+  std::unique_ptr<ParallelState> par_;  // null in serial runs
 
   std::vector<std::unique_ptr<PE>> pes_;
-  std::vector<sim::Resource*> channels_;  // one per topology link, owned by sim_
+  HotState hot_;
+  // One per topology link; owned by sim_ (serial) or a shard sim
+  // (parallel, links internal to the shard). Null for links whose members
+  // span shards — those route through ShardState::cross_channels.
+  std::vector<sim::Resource*> channels_;
   std::vector<std::uint32_t> speed_factor_;  // empty when homogeneous
 
   workload::GoalId next_goal_id_ = 1;

@@ -66,6 +66,22 @@ struct MachineConfig {
   /// Record up to this many machine-level trace events (0 disables).
   std::size_t trace_capacity = 0;
 
+  /// Worker threads for the conservative parallel engine; 1 = the serial
+  /// engine (the golden reference path). Execution knob only: like
+  /// BatchOptions::jobs it is deliberately NOT part of the job content
+  /// hash (exp::job_canonical_string), because for a fixed partition
+  /// count the results are identical for any thread count.
+  std::uint32_t sim_threads = 1;
+
+  /// Logical PE partitions (scheduler shards) for the parallel engine;
+  /// 0 = auto (scaled from machine size). The simulation trajectory is a
+  /// function of the partition count, never of sim_threads, so results
+  /// are reproducible across hosts with different core counts. Also
+  /// excluded from the job content hash, as runs only depend on it when
+  /// sim_threads > 1 (parallel results are documented as a distinct,
+  /// self-consistent trajectory per partition count).
+  std::uint32_t sim_partitions = 0;
+
   /// Heterogeneity / degradation injection: this percentage of PEs
   /// (selected deterministically from the seed) execute every phase
   /// `slow_factor` times slower. Exercises the schemes' ability to steer

@@ -1,0 +1,92 @@
+#pragma once
+// PE partitioning and lookahead for the conservative parallel engine.
+//
+// A parallel run splits the machine's PEs into K contiguous blocks
+// ("shards"), each with its own scheduler. Contiguity is the topology
+// awareness: every generator in src/topo/ numbers nodes so that nearby ids
+// are nearby in the network (row-major grids, Gray-adjacent hypercube
+// labels, heap-ordered trees), so an id-contiguous block is a compact
+// region and most links stay internal to one shard.
+//
+// The classic conservative-DES bound (Chandy/Misra/Bryant lineage) says a
+// shard may safely execute all events strictly before
+//     min(every shard's next event time) + lookahead,
+// where lookahead is the minimum latency any cross-shard interaction needs
+// to traverse a link: an event at time t in one shard can only affect
+// another shard at or after t + lookahead. ORACLE's machine model gives
+// this to us exactly: every cross-PE interaction is a Message on a Link,
+// and its channel occupancy is a closed form of the config's latency knobs
+// (hop/ctrl base latency + word_time * message size). The minimum over the
+// cross-shard links is computed once, before the run.
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+
+namespace oracle::machine {
+
+/// Contiguous near-equal partition of PEs [0, n) into K shards.
+/// shard_of is a pure closed form (no per-PE table): PE p belongs to shard
+/// floor(p*K/n), which yields blocks whose sizes differ by at most one.
+struct PartitionPlan {
+  std::uint32_t num_pes = 0;
+  std::uint32_t num_shards = 1;
+
+  std::uint32_t shard_of(topo::NodeId pe) const noexcept {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(pe) * num_shards / num_pes);
+  }
+  /// First PE of shard `s` (== one past the last PE of shard s-1).
+  topo::NodeId begin(std::uint32_t s) const noexcept {
+    return static_cast<topo::NodeId>(
+        (static_cast<std::uint64_t>(s) * num_pes + num_shards - 1) /
+        num_shards);
+  }
+  topo::NodeId end(std::uint32_t s) const noexcept { return begin(s + 1); }
+};
+
+/// Auto shard count: one shard per ~4096 PEs, capped at 16 — small
+/// machines gain nothing from sharding, and beyond ~16 shards the barrier
+/// cost outgrows the win on commodity core counts.
+std::uint32_t auto_num_shards(std::uint32_t num_pes) noexcept;
+
+/// Build a plan with `requested` shards (0 = auto), clamped to [1, n].
+PartitionPlan make_partition_plan(std::uint32_t num_pes,
+                                  std::uint32_t requested);
+
+/// The cheapest message the machine model can put on a channel: the
+/// cross-shard lookahead bound. Control words and goal/response payloads
+/// have different closed forms; the min over message kinds is what bounds
+/// how soon an event in one shard can be observed in another.
+sim::Duration link_min_latency(const MachineConfig& config) noexcept;
+
+/// One ordered pair of shards joined by at least one link, with the
+/// minimum latency over the links joining them. (Latencies are uniform
+/// per config today, so min_latency is the same for every edge; the
+/// per-edge form is kept so per-link latencies slot in later.)
+struct PartitionEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  sim::Duration min_latency = sim::kTimeInfinity;
+};
+
+/// Cross-shard structure of a partitioned topology.
+struct Lookahead {
+  /// min over cross-shard edges; kTimeInfinity when K == 1 (or no link
+  /// crosses a shard boundary), i.e. shards never need to synchronize.
+  sim::Duration horizon = sim::kTimeInfinity;
+  /// Every ordered shard pair sharing a link, sorted by (from, to).
+  std::vector<PartitionEdge> edges;
+};
+
+/// Scan the topology's links once and derive the conservative lookahead.
+/// Rejects (ConfigError) configurations whose cheapest cross-shard message
+/// has zero latency: a zero-lookahead model cannot make parallel progress.
+Lookahead compute_lookahead(const topo::Topology& topo,
+                            const PartitionPlan& plan,
+                            const MachineConfig& config);
+
+}  // namespace oracle::machine

@@ -5,9 +5,14 @@
 
 namespace oracle::machine {
 
-PE::PE(Machine& machine, topo::NodeId id) : machine_(machine), id_(id) {
-  ready_.reserve(64);
-  waiting_.reserve(64);
+PE::PE(Machine& machine, topo::NodeId id)
+    : machine_(machine), sched_(&machine.scheduler_for(id)), id_(id) {
+  // Per-PE container reserves scale down on huge machines: 64-slot reserves
+  // are free at 10^3 PEs but cost gigabytes at 10^6, where per-PE queues
+  // stay short anyway (the workload fans out across the machine).
+  const bool huge = machine.num_pes() > 65536;
+  ready_.reserve(huge ? 4 : 64);
+  waiting_.reserve(huge ? 4 : 64);
 }
 
 void PE::enqueue_goal(const Message& msg) {
@@ -20,14 +25,18 @@ void PE::enqueue_goal(const Message& msg) {
   act.parent_pe = msg.parent_pe;
   act.is_combine = false;
   ready_.push_back(act);
+  ++machine_.hot_.queue_len[id_];
   try_dispatch();
 }
 
-std::int64_t PE::load() const noexcept {
-  std::int64_t load = static_cast<std::int64_t>(ready_.size());
-  if (machine_.config().load_measure == LoadMeasure::QueuePlusWaiting)
-    load += static_cast<std::int64_t>(waiting_.size());
-  return load;
+std::int64_t PE::load() const noexcept { return machine_.load_of(id_); }
+
+bool PE::executing() const noexcept {
+  return machine_.hot_.executing[id_] != 0;
+}
+
+std::uint64_t PE::goals_executed() const noexcept {
+  return machine_.hot_.goals_executed[id_];
 }
 
 std::optional<Message> PE::take_transferable_goal(bool newest) {
@@ -39,6 +48,7 @@ std::optional<Message> PE::take_transferable_goal(bool newest) {
     Message msg = Message::goal(act.id, act.spec, act.parent_id, act.parent_pe);
     msg.hops = act.hops;
     ready_.erase_at(i);
+    --machine_.hot_.queue_len[id_];
     return msg;
   };
   if (newest) {
@@ -52,17 +62,14 @@ std::optional<Message> PE::take_transferable_goal(bool newest) {
 }
 
 sim::Duration PE::busy_time_through(sim::SimTime now) const noexcept {
-  sim::Duration busy = busy_time_;
-  if (executing_) {
-    const sim::Duration elapsed = now - exec_started_;
-    busy += elapsed < exec_cost_ ? elapsed : exec_cost_;
-  }
-  return busy;
+  return machine_.hot_.busy_through(id_, now);
 }
 
 void PE::try_dispatch() {
-  if (executing_ || ready_.empty()) return;
+  HotState& hot = machine_.hot_;
+  if (hot.executing[id_] || ready_.empty()) return;
   current_ = ready_.pop_front();
+  --hot.queue_len[id_];
 
   sim::Duration cost;
   if (current_.is_combine) {
@@ -78,25 +85,26 @@ void PE::try_dispatch() {
   // ahead of the activation it delays.
   cost += pending_overhead_;
   pending_overhead_ = 0;
-  executing_ = true;
-  exec_started_ = machine_.now();
-  exec_cost_ = cost;
+  hot.executing[id_] = 1;
+  hot.exec_start[id_] = sched_->now();
+  hot.exec_cost[id_] = cost;
   // The in-flight activation lives in current_, so the completion event
   // captures only `this` and stays inline in the scheduler slot.
-  machine_.scheduler().schedule_after(cost, [this] { finish_current(); });
+  sched_->schedule_after(cost, [this] { finish_current(); });
 }
 
 void PE::finish_current() {
-  ORACLE_ASSERT(executing_);
+  HotState& hot = machine_.hot_;
+  ORACLE_ASSERT(hot.executing[id_]);
   const Activation act = current_;
-  executing_ = false;
-  busy_time_ += exec_cost_;
+  hot.executing[id_] = 0;
+  hot.busy_accum[id_] += hot.exec_cost[id_];
 
   if (act.is_combine) {
     respond_to_parent(act);
   } else {
     const workload::Expansion exp = machine_.expand(act.spec);
-    ++goals_executed_;
+    ++hot.goals_executed[id_];
     machine_.record_goal_executed(id_, act.hops);
     if (exp.is_leaf) {
       respond_to_parent(act);
@@ -112,8 +120,10 @@ void PE::finish_current() {
       ORACLE_ASSERT(waiting.remaining > 0);
       const bool inserted = waiting_.emplace(act.id, waiting).second;
       ORACLE_ASSERT_MSG(inserted, "goal executed twice");
+      ++hot.waiting[id_];
       for (const workload::GoalSpec& child : exp.children) {
-        Message msg = Message::goal(machine_.next_goal_id(), child, act.id, id_);
+        Message msg =
+            Message::goal(machine_.next_goal_id(id_), child, act.id, id_);
         machine_.place_new_goal(id_, std::move(msg));
       }
     }
@@ -125,7 +135,7 @@ void PE::finish_current() {
 
 void PE::respond_to_parent(const Activation& act) {
   if (act.parent_id == workload::kInvalidGoal) {
-    machine_.on_root_complete();
+    machine_.on_root_complete(id_);
     return;
   }
   machine_.send_response(id_, act.parent_pe, act.parent_id);
@@ -145,7 +155,9 @@ void PE::deliver_response(workload::GoalId parent_id) {
     act.is_combine = true;
     act.cost = it->second.combine_cost;
     waiting_.erase(it);
+    --machine_.hot_.waiting[id_];
     ready_.push_back(act);
+    ++machine_.hot_.queue_len[id_];
     try_dispatch();
   }
 }

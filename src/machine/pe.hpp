@@ -3,12 +3,19 @@
 // queue of goal activations. ORACLE models "one process for each user
 // process running on a PE"; here the PE is an event-driven actor that
 // executes one activation at a time, charging simulated time per phase.
+//
+// The scalar fields the dispatch loop and the strategies poll on every
+// event — queue lengths, execution state, busy time, goal counts — live in
+// the Machine-owned SoA block (machine::HotState), written through by the
+// PE on every transition. The PE object itself keeps only the containers
+// (ready queue, waiting map) and the in-flight activation.
 
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 
 #include "machine/message.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 #include "topo/topology.hpp"
 #include "util/ring_queue.hpp"
@@ -55,8 +62,8 @@ class PE {
   /// Goals parked here awaiting child responses (future commitments).
   std::size_t waiting_count() const noexcept { return waiting_.size(); }
 
-  bool executing() const noexcept { return executing_; }
-  bool idle() const noexcept { return !executing_ && ready_.empty(); }
+  bool executing() const noexcept;
+  bool idle() const noexcept { return !executing() && ready_.empty(); }
 
   /// Remove a transferable goal (a *fresh* goal that has not started
   /// executing) from the ready queue so the strategy can send it elsewhere
@@ -79,7 +86,7 @@ class PE {
   sim::Duration pending_overhead() const noexcept { return pending_overhead_; }
 
   /// Goals whose split/leaf phase ran on this PE.
-  std::uint64_t goals_executed() const noexcept { return goals_executed_; }
+  std::uint64_t goals_executed() const noexcept;
 
  private:
   friend class Machine;
@@ -98,20 +105,19 @@ class PE {
   };
 
   Machine& machine_;
+  // This PE's event engine: the global scheduler in a serial run, the
+  // owning shard's in a parallel run. Cached at construction so the
+  // dispatch hot path pays no shard lookup.
+  sim::Scheduler* sched_;
   topo::NodeId id_;
   // Pre-reserved ring buffer: the dispatch hot loop pushes/pops activations
-  // with zero allocation (see Machine::init for the reserve call).
+  // with zero allocation (reserve sizes adapt to machine scale; see ctor).
   util::RingQueue<Activation> ready_;
   std::unordered_map<workload::GoalId, WaitingGoal> waiting_;
-  // The activation being executed (valid while executing_): storing it here
+  // The activation being executed (valid while executing): storing it here
   // keeps the completion event's capture to just `this`.
   Activation current_;
-  bool executing_ = false;
   sim::Duration pending_overhead_ = 0;
-  sim::SimTime exec_started_ = 0;
-  sim::Duration exec_cost_ = 0;
-  sim::Duration busy_time_ = 0;
-  std::uint64_t goals_executed_ = 0;
 };
 
 }  // namespace oracle::machine

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/string_util.hpp"
 
@@ -18,7 +19,18 @@ constexpr std::uint32_t handle_gen(std::uint64_t id) {
 
 }  // namespace
 
-Scheduler::Scheduler() : ring_(kRingTicks) {}
+std::uint32_t Scheduler::normalize_ring_ticks(std::uint32_t requested) noexcept {
+  const std::uint32_t clamped =
+      std::clamp(requested, kMinRingTicks, kMaxRingTicks);
+  return std::bit_ceil(clamped);
+}
+
+Scheduler::Scheduler(std::uint32_t ring_ticks)
+    : ring_ticks_(normalize_ring_ticks(ring_ticks)),
+      ring_mask_(ring_ticks_ - 1),
+      bit_words_(ring_ticks_ / 64),
+      ring_(ring_ticks_),
+      bits_(bit_words_, 0) {}
 
 std::uint32_t Scheduler::acquire_slot() {
   if (free_head_ != kNoSlot) {
@@ -88,7 +100,7 @@ void Scheduler::pop_top() noexcept {
 }
 
 void Scheduler::ring_insert(SimTime when, std::uint32_t idx) {
-  const std::uint32_t tick = static_cast<std::uint32_t>(when) & kRingMask;
+  const std::uint32_t tick = static_cast<std::uint32_t>(when) & ring_mask_;
   Bucket& b = ring_[tick];
   slot(idx).next = kNoSlot;
   if (b.tail == kNoSlot) {
@@ -102,13 +114,16 @@ void Scheduler::ring_insert(SimTime when, std::uint32_t idx) {
 }
 
 void Scheduler::migrate_overflow() {
-  while (!heap_.empty() && heap_.front().time < base_ + kRingTicks) {
+  while (!heap_.empty() && heap_.front().time < base_ + ring_ticks_) {
     const HeapEntry top = heap_.front();
     pop_top();
     if (!slot(top.slot).live) {
       release_slot(top.slot);
       continue;
     }
+    // Stragglers (events behind a slid base) are dispatched straight from
+    // the heap top and can never reach a migration point.
+    ORACLE_ASSERT_MSG(top.time >= base_, "straggler reached migrate_overflow");
     // Heap pops arrive in (time, seq) order and any future direct insert
     // for these ticks carries a larger seq, so appending preserves FIFO.
     ring_insert(top.time, top.slot);
@@ -116,34 +131,67 @@ void Scheduler::migrate_overflow() {
 }
 
 bool Scheduler::find_next_tick(SimTime& out) const noexcept {
-  const std::uint32_t start = static_cast<std::uint32_t>(base_) & kRingMask;
+  const std::uint32_t start = static_cast<std::uint32_t>(base_) & ring_mask_;
   std::uint32_t word_i = start >> 6;
   std::uint64_t word = bits_[word_i] & (~0ULL << (start & 63));
-  for (std::uint32_t scanned = 0; scanned <= kBitWords; ++scanned) {
+  for (std::uint32_t scanned = 0; scanned <= bit_words_; ++scanned) {
     if (word != 0) {
       const std::uint32_t bit =
           word_i * 64 +
           static_cast<std::uint32_t>(__builtin_ctzll(word));
-      out = base_ + static_cast<SimTime>((bit - start) & kRingMask);
+      out = base_ + static_cast<SimTime>((bit - start) & ring_mask_);
       return true;
     }
-    word_i = (word_i + 1) & (kBitWords - 1);
+    word_i = (word_i + 1) & (bit_words_ - 1);
     word = bits_[word_i];
   }
   return false;
 }
 
+bool Scheduler::straggler_on_top() {
+  // Drop tombstones parked at the heap top; amortized O(1), each tombstone
+  // is dropped exactly once. After this, every heap entry is live-or-later:
+  // if the top is >= base_, so is everything below it (min-heap).
+  while (!heap_.empty() && !slot(heap_.front().slot).live) {
+    release_slot(heap_.front().slot);
+    pop_top();
+  }
+  return !heap_.empty() && heap_.front().time < base_;
+}
+
+void Scheduler::fire(std::uint32_t idx, SimTime t) {
+  Slot& s = slot(idx);
+  ORACLE_ASSERT(t >= now_);
+  // Retire the event before invoking, but run the callback *in place*:
+  // chunked slots never move, and the slot is not released (hence not
+  // reusable by events the callback schedules) until the call returns.
+  s.live = false;
+  ++s.gen;
+  now_ = t;
+  --live_events_;
+  ++executed_;
+  s.cb();
+  s.cb.reset();
+  release_slot(idx);
+}
+
 bool Scheduler::peek_next_time(SimTime& out) {
   // Like the dispatch scan in step(), but without moving base_: a peek
   // that moved the wheel past `until` would leave later inserts behind the
-  // cursor. The wheel invariant (overflow top >= base_ + kRingTicks) makes
-  // the ring candidate, when present, always the earlier one.
+  // cursor. A live straggler (scheduled behind a slid base) is earlier
+  // than everything in the ring by construction; otherwise the wheel
+  // invariant (overflow top >= base_ + ring_ticks_) makes the ring
+  // candidate, when present, always the earlier one.
+  if (straggler_on_top()) {
+    out = heap_.front().time;
+    return true;
+  }
   for (;;) {
     if (ring_count_ > 0) {
       SimTime t;
       const bool found = find_next_tick(t);
       ORACLE_ASSERT(found);
-      const std::uint32_t tick = static_cast<std::uint32_t>(t) & kRingMask;
+      const std::uint32_t tick = static_cast<std::uint32_t>(t) & ring_mask_;
       Bucket& b = ring_[tick];
       while (b.head != kNoSlot && !slot(b.head).live) {
         const std::uint32_t dead = b.head;
@@ -158,10 +206,7 @@ bool Scheduler::peek_next_time(SimTime& out) {
       out = t;
       return true;
     }
-    while (!heap_.empty() && !slot(heap_.front().slot).live) {
-      release_slot(heap_.front().slot);
-      pop_top();
-    }
+    // Heap-top tombstones were already dropped by straggler_on_top().
     if (heap_.empty()) return false;
     out = heap_.front().time;
     return true;
@@ -175,15 +220,16 @@ void Scheduler::reserve(std::size_t n) {
 }
 
 bool Scheduler::step() {
-  std::uint32_t idx;
   for (;;) {
+    if (straggler_on_top()) {
+      const HeapEntry top = heap_.front();
+      pop_top();
+      fire(top.slot, top.time);
+      return true;
+    }
     if (ring_count_ == 0) {
-      // Drop tombstones parked at the heap top, then jump the wheel to the
-      // earliest far-future event and pull its cohort in.
-      while (!heap_.empty() && !slot(heap_.front().slot).live) {
-        release_slot(heap_.front().slot);
-        pop_top();
-      }
+      // Jump the wheel to the earliest far-future event and pull its
+      // cohort in (straggler_on_top() already dropped dead heap tops).
       if (heap_.empty()) return false;
       base_ = heap_.front().time;
       migrate_overflow();
@@ -198,14 +244,14 @@ bool Scheduler::step() {
       // anything else can append to their buckets.
       if (!heap_.empty()) migrate_overflow();
     }
-    const std::uint32_t tick = static_cast<std::uint32_t>(t) & kRingMask;
+    const std::uint32_t tick = static_cast<std::uint32_t>(t) & ring_mask_;
     Bucket& b = ring_[tick];
     for (;;) {
       if (b.head == kNoSlot) {
         clear_tick(tick);
         break;  // bucket held only tombstones; rescan
       }
-      idx = b.head;
+      const std::uint32_t idx = b.head;
       Slot& s = slot(idx);
       b.head = s.next;
       --ring_count_;
@@ -220,18 +266,7 @@ bool Scheduler::step() {
         // intrusive links otherwise serialize the loads.
         __builtin_prefetch(&slot(b.head));
       }
-      ORACLE_ASSERT(t >= now_);
-      // Retire the event before invoking, but run the callback *in place*:
-      // chunked slots never move, and the slot is not released (hence not
-      // reusable by events the callback schedules) until the call returns.
-      s.live = false;
-      ++s.gen;
-      now_ = t;
-      --live_events_;
-      ++executed_;
-      s.cb();
-      s.cb.reset();
-      release_slot(idx);
+      fire(idx, t);
       return true;
     }
   }
@@ -239,24 +274,73 @@ bool Scheduler::step() {
 
 SimTime Scheduler::run(SimTime until, std::uint64_t max_events) {
   stop_requested_ = false;
-  // With a horizon, peek so no event beyond `until` is dispatched;
-  // unbounded runs skip the peek entirely.
   const bool bounded = until != kTimeInfinity;
   while (!stop_requested_) {
-    if (bounded) {
-      SimTime next;
-      if (!peek_next_time(next) || next > until) break;
+    if (straggler_on_top()) {
+      // Dispatch directly from the heap top: a straggler precedes every
+      // ring entry and no ring entry can tie with it (ring times >= base_).
+      const HeapEntry top = heap_.front();
+      if (bounded && top.time > until) break;
+      pop_top();
+      fire(top.slot, top.time);
+      if (max_events != 0 && executed_ > max_events)
+        throw_budget_exceeded(max_events);
+      continue;
     }
-    if (!step()) break;
-    if (max_events != 0 && executed_ > max_events) {
-      throw SimulationError(strfmt(
-          "event budget exceeded (%llu events executed, t=%lld); "
-          "the model is probably not terminating",
-          static_cast<unsigned long long>(executed_),
-          static_cast<long long>(now_)));
+    if (ring_count_ == 0) {
+      if (heap_.empty()) break;
+      base_ = heap_.front().time;
+      migrate_overflow();
+      continue;
     }
+    SimTime t;
+    const bool found = find_next_tick(t);
+    ORACLE_ASSERT(found);
+    if (bounded && t > until) break;
+    if (t != base_) {
+      base_ = t;
+      if (!heap_.empty()) migrate_overflow();
+    }
+    const std::uint32_t tick = static_cast<std::uint32_t>(t) & ring_mask_;
+    Bucket& b = ring_[tick];
+    const std::uint64_t exec_before = executed_;
+    // Drain the whole tick as a batch: the tick scan, base advance, and
+    // overflow migration above are paid once per occupied tick, not once
+    // per event. Same-tick events appended by callbacks land at the tail
+    // and join the batch in seq order. The `base_ == t` guard catches a
+    // callback emptying the engine and sliding the base: the bucket may
+    // then hold events for a *different* time aliasing to this index, so
+    // the scan must restart.
+    while (b.head != kNoSlot && base_ == t && !stop_requested_) {
+      const std::uint32_t idx = b.head;
+      Slot& s = slot(idx);
+      b.head = s.next;
+      --ring_count_;
+      if (b.head == kNoSlot) {
+        clear_tick(tick);
+      } else {
+        __builtin_prefetch(&slot(b.head));
+      }
+      if (!s.live) {
+        release_slot(idx);
+        continue;
+      }
+      fire(idx, t);
+      if (max_events != 0 && executed_ > max_events)
+        throw_budget_exceeded(max_events);
+    }
+    if (executed_ != exec_before) ++tick_batches_;
   }
   return now_;
+}
+
+void Scheduler::throw_budget_exceeded(std::uint64_t max_events) const {
+  (void)max_events;
+  throw SimulationError(strfmt(
+      "event budget exceeded (%llu events executed, t=%lld); "
+      "the model is probably not terminating",
+      static_cast<unsigned long long>(executed_),
+      static_cast<long long>(now_)));
 }
 
 }  // namespace oracle::sim

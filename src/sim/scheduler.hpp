@@ -26,14 +26,28 @@
 //     activation costs are small integers) go into a timing wheel — a ring
 //     of per-tick FIFO buckets with a bitmap index, one bit per tick, so
 //     schedule and dispatch are O(1) with no comparisons at all. Bucket
-//     append order equals seq order, preserving the FIFO tie-break.
-//   - Events at or beyond the wheel horizon (base + kRingTicks) wait in an
+//     append order equals seq order, preserving the FIFO tie-break. The
+//     ring size is configurable per scheduler (power of two; Machine
+//     autotunes it from the config's latency scale).
+//   - Events at or beyond the wheel horizon (base + ring_ticks) wait in an
 //     *indexed 4-ary heap* of 24-byte (time, seq, slot) triples — small
 //     PODs, shallow tree, cache-friendly sifts. Whenever the wheel's base
 //     advances, every overflow event that falls inside the new horizon
 //     migrates into its bucket *before* any later (higher-seq) event can be
 //     appended there, so the (time, seq) total order is preserved across
 //     the two structures.
+//   - When the whole engine is empty, scheduling a far-future event slides
+//     the wheel's base to that time instead of routing it to the heap, so
+//     the "single outstanding timer" pattern (samplers, steal backoffs)
+//     stays on the O(1) wheel path even past the horizon. Events scheduled
+//     *behind* a slid base afterwards go to the heap and are dispatched
+//     directly from its top (they are always earlier than anything in the
+//     ring, so the (time, seq) order is preserved).
+//   - run() drains each tick's bucket as a batch in a tight loop: the
+//     tick scan, base advance, and overflow migration are paid once per
+//     occupied tick rather than once per event. Same-tick events appended
+//     by callbacks land at the bucket tail and join the same batch in seq
+//     order, so batching cannot reorder anything.
 //   - reserve(n) pre-sizes the slot map and overflow heap so a run whose
 //     peak pending-event count is known never reallocates mid-run.
 
@@ -58,7 +72,8 @@ struct EventHandle {
 };
 
 /// Priority queue of timed callbacks. Not thread-safe: a Scheduler belongs
-/// to exactly one simulation run (parallelism happens across runs).
+/// to exactly one simulation run (parallelism happens across runs, or
+/// across the per-partition scheduler shards of one parallel run).
 class Scheduler {
  public:
   /// Inline, move-only, never heap-allocates. Captures larger than 48
@@ -66,12 +81,26 @@ class Scheduler {
   /// by-value payloads (see machine::Machine's message pool).
   using Callback = util::InlineFunction<void(), 48>;
 
-  Scheduler();
+  /// Default timing-wheel span in ticks; the historical fixed size.
+  static constexpr std::uint32_t kDefaultRingTicks = 1024;
+  /// Bounds for configurable ring sizes (kept modest: the bitmap scan in
+  /// find_next_tick walks ring_ticks/64 words in the worst case).
+  static constexpr std::uint32_t kMinRingTicks = 64;
+  static constexpr std::uint32_t kMaxRingTicks = 1u << 16;
+
+  /// Round `requested` into [kMinRingTicks, kMaxRingTicks] and up to the
+  /// next power of two (the bucket index is `time & mask`).
+  static std::uint32_t normalize_ring_ticks(std::uint32_t requested) noexcept;
+
+  explicit Scheduler(std::uint32_t ring_ticks = kDefaultRingTicks);
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulated time. Advances only inside run()/step().
   SimTime now() const noexcept { return now_; }
+
+  /// Configured timing-wheel span (normalized), for tests/telemetry.
+  std::uint32_t ring_ticks() const noexcept { return ring_ticks_; }
 
   /// Schedule `f` to run at absolute time `when` (>= now()). The callable
   /// is constructed directly in its event slot (no intermediate moves).
@@ -88,7 +117,14 @@ class Scheduler {
     }
     s.live = true;
     const std::uint64_t seq = next_seq_++;
-    if (when < base_ + kRingTicks) {
+    if (when >= base_ + ring_ticks_ && ring_count_ == 0 && heap_.empty()) {
+      // Empty engine: slide the wheel to cover `when` instead of parking
+      // the lone event in the heap. Anything scheduled behind the slid
+      // base afterwards takes the heap and is dispatched from its top.
+      base_ = when;
+      ++base_slides_;
+    }
+    if (when >= base_ && when < base_ + ring_ticks_) {
       ring_insert(when, idx);
       ++wheel_scheduled_;
     } else {
@@ -133,9 +169,12 @@ class Scheduler {
     std::uint64_t cancelled = 0;      ///< successful cancel() calls
     std::uint64_t wheel_scheduled = 0;///< events that entered via the wheel
     std::uint64_t heap_scheduled = 0; ///< events that entered via the heap
+    std::uint64_t tick_batches = 0;   ///< occupied ticks drained by run()
+    std::uint64_t base_slides = 0;    ///< empty-engine wheel slides
   };
   Counters counters() const noexcept {
-    return Counters{executed_, cancelled_, wheel_scheduled_, heap_scheduled_};
+    return Counters{executed_,        cancelled_,    wheel_scheduled_,
+                    heap_scheduled_,  tick_batches_, base_slides_};
   }
 
   /// Pre-size the slot map and overflow heap for `n` simultaneous pending
@@ -156,6 +195,11 @@ class Scheduler {
   /// Request that run() stops before dispatching any further event.
   void request_stop() noexcept { stop_requested_ = true; }
 
+  /// Time of the next live event, without dispatching it. Used by the
+  /// conservative parallel engine to size the next safe window. May drop
+  /// tombstones (lazy cleanup), hence non-const.
+  bool next_event_time(SimTime& out) { return peek_next_time(out); }
+
  private:
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
   // Slots live in fixed-size chunks so their addresses never move: the
@@ -163,11 +207,6 @@ class Scheduler {
   // even if the callback schedules events that grow the slot map.
   static constexpr std::uint32_t kSlotChunkShift = 8;
   static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
-  // Timing-wheel span: events within [base_, base_ + kRingTicks) sit in
-  // per-tick buckets; later ones wait in the overflow heap.
-  static constexpr std::uint32_t kRingTicks = 1024;
-  static constexpr std::uint32_t kRingMask = kRingTicks - 1;
-  static constexpr std::uint32_t kBitWords = kRingTicks / 64;
 
   /// One pending (or tombstoned) event. `gen` advances whenever the slot's
   /// current event dies (fires or is cancelled), invalidating old handles.
@@ -226,10 +265,19 @@ class Scheduler {
   /// Next live event's time without moving base_ (horizon peeks must not
   /// move the wheel, or inserts between runs could land behind it).
   bool peek_next_time(SimTime& out);
+  /// Drop dead entries at the heap top; true if a live *straggler*
+  /// (an event scheduled behind a slid wheel base) is on top.
+  bool straggler_on_top();
+  /// Retire slot `idx` and invoke its callback in place at time `t`.
+  void fire(std::uint32_t idx, SimTime t);
+  [[noreturn]] void throw_budget_exceeded(std::uint64_t max_events) const;
 
   // Timing wheel.
-  std::vector<Bucket> ring_;     // kRingTicks buckets
-  std::uint64_t bits_[kBitWords] = {};  // per-tick occupancy bitmap
+  std::uint32_t ring_ticks_;     // normalized span (power of two)
+  std::uint32_t ring_mask_;      // ring_ticks_ - 1
+  std::uint32_t bit_words_;      // ring_ticks_ / 64
+  std::vector<Bucket> ring_;     // ring_ticks_ buckets
+  std::vector<std::uint64_t> bits_;  // per-tick occupancy bitmap
   SimTime base_ = 0;             // earliest time the wheel can hold
   std::size_t ring_count_ = 0;   // entries (live + tombstones) in the wheel
 
@@ -244,6 +292,8 @@ class Scheduler {
   std::uint64_t cancelled_ = 0;
   std::uint64_t wheel_scheduled_ = 0;
   std::uint64_t heap_scheduled_ = 0;
+  std::uint64_t tick_batches_ = 0;
+  std::uint64_t base_slides_ = 0;
   bool stop_requested_ = false;
 };
 

@@ -17,6 +17,9 @@ namespace oracle::sim {
 class Simulation {
  public:
   Simulation() = default;
+  /// Size the scheduler's timing wheel explicitly (normalized to a power
+  /// of two); Machine autotunes this from the config's latency scale.
+  explicit Simulation(std::uint32_t ring_ticks) : sched_(ring_ticks) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 

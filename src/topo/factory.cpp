@@ -134,8 +134,23 @@ SharedTopology make_topology_shared(std::string_view spec) {
   // second insert is dropped).
   SharedTopology built;
   built.topology = std::shared_ptr<const Topology>(make_topology(spec));
-  built.routing = std::make_shared<const RoutingTable>(*built.topology);
-  built.diameter = DistanceMatrix(*built.topology).diameter();
+  if (built.topology->num_nodes() <= kExactRoutingMaxNodes) {
+    built.routing = std::make_shared<const RoutingTable>(*built.topology);
+    built.diameter = DistanceMatrix(*built.topology).diameter();
+  } else {
+    // Million-node machines: the O(n^2) table/matrix are unrepresentable,
+    // so the topology must supply closed forms. Routing goes through
+    // Topology::analytic_next_hop (Machine rejects families without one).
+    const std::int64_t hint = built.topology->diameter_hint();
+    ORACLE_REQUIRE(
+        hint >= 0,
+        strfmt("topology '%s' has %u nodes (> %u) but no closed-form "
+               "diameter; families without analytic routing are capped at "
+               "the exact-analysis size",
+               built.topology->name().c_str(), built.topology->num_nodes(),
+               kExactRoutingMaxNodes));
+    built.diameter = static_cast<std::uint32_t>(hint);
+  }
 
   std::lock_guard<std::mutex> lock(g_topo_cache_mutex);
   if (topo_cache().size() >= kTopologyCacheMax) {

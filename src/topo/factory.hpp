@@ -27,6 +27,9 @@ std::unique_ptr<Topology> make_topology(std::string_view spec);
 /// An immutable topology bundled with its derived routing structures, ready
 /// to be shared by any number of concurrent single-threaded Machines. All
 /// three members are read-only after construction, so sharing is safe.
+/// For machines beyond kExactRoutingMaxNodes, `routing` is null (the O(n^2)
+/// table is unrepresentable) and the topology's analytic_next_hop /
+/// diameter_hint closed forms stand in for it.
 struct SharedTopology {
   std::shared_ptr<const Topology> topology;
   std::shared_ptr<const RoutingTable> routing;

@@ -12,6 +12,13 @@ namespace oracle::topo {
 
 /// BFS hop distances from `source` to every node (kUnreachable if none).
 inline constexpr std::uint32_t kUnreachable = UINT32_MAX;
+
+/// Largest machine for which the O(n^2) exact structures below
+/// (RoutingTable, DistanceMatrix) are built. Beyond this a topology must
+/// provide Topology::analytic_next_hop / diameter_hint — at 10^6 nodes an
+/// all-pairs table is ~4 TB, so exact routing is not merely slow, it is
+/// unrepresentable.
+inline constexpr std::uint32_t kExactRoutingMaxNodes = 2048;
 std::vector<std::uint32_t> bfs_distances(const Topology& topo, NodeId source);
 
 /// True if every node is reachable from node 0.

@@ -28,6 +28,42 @@ Grid2D::Grid2D(std::uint32_t rows, std::uint32_t cols, bool wrap)
   finalize();
 }
 
+NodeId Grid2D::analytic_next_hop(NodeId from, NodeId to) const {
+  ORACLE_ASSERT(from < num_nodes() && to < num_nodes());
+  if (from == to) return kInvalidNode;
+  const std::uint32_t fr = row_of(from), fc = col_of(from);
+  const std::uint32_t tr = row_of(to), tc = col_of(to);
+  if (!wrap_) {
+    // Lowest-id shortest-path neighbor, matching the BFS table exactly:
+    // the ascending neighbor order is up (n-cols), left (n-1), right
+    // (n+1), down (n+cols), and a move is a candidate iff it closes the
+    // gap in its dimension.
+    if (tr < fr) return node_at(fr - 1, fc);
+    if (tc < fc) return node_at(fr, fc - 1);
+    if (tc > fc) return node_at(fr, fc + 1);
+    return node_at(fr + 1, fc);
+  }
+  // Torus: rows first, shorter wrap direction, forward on ties. A wrap
+  // move only exists when the dimension has wrap links (size >= 3); a
+  // size-2 dimension reduces to the open-grid move either way.
+  if (tr != fr) {
+    const std::uint32_t fwd = (tr + rows_ - fr) % rows_;
+    if (rows_ < 3 || fwd <= rows_ - fwd) return node_at((fr + 1) % rows_, fc);
+    return node_at((fr + rows_ - 1) % rows_, fc);
+  }
+  const std::uint32_t fwd = (tc + cols_ - fc) % cols_;
+  if (cols_ < 3 || fwd <= cols_ - fwd) return node_at(fr, (fc + 1) % cols_);
+  return node_at(fr, (fc + cols_ - 1) % cols_);
+}
+
+std::int64_t Grid2D::diameter_hint() const {
+  const auto span = [this](std::uint32_t n) -> std::int64_t {
+    if (n <= 1) return 0;
+    return (wrap_ && n >= 3) ? n / 2 : n - 1;
+  };
+  return span(rows_) + span(cols_);
+}
+
 std::uint32_t Grid2D::manhattan(NodeId a, NodeId b) const {
   const auto dr = static_cast<std::int64_t>(row_of(a)) - row_of(b);
   const auto dc = static_cast<std::int64_t>(col_of(a)) - col_of(b);

@@ -32,6 +32,13 @@ class Grid2D : public Topology {
   /// Exact closed-form shortest-path distance (used to cross-check BFS).
   std::uint32_t manhattan(NodeId a, NodeId b) const;
 
+  /// O(1) dimension-order routing. On the open grid this reproduces the
+  /// BFS table's lowest-id choice exactly (up, left, right, down); on the
+  /// torus it is a deterministic shortest-path hop (rows first, shorter
+  /// wrap direction, forward on ties).
+  NodeId analytic_next_hop(NodeId from, NodeId to) const override;
+  std::int64_t diameter_hint() const override;
+
  private:
   std::uint32_t rows_, cols_;
   bool wrap_;

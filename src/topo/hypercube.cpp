@@ -25,4 +25,16 @@ std::uint32_t Hypercube::hamming(NodeId a, NodeId b) noexcept {
   return static_cast<std::uint32_t>(std::popcount(a ^ b));
 }
 
+NodeId Hypercube::analytic_next_hop(NodeId from, NodeId to) const {
+  ORACLE_ASSERT(from < num_nodes() && to < num_nodes());
+  if (from == to) return kInvalidNode;
+  // Any differing bit may be flipped on a shortest path. The lowest-id
+  // neighbor clears the highest clearable bit (id drops the most); if no
+  // bit can be cleared, it sets the lowest settable one (id rises least).
+  const std::uint32_t down = from & ~to;
+  if (down != 0) return from ^ std::bit_floor(down);
+  const std::uint32_t up = to & ~from;
+  return from ^ (up & (0u - up));
+}
+
 }  // namespace oracle::topo

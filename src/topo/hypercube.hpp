@@ -17,6 +17,12 @@ class Hypercube : public Topology {
   /// Exact distance: Hamming distance of node labels.
   static std::uint32_t hamming(NodeId a, NodeId b) noexcept;
 
+  /// O(1) routing by flipping one differing bit, choosing exactly the
+  /// lowest-id neighbor the BFS table would (clear the highest clearable
+  /// bit, else set the lowest settable one).
+  NodeId analytic_next_hop(NodeId from, NodeId to) const override;
+  std::int64_t diameter_hint() const override { return dim_; }
+
  private:
   std::uint32_t dim_;
 };

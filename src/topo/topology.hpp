@@ -61,6 +61,24 @@ class Topology {
 
   std::size_t num_links() const noexcept { return links_.size(); }
 
+  /// Closed-form next hop on a shortest path from `from` to `to`, for
+  /// topology families with O(1) analytic routing (grids, hypercubes,
+  /// trees). Returns kInvalidNode when the family has no closed form (the
+  /// BFS RoutingTable is then required) or when from == to. Deterministic;
+  /// for open grids and hypercubes it returns exactly the lowest-id
+  /// candidate the BFS table would pick. This is what makes 10^5–10^6-node
+  /// machines feasible: an O(n^2) routing table at that scale is neither
+  /// computable nor storable.
+  virtual NodeId analytic_next_hop(NodeId from, NodeId to) const {
+    (void)from;
+    (void)to;
+    return kInvalidNode;
+  }
+
+  /// Closed-form diameter, or -1 when the family has no closed form (the
+  /// O(n^2) DistanceMatrix is then required).
+  virtual std::int64_t diameter_hint() const { return -1; }
+
   /// Maximum node degree (number of neighbors).
   std::size_t max_degree() const;
 

@@ -16,6 +16,29 @@ std::uint32_t KaryTree::node_count(std::uint32_t arity, std::uint32_t levels) {
   return static_cast<std::uint32_t>(n);
 }
 
+NodeId KaryTree::analytic_next_hop(NodeId from, NodeId to) const {
+  ORACLE_ASSERT(from < num_nodes() && to < num_nodes());
+  if (from == to) return kInvalidNode;
+  // The tree path is unique. Descendants of `from` all have larger ids
+  // (heap numbering), so climb `to` toward the root: if the climb passes
+  // through `from`, descend into that child; otherwise the path goes up.
+  NodeId cur = to;
+  while (cur > from) {
+    const NodeId parent = (cur - 1) / arity_;
+    if (parent == from) return cur;
+    cur = parent;
+  }
+  return (from - 1) / arity_;
+}
+
+std::int64_t KaryTree::diameter_hint() const {
+  if (levels_ <= 1) return 0;
+  // A chain (arity 1) is `levels_` nodes end to end; otherwise the two
+  // deepest leaves in different root subtrees are 2*(levels-1) apart.
+  if (arity_ == 1) return levels_ - 1;
+  return 2 * static_cast<std::int64_t>(levels_ - 1);
+}
+
 KaryTree::KaryTree(std::uint32_t arity, std::uint32_t levels)
     : Topology(strfmt("tree-%u-%u", arity, levels), node_count(arity, levels)),
       arity_(arity),

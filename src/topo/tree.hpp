@@ -23,6 +23,11 @@ class KaryTree : public Topology {
   /// Number of nodes in a complete tree: (k^L - 1) / (k - 1).
   static std::uint32_t node_count(std::uint32_t arity, std::uint32_t levels);
 
+  /// O(1) routing: the unique tree path (down into the child subtree that
+  /// contains `to`, otherwise up to the parent).
+  NodeId analytic_next_hop(NodeId from, NodeId to) const override;
+  std::int64_t diameter_hint() const override;
+
  private:
   std::uint32_t arity_, levels_;
 };
