@@ -1,138 +1,30 @@
-// oracle_batch — drive cartesian experiment sweeps through the batch
-// engine from the command line: sharded parallel execution, a streaming
-// JSONL result store (plus optional CSV mirror), checkpointing, and
-// resumable interrupted runs — plus a multi-seed aggregation/query mode
-// over existing stores and a crash-safe multi-process distributed mode.
+// oracle_batch — the command-line front end of the batch experiment
+// engine. Every subcommand is a thin argv parser over the library entry
+// points in exp/commands.hpp (which own all behaviour; see that header
+// and README.md for the full flag reference):
 //
-// Usage:
-//   oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...] [options]
-//     --metric NAME         metric for the summary table (default speedup;
-//                           repeatable / comma lists; "all" prints every
-//                           metric). `--metric list` names the choices.
-//     --csv PATH            also write the full long-format summary CSV
-//                           (all metrics x grid points; "-" = stdout)
-//     Several stores (e.g. one per host) aggregate as one pooled sweep.
+//   oracle_batch [run] ...          cartesian sweeps: threaded, sharded
+//                                   multi-process, work-stealing, or
+//                                   cross-host lease-client execution
+//   oracle_batch aggregate ...      multi-seed summary tables / CSV over
+//                                   one or more JSONL result stores
+//   oracle_batch trace <base>       stitch distributed --trace files
+//   oracle_batch serve-leases ...   cross-host fenced lease server
+//   oracle_batch serve ...          resident oracle service: memoized
+//                                   sweep serving over a store index
+//   oracle_batch query ...          client for a running serve daemon
 //
-//   oracle_batch trace <base> [--out PATH]
-//     Stitch the per-process trace files of a distributed --trace run
-//     (<base>.parent + <base>.<k>of<W>) into one Chrome trace JSON
-//     document at PATH (default: <base>), loadable in Perfetto.
-//
-//   oracle_batch [run] [options]
-//     --topologies A,B,..   topology spec axis   (default grid:6x6,grid:10x10,dlm:5:10x10)
-//     --strategies A,B,..   strategy spec axis   (default cwn,gm,random)
-//     --workloads A,B,..    workload spec axis   (default fib:13)
-//     --seeds N | A,B,..    N replications (seeds 1..N) or an explicit list
-//                           (default 1 replication, seed 1)
-//     --master-seed M       derive each job's seed from M via
-//                           Rng::derive_seed (independent reproducible
-//                           streams); --seeds N still sets how many
-//                           replications run, but its values are ignored
-//     --jobs N              worker threads (default: all hardware threads)
-//     --shard N             jobs claimed per shard (default: auto)
-//     --out PATH            JSONL result store   (default results.jsonl;
-//                           "-" streams records to stdout, no store)
-//     --csv PATH            CSV mirror of the store
-//     --resume              skip jobs already completed in the store /
-//                           checkpoint, append the rest
-//     --sample N            utilization sampling interval (default off)
-//     --hop-latency N       channel units per goal/response hop
-//     --preset NAME         start from a named baseline config (applied
-//                           before every other flag, wherever it appears);
-//                           currently: million-pe (10^6-PE torus showcase)
-//     --sim-threads N       worker threads for the conservative parallel
-//                           engine (default 1 = the serial golden engine)
-//     --sim-partitions K    scheduler shards for the parallel engine
-//                           (0 = auto; results depend on K, never on N)
-//     --no-progress         disable the jobs/s + ETA progress lines
-//     --log-level LVL       trace|debug|info|warn|error|off (default info;
-//                           the ORACLE_LOG env var sets the fleet-wide
-//                           default, the flag overrides per process)
-//     --trace PATH          record a Chrome trace (open in Perfetto). A
-//                           plain run writes the complete JSON to PATH;
-//                           a distributed run writes PATH.parent plus one
-//                           PATH.<k>of<W> per worker — stitch them with
-//                           `oracle_batch trace PATH`
-//     --status-file PATH    atomically rewrite PATH with a one-line JSON
-//                           status snapshot (jobs done/total, jobs/s, ETA,
-//                           per-worker lease frontier, steals, restarts)
-//                           every progress tick
-//
-//   run-only (multi-process distributed mode):
-//     --workers N           fork N worker processes (self-exec), one per
-//                           content-hash shard, each into a private
-//                           per-shard store; the parent merges the shards
-//                           into --out in job order — byte-identical to a
-//                           serial run. With --resume, only shards with
-//                           incomplete jobs are re-run (crash recovery).
-//     --steal               supervise the workers over dynamic job-range
-//                           leases instead of fixed shards: an idle worker
-//                           steals the unclaimed tail of the most-loaded
-//                           lease (heavy-tailed sweeps stop idling on one
-//                           slow shard). Single-host only.
-//     --heartbeat-ms N      (steal/lease-server) SIGKILL+restart a worker
-//                           whose heartbeat file is untouched for N ms
-//                           (0 = off; must exceed the longest single job).
-//                           When absent, stall detection is *adaptive*:
-//                           the timeout tracks the observed job pace
-//                           (p99-based, whale-guarded) with no tuning.
-//     --max-restarts N      (steal) per-worker respawn budget for crashed
-//                           or stalled workers (default 2). Also the
-//                           poison-job threshold: a job whose worker dies
-//                           on it N times is quarantined (skipped +
-//                           recorded in <out>.quarantine) instead of
-//                           aborting the sweep.
-//     --retry-quarantined   with --resume: forget recorded quarantine
-//                           verdicts and give those jobs another chance
-//     --lease-server H:P    take leases from a `serve-leases` server over
-//                           TCP instead of local lease files (fenced
-//                           epochs, retry/backoff, works cross-host).
-//                           Parent mode (--workers) spawns lease-client
-//                           workers; the server owns stealing and expiry.
-//     --lease-timeout-ms N  (lease-server) per-request deadline (default 2000)
-//     --lease-retries N     (lease-server) consecutive-failure budget before
-//                           a worker orphans itself (exit 3; default 10)
-//     --shard i/N           internal/cross-host: run only shard i of N
-//                           into the per-shard store derived from --out
-//     --worker-slot k/W     internal (steal): run slot k's current lease
-//     --keep-shards         keep the per-shard stores after a merge
-//
-//   oracle_batch serve-leases [sweep options] --workers W --journal PATH
-//     Run the cross-host lease service for the given sweep: owns the
-//     lease table, hands out fenced job-range leases, steals/expires with
-//     an adaptive timeout, journals every transition (fsynced) to PATH
-//     and replays it on restart. Workers connect with
-//     `run ... --worker-slot k/W --lease-server HOST:PORT` (or via the
-//     parent: `run ... --workers W --lease-server HOST:PORT`).
-//     --listen H:P          bind address (default 127.0.0.1:0 = ephemeral;
-//                           the chosen port is printed on stdout)
-//     --journal PATH        crash-recovery journal (required)
-//     --status-file PATH    live obs status snapshot (incl. fenced/retry
-//                           counters) rewritten atomically
-//     --linger-ms N         keep answering `done` this long after the
-//                           sweep completes (default 1500)
-//
-// Examples:
-//   oracle_batch --topologies grid:10x10,dlm:5:10x10 --strategies cwn,gm
-//                --seeds 8 --jobs 8 --out sweep.jsonl
-//   # killed half-way? finish the remaining jobs only:
-//   oracle_batch ... --out sweep.jsonl --resume
-//   # same sweep, 4 crash-safe worker processes, one canonical store:
-//   oracle_batch run ... --workers 4 --out sweep.jsonl
-//   # a worker was SIGKILLed? re-run only the dead shard's remainder:
-//   oracle_batch run ... --workers 4 --out sweep.jsonl --resume
+// Exit codes: 0 ok, 1 runtime failure, 2 usage error (3 = orphaned
+// lease worker). Invalid flag combinations surface as ConfigError from
+// the command layer and are rendered as usage errors here.
 
-#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "oracle.hpp"
-#include "stats/csv.hpp"
 
 namespace {
 
@@ -148,10 +40,10 @@ void print_usage() {
   std::printf(
       "usage: oracle_batch [run] [--topologies A,B,..] [--strategies A,B,..]\n"
       "                    [--workloads A,B,..] [--seeds N|A,B,..]\n"
-      "                    [--master-seed M] [--jobs N] [--shard N]\n"
-      "                    [--out PATH|-] [--csv PATH] [--resume]\n"
+      "                    [--master-seed M] [--preset NAME] [--jobs N]\n"
+      "                    [--shard N] [--out PATH|-] [--csv PATH] [--resume]\n"
       "                    [--sample N] [--hop-latency N] [--no-progress]\n"
-      "                    [--preset NAME] [--sim-threads N] [--sim-partitions K]\n"
+      "                    [--sim-threads N] [--sim-partitions K]\n"
       "                    [--log-level LVL] [--trace PATH] [--status-file PATH]\n"
       "       oracle_batch run ... --workers N [--keep-shards]   (multi-process)\n"
       "       oracle_batch run ... --workers N --steal [--heartbeat-ms N]\n"
@@ -166,7 +58,15 @@ void print_usage() {
       "       oracle_batch run ... --shard i/N                   (one shard only)\n"
       "       oracle_batch aggregate <store.jsonl> [<store2.jsonl> ...]\n"
       "                    [--metric NAME|all|list] [--csv PATH|-]\n"
-      "       oracle_batch trace <base> [--out PATH]     (stitch --trace files)\n");
+      "       oracle_batch trace <base> [--out PATH]     (stitch --trace files)\n"
+      "       oracle_batch serve --store S [--store EXTRA ...] [--listen H:P]\n"
+      "                    [--jobs N] [--shard N] [--status-file PATH]\n"
+      "                    [--trace PATH] [--log-level LVL]\n"
+      "                                                  (resident oracle service)\n"
+      "       oracle_batch query --server HOST:PORT [sweep options]\n"
+      "                    [--metric NAME|all|list] [--csv PATH|-]\n"
+      "                    [--target METRIC:HALFWIDTH] [--timeout-ms N]\n"
+      "                                                  (ask a serve daemon)\n");
 }
 
 std::vector<std::string> parse_list(const std::string& value,
@@ -180,11 +80,62 @@ std::vector<std::string> parse_list(const std::string& value,
   return out;
 }
 
-int aggregate_main(int argc, char** argv) {
-  std::vector<std::string> stores;
-  std::vector<std::string> metrics;
-  std::string csv_path;
+/// --preset is applied in a pre-scan so explicit axes and knobs always
+/// win, regardless of where they appear relative to --preset.
+void apply_preset_prescan(int argc, char** argv, core::SweepSpec& sweep) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--preset") sweep.apply_preset(argv[i + 1]);
+}
 
+/// Shared handling of the sweep-defining flags (axes + engine knobs).
+/// Returns false when `arg` is not a sweep flag. `value` yields the
+/// flag's argument (advancing the caller's cursor).
+template <typename ValueFn>
+bool parse_sweep_flag(core::SweepSpec& sweep, const std::string& arg,
+                      ValueFn&& value) {
+  if (arg == "--topologies") {
+    sweep.topologies = parse_list(value(), arg);
+  } else if (arg == "--strategies") {
+    sweep.strategies = parse_list(value(), arg);
+  } else if (arg == "--workloads") {
+    sweep.workloads = parse_list(value(), arg);
+  } else if (arg == "--seeds") {
+    sweep.seeds = core::SweepSpec::parse_seed_axis(value());
+  } else if (arg == "--master-seed") {
+    // 0 is the engine's "disabled" sentinel — reject rather than
+    // silently falling back to the raw seeds axis.
+    const auto m = parse_int(value(), arg);
+    if (m < 1) usage_error("--master-seed must be >= 1");
+    sweep.master_seed = static_cast<std::uint64_t>(m);
+  } else if (arg == "--preset") {
+    value();  // already applied by the pre-scan
+  } else if (arg == "--sample") {
+    sweep.sample_interval = parse_int(value(), arg);
+  } else if (arg == "--hop-latency") {
+    sweep.hop_latency = parse_int(value(), arg);
+  } else if (arg == "--sim-threads") {
+    const auto n = parse_int(value(), arg);
+    if (n < 1) usage_error("--sim-threads must be >= 1");
+    sweep.sim_threads = n;
+  } else if (arg == "--sim-partitions") {
+    sweep.sim_partitions = parse_int(value(), arg);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// "--metric list" prints the metric vocabulary and exits; "all" and
+/// validation are handled by exp::resolve_metrics.
+bool metrics_list_requested(const std::vector<std::string>& metrics) {
+  if (metrics.size() != 1 || metrics[0] != "list") return false;
+  for (const auto& name : exp::Aggregator::metric_names())
+    std::printf("%s\n", name.c_str());
+  return true;
+}
+
+int aggregate_cli(int argc, char** argv) {
+  exp::AggregateCommand cmd;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -195,68 +146,21 @@ int aggregate_main(int argc, char** argv) {
       print_usage();
       return 0;
     } else if (arg == "--metric") {
-      for (const auto& m : parse_list(value(), arg)) metrics.push_back(m);
+      for (const auto& m : parse_list(value(), arg)) cmd.metrics.push_back(m);
     } else if (arg == "--csv") {
-      csv_path = value();
+      cmd.csv_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown aggregate option '" + arg + "'");
     } else {
-      stores.push_back(arg);
+      cmd.stores.push_back(arg);
     }
   }
-  if (metrics.empty()) metrics.push_back("speedup");
-  if (metrics.size() == 1 && metrics[0] == "list") {
-    for (const auto& name : exp::Aggregator::metric_names())
-      std::printf("%s\n", name.c_str());
-    return 0;
-  }
-  if (std::find(metrics.begin(), metrics.end(), "all") != metrics.end())
-    metrics = exp::Aggregator::metric_names();
-  for (const auto& m : metrics) {
-    const auto& known = exp::Aggregator::metric_names();
-    if (std::find(known.begin(), known.end(), m) == known.end())
-      usage_error("unknown metric '" + m + "' (try --metric list)");
-  }
-  if (stores.empty()) usage_error("aggregate needs a JSONL store path");
-
-  try {
-    const auto agg = exp::Aggregator::from_jsonl_files(stores);
-    const auto groups = agg.summarize();
-    if (groups.empty()) {
-      std::fprintf(stderr, "oracle_batch: no parseable records in %s\n",
-                   join(stores, " ").c_str());
-      return 1;
-    }
-    std::printf("%s: %zu runs, %zu grid points", join(stores, " ").c_str(),
-                agg.rows(), agg.groups());
-    if (agg.skipped_lines() > 0)
-      std::printf(" (%zu corrupt lines skipped)", agg.skipped_lines());
-    if (agg.duplicate_rows() > 0)
-      std::printf(" (%zu duplicate records ignored)", agg.duplicate_rows());
-    std::printf("\n\n");
-    for (const auto& m : metrics) {
-      std::printf("-- %s --\n%s\n", m.c_str(),
-                  exp::Aggregator::to_table(groups, m).c_str());
-    }
-    if (!csv_path.empty()) {
-      const std::string csv = exp::Aggregator::to_csv(groups);
-      if (csv_path == "-") {
-        std::fputs(csv.c_str(), stdout);
-      } else {
-        stats::write_file(csv_path, csv);
-        std::printf("csv: %s\n", csv_path.c_str());
-      }
-    }
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
-    return 1;
-  }
+  if (metrics_list_requested(cmd.metrics)) return 0;
+  return exp::run_aggregate_command(cmd);
 }
 
-int trace_main(int argc, char** argv) {
-  std::string base;
-  std::string out;
+int trace_cli(int argc, char** argv) {
+  exp::TraceCommand cmd;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -264,672 +168,237 @@ int trace_main(int argc, char** argv) {
       return 0;
     } else if (arg == "--out") {
       if (i + 1 >= argc) usage_error("--out needs a value");
-      out = argv[++i];
+      cmd.out = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown trace option '" + arg + "'");
-    } else if (base.empty()) {
-      base = arg;
+    } else if (cmd.base.empty()) {
+      cmd.base = arg;
     } else {
       usage_error("trace takes exactly one <base> path");
     }
   }
-  if (base.empty()) usage_error("trace needs the --trace base path");
-  if (out.empty()) out = base;
-
-  try {
-    const auto inputs = obs::discover_trace_files(base);
-    if (inputs.empty()) {
-      std::fprintf(stderr,
-                   "oracle_batch: no trace files found for '%s' (expected "
-                   "%s.parent and/or %s.<k>of<W>)\n",
-                   base.c_str(), base.c_str(), base.c_str());
-      return 1;
-    }
-    const auto report = obs::merge_trace_files(inputs, out);
-    std::printf("%s: merged %zu event(s) from %zu file(s)", out.c_str(),
-                report.events, report.files_read);
-    if (report.corrupt_lines > 0)
-      std::printf(" (%zu corrupt line(s) skipped)", report.corrupt_lines);
-    std::printf("\nload it at https://ui.perfetto.dev\n");
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
-    return 1;
-  }
+  return exp::run_trace_command(cmd);
 }
 
-// ----------------------------------------------------------- serve-leases --
-
-exp::LeaseService* g_lease_service = nullptr;
-
-void stop_lease_service(int) {
-  if (g_lease_service != nullptr) g_lease_service->stop();
-}
-
-int serve_main(int argc, char** argv) {
-  core::ExperimentConfig base = core::paper::base_config();
-  std::vector<std::string> topologies = {"grid:6x6", "grid:10x10",
-                                         "dlm:5:10x10"};
-  std::vector<std::string> strategies = {"cwn", "gm", "random"};
-  std::vector<std::string> workloads = {"fib:13"};
-  std::vector<std::uint64_t> seeds = {1};
-  exp::LeaseServiceOptions sopt;
+int serve_leases_cli(int argc, char** argv) {
+  exp::ServeLeasesCommand cmd;
   std::string listen = "127.0.0.1:0";
-  std::size_t workers = 0;
-
+  apply_preset_prescan(argc, argv, cmd.sweep);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
       if (i + 1 >= argc) usage_error(arg + " needs a value");
       return argv[++i];
     };
-    try {
-      if (arg == "--help" || arg == "-h") {
-        print_usage();
-        return 0;
-      } else if (arg == "--topologies") {
-        topologies = parse_list(value(), arg);
-      } else if (arg == "--strategies") {
-        strategies = parse_list(value(), arg);
-      } else if (arg == "--workloads") {
-        workloads = parse_list(value(), arg);
-      } else if (arg == "--seeds") {
-        const std::string v = value();
-        seeds.clear();
-        if (v.find(',') != std::string::npos) {
-          for (const auto& s : parse_list(v, arg))
-            seeds.push_back(static_cast<std::uint64_t>(parse_int(s, arg)));
-        } else {
-          const auto n = parse_int(v, arg);
-          if (n < 1) usage_error("--seeds must be >= 1");
-          for (std::int64_t s = 1; s <= n; ++s)
-            seeds.push_back(static_cast<std::uint64_t>(s));
-        }
-      } else if (arg == "--master-seed") {
-        const auto m = parse_int(value(), arg);
-        if (m < 1) usage_error("--master-seed must be >= 1");
-        sopt.master_seed = static_cast<std::uint64_t>(m);
-      } else if (arg == "--workers") {
-        const auto n = parse_int(value(), arg);
-        if (n < 1) usage_error("--workers must be >= 1");
-        workers = static_cast<std::size_t>(n);
-      } else if (arg == "--listen") {
-        listen = value();
-      } else if (arg == "--journal") {
-        sopt.journal_path = value();
-      } else if (arg == "--status-file") {
-        sopt.status_path = value();
-      } else if (arg == "--linger-ms") {
-        const auto n = parse_int(value(), arg);
-        if (n < 0) usage_error("--linger-ms must be >= 0");
-        sopt.linger_ms = static_cast<std::uint32_t>(n);
-      } else if (arg == "--log-level") {
-        const auto lvl = log::parse_level(value());
-        if (!lvl)
-          usage_error("--log-level needs trace|debug|info|warn|error|off");
-        log::set_level(*lvl);
-      } else {
-        usage_error("unknown serve-leases option '" + arg + "'");
-      }
-    } catch (const ConfigError& e) {
-      usage_error(e.what());
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (parse_sweep_flag(cmd.sweep, arg, value)) {
+    } else if (arg == "--workers") {
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--workers must be >= 1");
+      cmd.workers = static_cast<std::size_t>(n);
+    } else if (arg == "--listen") {
+      listen = value();
+    } else if (arg == "--journal") {
+      cmd.options.journal_path = value();
+    } else if (arg == "--status-file") {
+      cmd.options.status_path = value();
+    } else if (arg == "--linger-ms") {
+      cmd.options.linger_ms = static_cast<std::uint32_t>(parse_int(value(), arg));
+    } else if (arg == "--log-level") {
+      const auto lvl = log::parse_level(value());
+      if (!lvl) usage_error("--log-level needs trace|debug|info|warn|error|off");
+      log::set_level(*lvl);
+    } else {
+      usage_error("unknown serve-leases option '" + arg + "'");
     }
   }
-  if (workers == 0)
-    usage_error("serve-leases needs --workers W (the worker slot count)");
-  if (sopt.journal_path.empty())
-    usage_error("serve-leases needs --journal PATH (the recovery journal)");
   const auto hp = util::HostPort::parse(listen, /*allow_port_zero=*/true);
   if (!hp) usage_error("--listen needs HOST:PORT (or :PORT)");
-  sopt.listen = *hp;
-
-  try {
-    core::SweepBuilder sweep(base);
-    sweep.topologies(topologies).strategies(strategies).workloads(workloads);
-    sweep.seeds(seeds);
-    const auto configs = sweep.build();
-    sopt.jobs = configs.size();
-    // Identical clamp to the run parent's: slot_count must agree between
-    // server and every worker or acquire is rejected.
-    sopt.slots = std::max<std::size_t>(1, std::min(workers, sopt.jobs));
-
-    log::set_tag("lease-server");
-    exp::LeaseService service(sopt);
-    service.start();
-    // Line-buffered contract for launchers: the port is the first token a
-    // wrapper (or the CI smoke script) needs, flushed before serving.
-    std::printf("serving %zu job(s) to %zu slot(s) on %s:%u (journal %s)\n",
-                sopt.jobs, sopt.slots, sopt.listen.host.c_str(),
-                static_cast<unsigned>(service.port()),
-                sopt.journal_path.c_str());
-    std::fflush(stdout);
-
-    g_lease_service = &service;
-    std::signal(SIGINT, stop_lease_service);
-    std::signal(SIGTERM, stop_lease_service);
-    const auto stats = service.run();
-    g_lease_service = nullptr;
-
-    std::printf(
-        "%s: %zu request(s), %zu grant(s), %zu steal(s), %zu reassign(s), "
-        "%zu expiration(s), %zu fenced, %zu journal record(s) "
-        "(%zu replayed, %zu torn skipped)\n",
-        stats.completed ? "sweep complete" : "stopped",
-        stats.requests, stats.grants, stats.steals, stats.reassigns,
-        stats.expirations, stats.fenced, stats.journal_records,
-        stats.replayed_records, stats.torn_journal_records);
-    return stats.completed ? 0 : 1;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
-    return 1;
-  }
+  cmd.options.listen = *hp;
+  cmd.options.master_seed = cmd.sweep.master_seed;
+  return exp::run_serve_leases_command(cmd);
 }
 
-/// The sweep/run mode. `run_mode` unlocks the distributed options
-/// (--workers / --shard i/N / --keep-shards); `self` is the original
-/// argv[0] for worker self-exec.
-int sweep_main(int argc, char** argv, bool run_mode, const std::string& self) {
-  core::ExperimentConfig base = core::paper::base_config();
-  std::vector<std::string> topologies = {"grid:6x6", "grid:10x10",
-                                         "dlm:5:10x10"};
-  std::vector<std::string> strategies = {"cwn", "gm", "random"};
-  std::vector<std::string> workloads = {"fib:13"};
-  std::vector<std::uint64_t> seeds = {1};
-  exp::BatchOptions opt;
-  opt.jsonl_path = "results.jsonl";
-  opt.exec.progress = true;
-  bool stdout_records = false;
-  bool jobs_given = false;
-
-  // Distributed mode state.
-  std::size_t workers = 0;                  // parent: fork this many
-  std::optional<exp::ShardSpec> shard;      // worker: run this slice only
-  std::optional<exp::ShardSpec> worker_slot;  // steal worker: slot k of W
-  bool keep_shards = false;
-  bool steal = false;
-  std::uint32_t heartbeat_ms = 0;
-  bool heartbeat_given = false;  // absent ⇒ adaptive stall detection
-  std::size_t max_restarts = 2;
-  bool retry_quarantined = false;
-  std::string lease_server;  // "" = single-host file-lease protocol
-  std::uint32_t lease_timeout_ms = 2'000;
-  std::size_t lease_retries = 10;
-  std::string trace_path;   // Chrome-trace base path ("" = tracing off)
-  std::string status_path;  // live status snapshot file ("" = off)
-  // Raw sweep-defining tokens, re-played verbatim onto each worker's
-  // command line. Excludes the orchestration flags the parent owns
-  // (--workers, --shard, --resume, --keep-shards, --no-progress).
-  std::vector<std::string> passthrough;
-
-  // --preset is applied in a pre-scan so explicit axes and knobs always
-  // win, regardless of where they appear relative to --preset.
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) != "--preset") continue;
-    const std::string name = argv[i + 1];
-    if (name == "million-pe" || name == "million_pe") {
-      base = core::paper::million_pe_config();
-      topologies = {base.topology};
-      strategies = {base.strategy};
-      workloads = {base.workload};
-    } else {
-      usage_error("unknown preset '" + name + "' (available: million-pe)");
-    }
-  }
-
+int serve_cli(int argc, char** argv) {
+  exp::ServeCommand cmd;
+  std::string listen = "127.0.0.1:0";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
       if (i + 1 >= argc) usage_error(arg + " needs a value");
       return argv[++i];
     };
-    auto forward = [&](const std::string& flag, const std::string& v) {
-      passthrough.push_back(flag);
-      passthrough.push_back(v);
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--store") {
+      // First --store is the canonical (writable) store; later ones are
+      // extra read-only cache sources.
+      if (cmd.options.store.empty())
+        cmd.options.store = value();
+      else
+        cmd.options.extra_stores.push_back(value());
+    } else if (arg == "--listen") {
+      listen = value();
+    } else if (arg == "--jobs") {
+      cmd.options.exec_threads = static_cast<std::size_t>(parse_int(value(), arg));
+    } else if (arg == "--shard") {
+      cmd.options.shard_size = static_cast<std::size_t>(parse_int(value(), arg));
+    } else if (arg == "--status-file") {
+      cmd.options.status_path = value();
+    } else if (arg == "--status-interval-ms") {
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--status-interval-ms must be >= 1");
+      cmd.options.status_interval_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--trace") {
+      cmd.trace_path = value();
+    } else if (arg == "--log-level") {
+      const auto lvl = log::parse_level(value());
+      if (!lvl) usage_error("--log-level needs trace|debug|info|warn|error|off");
+      log::set_level(*lvl);
+    } else {
+      usage_error("unknown serve option '" + arg + "'");
+    }
+  }
+  const auto hp = util::HostPort::parse(listen, /*allow_port_zero=*/true);
+  if (!hp) usage_error("--listen needs HOST:PORT (or :PORT)");
+  cmd.options.listen = *hp;
+  return exp::run_serve_command(cmd);
+}
+
+int query_cli(int argc, char** argv) {
+  exp::QueryCommand cmd;
+  std::vector<std::string> metrics;
+  std::string target;
+  apply_preset_prescan(argc, argv, cmd.query.sweep);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
     };
-    try {
-      if (arg == "--help" || arg == "-h") {
-        print_usage();
-        return 0;
-      } else if (arg == "--topologies") {
-        const auto v = value();
-        topologies = parse_list(v, arg);
-        forward(arg, v);
-      } else if (arg == "--strategies") {
-        const auto v = value();
-        strategies = parse_list(v, arg);
-        forward(arg, v);
-      } else if (arg == "--workloads") {
-        const auto v = value();
-        workloads = parse_list(v, arg);
-        forward(arg, v);
-      } else if (arg == "--seeds") {
-        const std::string v = value();
-        seeds.clear();
-        if (v.find(',') != std::string::npos) {
-          for (const auto& s : parse_list(v, arg))
-            seeds.push_back(static_cast<std::uint64_t>(parse_int(s, arg)));
-        } else {
-          const auto n = parse_int(v, arg);
-          if (n < 1) usage_error("--seeds must be >= 1");
-          for (std::int64_t s = 1; s <= n; ++s)
-            seeds.push_back(static_cast<std::uint64_t>(s));
-        }
-        forward(arg, v);
-      } else if (arg == "--master-seed") {
-        const auto v = value();
-        const auto m = parse_int(v, arg);
-        // 0 is the engine's "disabled" sentinel — reject rather than
-        // silently falling back to the raw seeds axis.
-        if (m < 1) usage_error("--master-seed must be >= 1");
-        opt.master_seed = static_cast<std::uint64_t>(m);
-        forward(arg, v);
-      } else if (arg == "--jobs") {
-        const auto v = value();
-        opt.exec.workers = static_cast<std::size_t>(parse_int(v, arg));
-        jobs_given = true;
-        forward(arg, v);
-      } else if (arg == "--shard" && run_mode &&
-                 i + 1 < argc &&
-                 std::string(argv[i + 1]).find('/') != std::string::npos) {
-        // run-mode "--shard i/N" = worker identity; the thread-level
-        // "--shard N" claim size keeps its meaning for plain integers.
-        const auto v = value();
-        shard = exp::ShardSpec::parse(v);
-        if (!shard) usage_error("--shard needs i/N with i < N");
-      } else if (arg == "--shard") {
-        const auto v = value();
-        opt.exec.shard_size = static_cast<std::size_t>(parse_int(v, arg));
-        forward(arg, v);
-      } else if (arg == "--workers" && run_mode) {
-        // Validate before the size_t cast: -2 must not wrap to 2^64-2.
-        const auto n = parse_int(value(), arg);
-        if (n < 1) usage_error("--workers must be >= 1");
-        workers = static_cast<std::size_t>(n);
-      } else if (arg == "--steal" && run_mode) {
-        steal = true;
-      } else if (arg == "--heartbeat-ms" && run_mode) {
-        const auto n = parse_int(value(), arg);
-        if (n < 0) usage_error("--heartbeat-ms must be >= 0");
-        heartbeat_ms = static_cast<std::uint32_t>(n);
-        heartbeat_given = true;  // explicit (even 0) disables adaptive mode
-      } else if (arg == "--max-restarts" && run_mode) {
-        const auto n = parse_int(value(), arg);
-        if (n < 0) usage_error("--max-restarts must be >= 0");
-        max_restarts = static_cast<std::size_t>(n);
-      } else if (arg == "--retry-quarantined" && run_mode) {
-        retry_quarantined = true;
-      } else if (arg == "--lease-server" && run_mode) {
-        lease_server = value();
-        if (!util::HostPort::parse(lease_server))
-          usage_error("--lease-server needs HOST:PORT");
-      } else if (arg == "--lease-timeout-ms" && run_mode) {
-        const auto v = value();
-        const auto n = parse_int(v, arg);
-        if (n < 1) usage_error("--lease-timeout-ms must be >= 1");
-        lease_timeout_ms = static_cast<std::uint32_t>(n);
-        forward(arg, v);  // the budget belongs to the (spawned) workers
-      } else if (arg == "--lease-retries" && run_mode) {
-        const auto v = value();
-        const auto n = parse_int(v, arg);
-        if (n < 0) usage_error("--lease-retries must be >= 0");
-        lease_retries = static_cast<std::size_t>(n);
-        forward(arg, v);
-      } else if (arg == "--worker-slot" && run_mode) {
-        worker_slot = exp::ShardSpec::parse(value());
-        if (!worker_slot) usage_error("--worker-slot needs k/W with k < W");
-      } else if (arg == "--keep-shards" && run_mode) {
-        keep_shards = true;
-      } else if (arg == "--out") {
-        const auto v = value();
-        opt.jsonl_path = v;
-        forward(arg, v);
-      } else if (arg == "--csv") {
-        const auto v = value();
-        opt.csv_path = v;
-        forward(arg, v);
-      } else if (arg == "--resume") {
-        opt.resume = true;
-      } else if (arg == "--preset") {
-        // Already applied by the pre-scan above; consume and forward so
-        // spawned workers start from the same baseline.
-        forward(arg, value());
-      } else if (arg == "--sim-threads") {
-        const auto v = value();
-        const auto n = parse_int(v, arg);
-        if (n < 1) usage_error("--sim-threads must be >= 1");
-        base.machine.sim_threads = static_cast<std::uint32_t>(n);
-        forward(arg, v);
-      } else if (arg == "--sim-partitions") {
-        const auto v = value();
-        const auto n = parse_int(v, arg);
-        if (n < 0) usage_error("--sim-partitions must be >= 0 (0 = auto)");
-        base.machine.sim_partitions = static_cast<std::uint32_t>(n);
-        forward(arg, v);
-      } else if (arg == "--sample") {
-        const auto v = value();
-        base.machine.sample_interval = parse_int(v, arg);
-        forward(arg, v);
-      } else if (arg == "--hop-latency") {
-        const auto v = value();
-        base.machine.hop_latency = parse_int(v, arg);
-        forward(arg, v);
-      } else if (arg == "--no-progress") {
-        opt.exec.progress = false;
-      } else if (arg == "--log-level") {
-        const auto v = value();
-        const auto lvl = log::parse_level(v);
-        if (!lvl)
-          usage_error("--log-level needs trace|debug|info|warn|error|off");
-        log::set_level(*lvl);
-        forward(arg, v);  // workers inherit the chosen verbosity
-      } else if (arg == "--trace") {
-        const auto v = value();
-        trace_path = v;
-        // Forwarded so each spawned worker appends its own
-        // "<base>.<k>of<W>" trace-line file beside the parent's.
-        forward(arg, v);
-      } else if (arg == "--status-file") {
-        // Parent-owned: workers report through leases/heartbeats, not
-        // their own status files, so this is deliberately not forwarded.
-        status_path = value();
-      } else {
-        usage_error("unknown option '" + arg + "'");
-      }
-    } catch (const ConfigError& e) {
-      usage_error(e.what());
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (parse_sweep_flag(cmd.query.sweep, arg, value)) {
+    } else if (arg == "--server") {
+      cmd.server = value();
+    } else if (arg == "--metric") {
+      for (const auto& m : parse_list(value(), arg)) metrics.push_back(m);
+    } else if (arg == "--csv") {
+      cmd.csv_path = value();
+      cmd.query.want_csv = true;
+    } else if (arg == "--target") {
+      target = value();
+    } else if (arg == "--timeout-ms") {
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--timeout-ms must be >= 1");
+      cmd.timeout_ms = static_cast<std::uint32_t>(n);
+    } else {
+      usage_error("unknown query option '" + arg + "'");
     }
   }
-
-  const bool distributed =
-      workers > 0 || shard.has_value() || worker_slot.has_value();
-  if (distributed) {
-    if (opt.jsonl_path.empty() || opt.jsonl_path == "-")
-      usage_error("distributed runs need a canonical --out store file");
-    if (!opt.csv_path.empty())
-      usage_error(
-          "--csv is not supported for distributed runs; derive a CSV from "
-          "the merged store via `oracle_batch aggregate --csv`");
-    if (workers > 0 && (shard.has_value() || worker_slot.has_value()))
-      usage_error(
-          "--workers (parent) and --shard i/N / --worker-slot k/W (worker) "
-          "are exclusive");
-    if (shard.has_value() && worker_slot.has_value())
-      usage_error("--shard i/N and --worker-slot k/W are exclusive");
+  if (metrics_list_requested(metrics)) return 0;
+  cmd.query.metrics = exp::resolve_metrics(metrics);
+  if (!target.empty()) {
+    // METRIC:HALFWIDTH, e.g. speedup:0.05 — keep scheduling fresh seeds
+    // until every grid point's 95% CI half-width is within the target.
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size())
+      usage_error("--target needs METRIC:HALFWIDTH (e.g. speedup:0.05)");
+    cmd.query.target_metric = target.substr(0, colon);
+    cmd.query.target_ci95 =
+        parse_double(target.substr(colon + 1), "--target half-width");
+    if (cmd.query.target_ci95 <= 0.0)
+      usage_error("--target half-width must be > 0");
   }
-  if (steal && workers == 0 && !worker_slot.has_value())
-    usage_error("--steal needs --workers N (the supervisor forks them)");
-  if (!lease_server.empty() && workers == 0 && !worker_slot.has_value())
-    usage_error(
-        "--lease-server needs --workers N (parent) or --worker-slot k/W "
-        "(one worker)");
-  if (!lease_server.empty() && shard.has_value())
-    usage_error("--lease-server and --shard i/N are exclusive");
-  if (retry_quarantined && !opt.resume)
-    usage_error("--retry-quarantined needs --resume");
+  if (cmd.server.empty()) usage_error("query needs --server HOST:PORT");
+  return exp::run_query_command(cmd);
+}
 
-  if (opt.jsonl_path == "-") {
-    if (opt.resume)
-      usage_error(
-          "--resume needs a JSONL store to resume from; it cannot be "
-          "combined with --out -");
-    opt.jsonl_path.clear();
-    stdout_records = true;
-    opt.jsonl_stream = &std::cout;
-    opt.exec.progress = false;  // keep stdout pure JSONL
+/// The sweep/run mode. `run_mode` unlocks the distributed options; `self`
+/// is the original argv[0] for worker self-exec.
+int sweep_cli(int argc, char** argv, bool run_mode, const std::string& self) {
+  exp::SweepCommand cmd;
+  cmd.self = self;
+  apply_preset_prescan(argc, argv, cmd.sweep);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--shard" && run_mode && i + 1 < argc &&
+               std::string(argv[i + 1]).find('/') != std::string::npos) {
+      // run-mode "--shard i/N" = worker identity; the thread-level
+      // "--shard N" claim size keeps its meaning for plain integers.
+      cmd.shard = exp::ShardSpec::parse(value());
+      if (!cmd.shard) usage_error("--shard needs i/N with i < N");
+    } else if (parse_sweep_flag(cmd.sweep, arg, value)) {
+    } else if (arg == "--jobs") {
+      cmd.jobs = static_cast<std::size_t>(parse_int(value(), arg));
+      cmd.jobs_given = true;
+    } else if (arg == "--shard") {
+      cmd.claim_shard_size = static_cast<std::size_t>(parse_int(value(), arg));
+    } else if (arg == "--workers" && run_mode) {
+      // Validate before the size_t cast: -2 must not wrap to 2^64-2.
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--workers must be >= 1");
+      cmd.workers = static_cast<std::size_t>(n);
+    } else if (arg == "--steal" && run_mode) {
+      cmd.steal = true;
+    } else if (arg == "--heartbeat-ms" && run_mode) {
+      cmd.heartbeat_ms = static_cast<std::uint32_t>(parse_int(value(), arg));
+      cmd.heartbeat_given = true;  // explicit (even 0) disables adaptive mode
+    } else if (arg == "--max-restarts" && run_mode) {
+      cmd.max_restarts = static_cast<std::size_t>(parse_int(value(), arg));
+    } else if (arg == "--retry-quarantined" && run_mode) {
+      cmd.retry_quarantined = true;
+    } else if (arg == "--lease-server" && run_mode) {
+      cmd.lease_server = value();
+      if (!util::HostPort::parse(cmd.lease_server))
+        usage_error("--lease-server needs HOST:PORT");
+    } else if (arg == "--lease-timeout-ms" && run_mode) {
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--lease-timeout-ms must be >= 1");
+      cmd.lease_timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--lease-retries" && run_mode) {
+      cmd.lease_retries = static_cast<std::size_t>(parse_int(value(), arg));
+    } else if (arg == "--worker-slot" && run_mode) {
+      cmd.worker_slot = exp::ShardSpec::parse(value());
+      if (!cmd.worker_slot) usage_error("--worker-slot needs k/W with k < W");
+    } else if (arg == "--keep-shards" && run_mode) {
+      cmd.keep_shards = true;
+    } else if (arg == "--out") {
+      cmd.out = value();
+    } else if (arg == "--csv") {
+      cmd.csv_path = value();
+    } else if (arg == "--resume") {
+      cmd.resume = true;
+    } else if (arg == "--no-progress") {
+      cmd.progress = false;
+    } else if (arg == "--log-level") {
+      const auto v = value();
+      const auto lvl = log::parse_level(v);
+      if (!lvl) usage_error("--log-level needs trace|debug|info|warn|error|off");
+      log::set_level(*lvl);
+      cmd.log_level = v;  // workers inherit the chosen verbosity
+    } else if (arg == "--trace") {
+      cmd.trace_path = value();
+    } else if (arg == "--status-file") {
+      // Parent-owned: workers report through leases/heartbeats, not
+      // their own status files, so this is deliberately not forwarded.
+      cmd.status_path = value();
+    } else {
+      usage_error("unknown option '" + arg + "'");
+    }
   }
-
-  try {
-    core::SweepBuilder sweep(base);
-    sweep.topologies(topologies).strategies(strategies).workloads(workloads);
-    // The seeds axis always contributes the replication count; with
-    // --master-seed the axis values are then overwritten per job by
-    // Rng::derive_seed(master, index) in the engine.
-    sweep.seeds(seeds);
-    opt.collect = false;  // sweeps can be huge; the store is the output
-
-    if (workers > 0) {
-      // Parent of a multi-process run: self-exec one worker per shard.
-      // The supervisor's own lifecycle events (spawns, steals, reaps)
-      // record on logical pid 0; workers take pid k+1 for slot k.
-      if (!trace_path.empty()) obs::Tracer::enable(0, "supervisor");
-      exp::ShardRunOptions sopt;
-      sopt.workers = workers;
-      sopt.out = opt.jsonl_path;
-      sopt.resume = opt.resume;
-      sopt.keep_shard_stores = keep_shards;
-      sopt.master_seed = opt.master_seed;
-      sopt.steal = steal;
-      sopt.heartbeat_ms = heartbeat_ms;
-      // No explicit --heartbeat-ms in a supervised (steal or lease-server)
-      // run: stall detection defaults to the adaptive, pace-tracking
-      // timeout instead of a fixed guess.
-      sopt.adaptive_heartbeat =
-          (steal || !lease_server.empty()) && !heartbeat_given;
-      sopt.max_restarts = max_restarts;
-      sopt.retry_quarantined = retry_quarantined;
-      sopt.lease_server = lease_server;
-      sopt.status_path = status_path;
-      sopt.trace_path = trace_path;
-      sopt.exec_path = exp::self_exec_path(self);
-      sopt.worker_args = passthrough;
-      sopt.worker_args.insert(sopt.worker_args.begin(), "run");
-      if (!jobs_given) {
-        // Split the hardware threads across the workers instead of letting
-        // every worker oversubscribe the whole machine.
-        const std::size_t hw =
-            std::max<std::size_t>(1, std::thread::hardware_concurrency());
-        sopt.worker_args.push_back("--jobs");
-        sopt.worker_args.push_back(
-            std::to_string(std::max<std::size_t>(1, hw / workers)));
-      }
-      sopt.worker_args.push_back("--no-progress");
-
-      const auto report = sweep.run_sharded(sopt);
-      std::printf("%s\n", report.summary().c_str());
-      for (const auto& w : report.workers) {
-        if (w.ok()) continue;
-        // In steal mode a failed exit may have been absorbed by an
-        // auto-restart; the summary above already says so. Still surface
-        // each failure for the log.
-        const char* hint =
-            report.merged ? "auto-restarted"
-                          : "its completed jobs are safe; --resume finishes "
-                            "the rest";
-        const auto lvl =
-            report.merged ? log::Level::Warn : log::Level::Error;
-        if (w.term_signal != 0)
-          ORACLE_LOG(lvl, strfmt("shard %zu/%zu worker killed by signal "
-                                 "%d (%s)",
-                                 w.shard, workers, w.term_signal, hint));
-        else
-          ORACLE_LOG(lvl, strfmt("shard %zu/%zu worker exited with "
-                                 "status %d (%s)",
-                                 w.shard, workers, w.exit_code, hint));
-      }
-      if (report.merged)
-        std::printf("store: %s (+ checkpoint %s)\n", sopt.out.c_str(),
-                    exp::Checkpoint::default_path(sopt.out).c_str());
-      if (!trace_path.empty()) {
-        // Parent events go to "<base>.parent" as trace-event lines; the
-        // trace subcommand stitches them with the worker files.
-        obs::Tracer::write_event_lines(obs::parent_trace_path(trace_path),
-                                       /*append=*/false);
-        if (obs::Tracer::dropped() > 0)
-          ORACLE_LOG_WARN(strfmt("trace buffer overflow: %zu event(s) "
-                                 "dropped",
-                                 obs::Tracer::dropped()));
-        std::printf("trace: %s.{parent,<k>of<W>} (stitch with "
-                    "`oracle_batch trace %s`)\n",
-                    trace_path.c_str(), trace_path.c_str());
-      }
-      if (!status_path.empty())
-        std::printf("status: %s\n", status_path.c_str());
-      return report.ok() ? 0 : 1;
-    }
-
-    if (worker_slot.has_value()) {
-      // Steal-mode worker: run this slot's current lease into its private
-      // store, re-reading the lease before every job.
-      log::set_tag(strfmt("worker %zu/%zu", worker_slot->index,
-                          worker_slot->count));
-      if (!trace_path.empty())
-        obs::Tracer::enable(
-            static_cast<std::uint32_t>(worker_slot->index + 1),
-            strfmt("worker %zu", worker_slot->index));
-      exp::LeaseWorkerOptions wopt;
-      wopt.canonical_out = opt.jsonl_path;
-      wopt.slot = worker_slot->index;
-      wopt.slot_count = worker_slot->count;
-      wopt.merge_resume = opt.resume;
-      wopt.master_seed = opt.master_seed;
-      wopt.threads = jobs_given ? opt.exec.workers : 1;
-      // CI fault injection: ORACLE_SHARD_FAULT="die|kill|stall:<slot>:<n>"
-      // arms a one-shot fault in the matching slot ("kill" raises SIGKILL,
-      // "die" _exit(1)s, "stall" sleeps through the heartbeat timeout).
-      // The one-shot marker lives beside the canonical store, so the
-      // supervisor's respawn of the same slot runs clean.
-      if (const char* fault = std::getenv("ORACLE_SHARD_FAULT")) {
-        const auto parts = split(fault, ':');
-        const bool slot_match =
-            parts.size() >= 3 &&
-            (parts[1] == "*" ||
-             static_cast<std::size_t>(parse_int(parts[1], "fault slot")) ==
-                 wopt.slot);
-        if (slot_match) {
-          const auto n =
-              static_cast<std::size_t>(parse_int(parts[2], "fault job count"));
-          if (parts[0] == "poison") {
-            // A poison *job*: kills whichever worker starts sweep index n,
-            // every time — deliberately no once-marker, so only the
-            // quarantine verdict stops the carnage.
-            wopt.hooks.die_on_job_index = n;
-            wopt.hooks.die_with_sigkill = true;
-          } else {
-            wopt.hooks.once_marker = opt.jsonl_path + ".fault_fired";
-            if (parts[0] == "die" || parts[0] == "kill") {
-              wopt.hooks.die_after_n_jobs = n;
-              wopt.hooks.die_with_sigkill = parts[0] == "kill";
-            } else if (parts[0] == "stall") {
-              wopt.hooks.stall_after_n_jobs = n;
-              if (parts.size() >= 4)
-                wopt.hooks.stall_ms = static_cast<std::uint32_t>(
-                    parse_int(parts[3], "fault stall ms"));
-            }
-          }
-        }
-      }
-
-      auto write_worker_trace = [&] {
-        if (trace_path.empty()) return;
-        // Append: a respawned slot continues the same per-slot file, so
-        // the merged timeline shows the whole slot history. The durable
-        // prefix was flushed by the previous incarnation at its exit; a
-        // SIGKILLed one just loses its own buffer.
-        obs::Tracer::write_event_lines(
-            obs::worker_trace_path(trace_path, worker_slot->index,
-                                   worker_slot->count),
-            /*append=*/true);
-      };
-
-      if (!lease_server.empty()) {
-        // Cross-host mode: fenced leases over TCP instead of lease files.
-        wopt.lease_server = lease_server;
-        wopt.op_timeout_ms = lease_timeout_ms;
-        wopt.retry_budget = lease_retries;
-        const auto report = exp::run_lease_client_worker(sweep.build(), wopt);
-        ORACLE_LOG_INFO(strfmt(
-            "%zu lease(s) run, %zu job(s) executed, %zu skipped; "
-            "%llu retries, %llu reconnects%s%s",
-            report.leases_run, report.batch.executed, report.batch.skipped,
-            static_cast<unsigned long long>(report.retries),
-            static_cast<unsigned long long>(report.reconnects),
-            report.fenced ? "; fenced" : "",
-            report.orphaned ? "; ORPHANED" : ""));
-        for (const auto& err : report.batch.errors)
-          ORACLE_LOG_ERROR("failed: " + err);
-        write_worker_trace();
-        if (report.orphaned) return exp::kOrphanedExitCode;
-        return report.batch.ok() ? 0 : 1;
-      }
-
-      const auto report = exp::run_lease_worker(sweep.build(), wopt);
-      ORACLE_LOG_INFO(report.summary());
-      ORACLE_LOG_DEBUG(report.job_wall.summary());
-      for (const auto& err : report.errors)
-        ORACLE_LOG_ERROR("failed: " + err);
-      write_worker_trace();
-      return report.ok() ? 0 : 1;
-    }
-
-    if (shard.has_value()) {
-      // Worker: run only this shard's slice into its private store.
-      log::set_tag(strfmt("shard %zu/%zu", shard->index, shard->count));
-      if (!trace_path.empty())
-        obs::Tracer::enable(static_cast<std::uint32_t>(shard->index + 1),
-                            strfmt("shard %zu", shard->index));
-      opt.shard_index = shard->index;
-      opt.shard_count = shard->count;
-      const std::string canonical = opt.jsonl_path;
-      opt.jsonl_path =
-          exp::shard_store_path(canonical, shard->index, shard->count);
-      if (opt.resume) opt.extra_resume_stores.push_back(canonical);
-      opt.exec.progress = false;  // parents interleave many workers
-
-      const auto outcome = sweep.run_batch(opt);
-      ORACLE_LOG_INFO(outcome.report.summary());
-      ORACLE_LOG_DEBUG(outcome.report.job_wall.summary());
-      for (const auto& err : outcome.report.errors)
-        ORACLE_LOG_ERROR("failed: " + err);
-      if (!trace_path.empty()) {
-        // Static shards are spawned exactly once per run, so truncate
-        // rather than append — a re-run replaces the slot's trace.
-        obs::Tracer::write_event_lines(
-            obs::worker_trace_path(trace_path, shard->index, shard->count),
-            /*append=*/false);
-      }
-      return outcome.report.ok() ? 0 : 1;
-    }
-
-    // Plain (threaded) run: the tracer records on logical pid 0 and the
-    // complete Chrome JSON document is written directly — no merge step.
-    if (!trace_path.empty()) obs::Tracer::enable(0, "oracle_batch");
-    opt.exec.status_path = status_path;
-
-    const auto outcome = sweep.run_batch(opt);
-    const auto& rep = outcome.report;
-    if (!stdout_records) {
-      std::printf("%s\n", rep.summary().c_str());
-      std::printf(
-          "throughput: %.1f jobs/s, %.3fM events/s (%llu simulation events "
-          "in %.2fs)\n",
-          rep.jobs_per_second, rep.events_per_second() / 1e6,
-          static_cast<unsigned long long>(rep.total_events),
-          rep.elapsed_seconds);
-      if (rep.job_wall.count > 0)
-        std::printf("%s\n", rep.job_wall.summary().c_str());
-      if (!opt.jsonl_path.empty())
-        std::printf("store: %s (+ checkpoint %s)\n", opt.jsonl_path.c_str(),
-                    exp::Checkpoint::default_path(opt.jsonl_path).c_str());
-      if (!opt.csv_path.empty())
-        std::printf("csv:   %s\n", opt.csv_path.c_str());
-    }
-    if (!trace_path.empty()) {
-      const std::size_t events = obs::Tracer::write_json(trace_path);
-      if (obs::Tracer::dropped() > 0)
-        ORACLE_LOG_WARN(strfmt("trace buffer overflow: %zu event(s) dropped",
-                               obs::Tracer::dropped()));
-      if (!stdout_records)
-        std::printf("trace: %s (%zu events; load at "
-                    "https://ui.perfetto.dev)\n",
-                    trace_path.c_str(), events);
-    }
-    for (const auto& err : rep.errors)
-      ORACLE_LOG_ERROR("failed: " + err);
-    return rep.ok() ? 0 : 1;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "oracle_batch: %s\n", e.what());
-    return 1;
-  }
+  return exp::run_sweep_command(cmd);
 }
 
 }  // namespace
@@ -940,13 +409,17 @@ int main(int argc, char** argv) {
   if (!oracle::log::init_from_env())
     oracle::log::set_level(oracle::log::Level::Info);
   const std::string self = argv[0];
-  if (argc > 1 && std::string(argv[1]) == "aggregate")
-    return aggregate_main(argc - 1, argv + 1);
-  if (argc > 1 && std::string(argv[1]) == "trace")
-    return trace_main(argc - 1, argv + 1);
-  if (argc > 1 && std::string(argv[1]) == "serve-leases")
-    return serve_main(argc - 1, argv + 1);
-  if (argc > 1 && std::string(argv[1]) == "run")
-    return sweep_main(argc - 1, argv + 1, /*run_mode=*/true, self);
-  return sweep_main(argc, argv, /*run_mode=*/false, self);
+  const std::string sub = argc > 1 ? argv[1] : "";
+  try {
+    if (sub == "aggregate") return aggregate_cli(argc - 1, argv + 1);
+    if (sub == "trace") return trace_cli(argc - 1, argv + 1);
+    if (sub == "serve-leases") return serve_leases_cli(argc - 1, argv + 1);
+    if (sub == "serve") return serve_cli(argc - 1, argv + 1);
+    if (sub == "query") return query_cli(argc - 1, argv + 1);
+    if (sub == "run")
+      return sweep_cli(argc - 1, argv + 1, /*run_mode=*/true, self);
+    return sweep_cli(argc, argv, /*run_mode=*/false, self);
+  } catch (const oracle::ConfigError& e) {
+    usage_error(e.what());
+  }
 }

@@ -1,6 +1,8 @@
 #include "core/sweep.hpp"
 
+#include "core/presets.hpp"
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace oracle::core {
 
@@ -84,6 +86,90 @@ exp::BatchOutcome SweepBuilder::run_batch(
 exp::ShardRunReport SweepBuilder::run_sharded(
     const exp::ShardRunOptions& options) const {
   return exp::run_sharded_processes(build(), options);
+}
+
+void SweepSpec::apply_preset(const std::string& name) {
+  ORACLE_REQUIRE(name == "million-pe" || name == "million_pe",
+                 "unknown preset '" + name + "' (available: million-pe)");
+  preset = "million-pe";
+  const ExperimentConfig base = paper::million_pe_config();
+  topologies = {base.topology};
+  strategies = {base.strategy};
+  workloads = {base.workload};
+}
+
+ExperimentConfig SweepSpec::base_config() const {
+  ExperimentConfig cfg;
+  if (preset.empty()) {
+    cfg = paper::base_config();
+  } else {
+    ORACLE_REQUIRE(preset == "million-pe" || preset == "million_pe",
+                   "unknown preset '" + preset + "' (available: million-pe)");
+    cfg = paper::million_pe_config();
+  }
+  if (sample_interval >= 0) cfg.machine.sample_interval = sample_interval;
+  if (hop_latency >= 0) cfg.machine.hop_latency = hop_latency;
+  if (sim_threads >= 0) {
+    ORACLE_REQUIRE(sim_threads >= 1, "--sim-threads must be >= 1");
+    cfg.machine.sim_threads = static_cast<std::uint32_t>(sim_threads);
+  }
+  if (sim_partitions >= 0)
+    cfg.machine.sim_partitions = static_cast<std::uint32_t>(sim_partitions);
+  return cfg;
+}
+
+SweepBuilder SweepSpec::builder() const {
+  SweepBuilder b(base_config());
+  b.topologies(topologies).strategies(strategies).workloads(workloads);
+  // The seeds axis always contributes the replication count; with a
+  // master seed the axis values are then overwritten per job by
+  // Rng::derive_seed(master, index) in the engine.
+  b.seeds(seeds);
+  return b;
+}
+
+std::vector<std::string> SweepSpec::to_args() const {
+  std::vector<std::string> args;
+  const auto flag = [&](const char* name, const std::string& value) {
+    args.emplace_back(name);
+    args.push_back(value);
+  };
+  if (!preset.empty()) flag("--preset", preset);
+  flag("--topologies", join(topologies, ","));
+  flag("--strategies", join(strategies, ","));
+  flag("--workloads", join(workloads, ","));
+  std::vector<std::string> seed_strs;
+  seed_strs.reserve(seeds.size());
+  for (const auto s : seeds) seed_strs.push_back(std::to_string(s));
+  flag("--seeds", join(seed_strs, ",") + (seeds.size() == 1 ? "," : ""));
+  if (master_seed != 0) flag("--master-seed", std::to_string(master_seed));
+  if (sample_interval >= 0) flag("--sample", std::to_string(sample_interval));
+  if (hop_latency >= 0) flag("--hop-latency", std::to_string(hop_latency));
+  if (sim_threads >= 0) flag("--sim-threads", std::to_string(sim_threads));
+  if (sim_partitions >= 0)
+    flag("--sim-partitions", std::to_string(sim_partitions));
+  return args;
+}
+
+std::vector<std::uint64_t> SweepSpec::parse_seed_axis(
+    const std::string& value) {
+  std::vector<std::uint64_t> out;
+  if (value.find(',') != std::string::npos) {
+    for (const auto& item : split(value, ',')) {
+      const auto t = trim(item);
+      if (t.empty()) continue;
+      const auto s = parse_int(t, "--seeds");
+      ORACLE_REQUIRE(s >= 0, "--seeds entries must be >= 0");
+      out.push_back(static_cast<std::uint64_t>(s));
+    }
+    ORACLE_REQUIRE(!out.empty(), "--seeds needs at least one entry");
+    return out;
+  }
+  const auto n = parse_int(trim(value), "--seeds");
+  ORACLE_REQUIRE(n >= 1, "--seeds must be >= 1");
+  for (std::int64_t s = 1; s <= n; ++s)
+    out.push_back(static_cast<std::uint64_t>(s));
+  return out;
 }
 
 }  // namespace oracle::core

@@ -18,6 +18,7 @@
 #include "exp/aggregate.hpp"
 #include "exp/batch.hpp"
 #include "exp/checkpoint.hpp"
+#include "exp/commands.hpp"
 #include "exp/executor.hpp"
 #include "exp/job.hpp"
 #include "exp/job_queue.hpp"
@@ -25,4 +26,7 @@
 #include "exp/lease_protocol.hpp"
 #include "exp/lease_service.hpp"
 #include "exp/result_sink.hpp"
+#include "exp/service.hpp"
+#include "exp/service_protocol.hpp"
 #include "exp/shard.hpp"
+#include "exp/store_index.hpp"

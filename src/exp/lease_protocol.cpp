@@ -2,23 +2,12 @@
 
 #include <vector>
 
+#include "util/net.hpp"
 #include "util/string_util.hpp"
 
 namespace oracle::exp {
 
 namespace {
-
-std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  std::uint64_t v = 0;
-  for (const char c : s) {
-    if (c < '0' || c > '9') return std::nullopt;
-    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
-    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
-    v = v * 10 + d;
-  }
-  return v;
-}
 
 const char* kind_name(LeaseResponseKind k) {
   switch (k) {
@@ -63,16 +52,13 @@ std::string LeaseRequest::encode() const {
 }
 
 std::optional<LeaseRequest> LeaseRequest::parse(const std::string& payload) {
-  const auto tok = split(trim(payload), ' ');
-  if (tok.size() < 3 || tok[0] != kLeaseProtoVersion) return std::nullopt;
-  const auto seq = parse_u64(tok[1]);
-  if (!seq) return std::nullopt;
+  const auto frame = util::TextFrame::parse(payload, kLeaseProtoVersion);
+  if (!frame) return std::nullopt;
+  const util::TextFrame& tok = *frame;
   LeaseRequest req;
-  req.seq = *seq;
-  const std::string& op = tok[2];
-  const auto u64_at = [&](std::size_t i) -> std::optional<std::uint64_t> {
-    return i < tok.size() ? parse_u64(tok[i]) : std::nullopt;
-  };
+  req.seq = tok.seq;
+  const std::string& op = tok.tok(2);
+  const auto u64_at = [&](std::size_t i) { return tok.u64(i); };
   if (op == "acquire") {
     req.op = LeaseOp::kAcquire;
     const auto a = u64_at(3), b = u64_at(4), c = u64_at(5);
@@ -135,16 +121,13 @@ std::string LeaseResponse::encode() const {
 
 std::optional<LeaseResponse> LeaseResponse::parse(
     const std::string& payload) {
-  const auto tok = split(trim(payload), ' ');
-  if (tok.size() < 3 || tok[0] != kLeaseProtoVersion) return std::nullopt;
-  const auto seq = parse_u64(tok[1]);
-  if (!seq) return std::nullopt;
+  const auto frame = util::TextFrame::parse(payload, kLeaseProtoVersion);
+  if (!frame) return std::nullopt;
+  const util::TextFrame& tok = *frame;
   LeaseResponse rsp;
-  rsp.seq = *seq;
-  const std::string& kind = tok[2];
-  const auto u64_at = [&](std::size_t i) -> std::optional<std::uint64_t> {
-    return i < tok.size() ? parse_u64(tok[i]) : std::nullopt;
-  };
+  rsp.seq = tok.seq;
+  const std::string& kind = tok.tok(2);
+  const auto u64_at = [&](std::size_t i) { return tok.u64(i); };
   if (kind == "lease") {
     rsp.kind = LeaseResponseKind::kLease;
     const auto a = u64_at(3), b = u64_at(4), c = u64_at(5);
@@ -173,8 +156,7 @@ std::optional<LeaseResponse> LeaseResponse::parse(
     rsp.kind = kind == "status" ? LeaseResponseKind::kStatus
                                 : LeaseResponseKind::kError;
     // The remainder of the payload (may itself contain spaces).
-    const auto pos = payload.find(kind);
-    rsp.text = std::string(trim(payload.substr(pos + kind.size())));
+    rsp.text = std::string(trim(tok.text_after(2)));
     return rsp;
   }
   return std::nullopt;

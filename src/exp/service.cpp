@@ -1,0 +1,409 @@
+#include "exp/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <poll.h>
+#endif
+
+#include "exp/aggregate.hpp"
+#include "exp/batch.hpp"
+#include "exp/job_queue.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/posix_io.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::exp {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+struct Service::Impl {
+  StoreIndex index;
+  bool opened = false;
+  util::Socket listener;
+  std::vector<util::Socket> conns;
+  Clock::time_point started{};
+};
+
+Service::Service(ServiceOptions options)
+    : impl_(new Impl), options_(std::move(options)) {}
+
+Service::~Service() { delete impl_; }
+
+const StoreIndex& Service::index() const { return impl_->index; }
+
+void Service::open() {
+  ORACLE_REQUIRE(!options_.store.empty(),
+                 "the oracle service requires a --store path");
+  if (!impl_->opened) {
+    impl_->index.add_store(options_.store);
+    for (const auto& extra : options_.extra_stores)
+      impl_->index.add_store(extra);
+    impl_->opened = true;
+    ORACLE_LOG_INFO(strfmt(
+        "store index: %zu record(s) over %zu store(s), %.1f MiB indexed "
+        "(%zu duplicate(s), %zu corrupt line(s))",
+        impl_->index.size(), impl_->index.store_count(),
+        static_cast<double>(impl_->index.indexed_bytes()) / (1 << 20),
+        impl_->index.duplicates(), impl_->index.corrupt_lines()));
+  } else {
+    impl_->index.refresh();
+  }
+}
+
+QueryStats Service::query(const ServiceQuery& q, ServiceSink& sink) {
+  open();
+  const auto& known = Aggregator::metric_names();
+  const auto known_metric = [&](const std::string& m) {
+    return std::find(known.begin(), known.end(), m) != known.end();
+  };
+  for (const auto& m : q.metrics)
+    ORACLE_REQUIRE(known_metric(m),
+                   "unknown metric '" + m + "' (try --metric list)");
+  const bool targeted = !q.target_metric.empty();
+  if (targeted) {
+    ORACLE_REQUIRE(known_metric(q.target_metric),
+                   "unknown target metric '" + q.target_metric + "'");
+    ORACLE_REQUIRE(q.target_ci95 > 0.0, "precision target must be > 0");
+    // With a master seed, job seeds derive from sweep *indices*; growing
+    // the seed axis renumbers every job, changes every content hash, and
+    // re-runs the whole grid each round — refuse rather than thrash.
+    ORACLE_REQUIRE(q.sweep.master_seed == 0,
+                   "a precision target cannot be combined with a master "
+                   "seed (derived seeds change with the axis length)");
+  }
+
+  const auto t0 = Clock::now();
+  QueryStats st;
+  core::SweepSpec spec = q.sweep;
+  Aggregator agg;
+  std::vector<GridPointSummary> groups;
+
+  for (std::size_t round = 0;; ++round) {
+    // The jobs (and hashes) exactly as the batch engine would number and
+    // derive them — JobQueue is the single source of job identity.
+    JobQueue queue(spec.build());
+    if (spec.master_seed != 0) queue.derive_seeds(spec.master_seed);
+    const auto& jobs = queue.jobs();
+    ORACLE_REQUIRE(!jobs.empty(), "query names an empty sweep");
+
+    std::size_t cached = 0;
+    for (const auto& job : jobs)
+      if (impl_->index.contains(job.content_hash)) ++cached;
+    st.total = jobs.size();
+    if (round == 0) st.cached = cached;
+    st.rounds = round + 1;
+    sink.on_progress(st.total, st.cached, st.scheduled, cached);
+
+    if (cached < jobs.size()) {
+      // Schedule only the missing jobs: a resume-mode batch run into the
+      // canonical store skips every hash the store already holds and
+      // appends the rest in job order (ordered commit keeps the store
+      // deterministic; the extra stores contribute their hashes too).
+      BatchOptions opt;
+      opt.exec.workers = options_.exec_threads;
+      opt.exec.shard_size = options_.shard_size;
+      opt.exec.progress = false;
+      opt.jsonl_path = options_.store;
+      opt.resume = true;
+      opt.extra_resume_stores = options_.extra_stores;
+      opt.master_seed = spec.master_seed;
+      opt.collect = false;
+      const auto outcome = run_batch(spec.build(), opt);
+      st.scheduled += outcome.report.executed + outcome.report.failed;
+      st.failed += outcome.report.failed;
+      for (const auto& err : outcome.report.errors)
+        ORACLE_LOG_ERROR("query job failed: " + err);
+      impl_->index.refresh();
+      sink.on_progress(st.total, st.cached, st.scheduled,
+                       st.total - outcome.report.failed);
+    }
+
+    // Aggregate the requested points in sweep order (== store commit
+    // order for a store this sweep produced, so tables are byte-identical
+    // to `oracle_batch aggregate` over it). Failed jobs have no record
+    // and silently contribute nothing, exactly like aggregate-over-store.
+    agg = Aggregator();
+    for (const auto& job : jobs)
+      if (const auto line = impl_->index.fetch_line(job.content_hash))
+        agg.add_line(*line);
+    groups = agg.summarize();
+
+    if (!targeted || round >= options_.max_target_rounds) break;
+    bool met = !groups.empty();
+    for (const auto& g : groups) {
+      const auto* m = g.metric(q.target_metric);
+      // One sample has no interval (ci95 = 0); it never satisfies a
+      // target — more seeds are needed to even estimate the width.
+      if (m == nullptr || m->n < 2 || m->ci95 > q.target_ci95) {
+        met = false;
+        break;
+      }
+    }
+    if (met) break;
+    // Extend the replication axis with the next fresh seed and go again;
+    // every already-run (config, seed) point stays a cache hit.
+    const std::uint64_t next =
+        *std::max_element(spec.seeds.begin(), spec.seeds.end()) + 1;
+    spec.seeds.push_back(next);
+  }
+
+  for (const auto& m : q.metrics)
+    sink.on_table(m, Aggregator::to_table(groups, m));
+  if (q.want_csv) sink.on_csv(Aggregator::to_csv(groups));
+
+  st.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+  sink.on_stats(st);
+  return st;
+}
+
+std::uint16_t Service::port() const {
+  return impl_->listener.valid() ? util::local_port(impl_->listener.fd()) : 0;
+}
+
+#if defined(_WIN32)
+
+void Service::start() {
+  throw SimulationError("the oracle service daemon requires a POSIX host");
+}
+
+ServiceStats Service::run() { return stats_; }
+
+#else
+
+void Service::start() {
+  open();
+  impl_->listener = util::listen_tcp(options_.listen);
+  if (!impl_->listener.valid())
+    throw SimulationError("oracle service cannot listen on " +
+                          options_.listen.str());
+  impl_->started = Clock::now();
+  ORACLE_LOG_INFO(strfmt(
+      "oracle service listening on %s:%u (store %s, %zu cached record(s))",
+      options_.listen.host.c_str(), static_cast<unsigned>(port()),
+      options_.store.c_str(), impl_->index.size()));
+}
+
+namespace {
+
+/// ServiceSink that streams each event as one response frame on a
+/// connection. A dead/slow peer marks the sink failed; the query still
+/// runs to completion (its records are committed and cached either way).
+class FrameSink : public ServiceSink {
+ public:
+  FrameSink(int fd, std::uint64_t seq) : fd_(fd), seq_(seq) {}
+
+  bool failed() const { return failed_; }
+
+  void on_progress(std::size_t total, std::size_t cached,
+                   std::size_t scheduled, std::size_t completed) override {
+    ServiceResponse rsp;
+    rsp.kind = ServiceResponseKind::kProgress;
+    rsp.total = total;
+    rsp.cached = cached;
+    rsp.scheduled = scheduled;
+    rsp.completed = completed;
+    send(rsp);
+  }
+
+  void on_table(const std::string& metric, const std::string& table) override {
+    ServiceResponse rsp;
+    rsp.kind = ServiceResponseKind::kTable;
+    rsp.metric = metric;
+    rsp.text = table;
+    send(rsp);
+  }
+
+  void on_csv(const std::string& csv) override {
+    ServiceResponse rsp;
+    rsp.kind = ServiceResponseKind::kCsv;
+    rsp.text = csv;
+    send(rsp);
+  }
+
+  void on_stats(const QueryStats& stats) override {
+    ServiceResponse rsp;
+    rsp.kind = ServiceResponseKind::kStats;
+    rsp.total = stats.total;
+    rsp.cached = stats.cached;
+    rsp.scheduled = stats.scheduled;
+    rsp.failed = stats.failed;
+    rsp.rounds = stats.rounds;
+    rsp.wall_us = stats.wall_us;
+    send(rsp);
+  }
+
+  void send(ServiceResponse rsp) {
+    if (failed_) return;
+    rsp.seq = seq_;
+    if (!util::send_frame(fd_, rsp.encode(),
+                          Clock::now() + std::chrono::seconds(10),
+                          kServiceMaxFrameBytes))
+      failed_ = true;
+  }
+
+ private:
+  int fd_;
+  std::uint64_t seq_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+ServiceStats Service::run() {
+  Impl& im = *impl_;
+  ORACLE_REQUIRE(im.listener.valid(), "Service::start() not called");
+
+  auto snapshot = [&] {
+    obs::StatusSnapshot st;
+    st.phase = stats_.shutdown_requested ? "done" : "serving";
+    st.jobs_total = stats_.jobs_requested;
+    st.jobs_done = stats_.cache_hits + stats_.jobs_scheduled;
+    st.elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - im.started).count();
+    st.requests = stats_.requests;
+    st.cache_hits = stats_.cache_hits;
+    return st;
+  };
+  auto write_status = [&] {
+    if (options_.status_path.empty()) return;
+    obs::write_status_file(options_.status_path, snapshot());
+  };
+
+  // One request, one (possibly streamed) answer. Returns false when the
+  // connection should be dropped.
+  auto handle = [&](int fd, const ServiceRequest& req) -> bool {
+    ++stats_.requests;
+    obs::Span span("serve", "request", "op",
+                   static_cast<std::int64_t>(req.op));
+    const auto reply = [&](ServiceResponse rsp) {
+      rsp.seq = req.seq;
+      return util::send_frame(fd, rsp.encode(),
+                              Clock::now() + std::chrono::seconds(10),
+                              kServiceMaxFrameBytes);
+    };
+    ServiceResponse rsp;
+    switch (req.op) {
+      case ServiceOp::kPing: {
+        rsp.kind = ServiceResponseKind::kOk;
+        return reply(rsp);
+      }
+      case ServiceOp::kStatus: {
+        rsp.kind = ServiceResponseKind::kStatus;
+        rsp.text = snapshot().to_json();
+        return reply(rsp);
+      }
+      case ServiceOp::kShutdown: {
+        stats_.shutdown_requested = true;
+        stop();
+        rsp.kind = ServiceResponseKind::kOk;
+        return reply(rsp);
+      }
+      case ServiceOp::kQuery: {
+        ++stats_.queries;
+        obs::Span qspan("serve", "query");
+        FrameSink sink(fd, req.seq);
+        try {
+          const QueryStats qs = query(req.query, sink);
+          stats_.jobs_requested += qs.total;
+          stats_.cache_hits += qs.cached;
+          stats_.jobs_scheduled += qs.scheduled;
+          qspan.set_arg0("cache_hits", static_cast<std::int64_t>(qs.cached));
+          qspan.set_arg1("scheduled",
+                         static_cast<std::int64_t>(qs.scheduled));
+          ORACLE_LOG_INFO(strfmt(
+              "query: %zu point(s), %zu cached, %zu scheduled, %zu failed, "
+              "%zu round(s), %.1f ms",
+              qs.total, qs.cached, qs.scheduled, qs.failed, qs.rounds,
+              static_cast<double>(qs.wall_us) / 1e3));
+        } catch (const ConfigError& e) {
+          ++stats_.bad_requests;
+          rsp.kind = ServiceResponseKind::kError;
+          rsp.text = e.what();
+          return reply(rsp);
+        }
+        if (sink.failed()) return false;
+        rsp.kind = ServiceResponseKind::kDone;
+        return reply(rsp);
+      }
+    }
+    return false;
+  };
+
+  auto last_status = Clock::now();
+  write_status();
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto now = Clock::now();
+    if (now - last_status >=
+        std::chrono::milliseconds(
+            std::max<std::uint32_t>(options_.status_interval_ms, 1))) {
+      last_status = now;
+      write_status();
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(im.conns.size() + 1);
+    fds.push_back({im.listener.fd(), POLLIN, 0});
+    for (const auto& c : im.conns) fds.push_back({c.fd(), POLLIN, 0});
+    const int ready = util::poll_retry(fds.data(), fds.size(),
+                                       static_cast<int>(options_.poll_ms));
+    if (ready <= 0) continue;
+
+    // Conns accepted below were not part of this poll (fds covers only
+    // the first `polled` entries); they are served from the next tick on.
+    const std::size_t polled = im.conns.size();
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        auto conn = util::accept_tcp(im.listener.fd());
+        if (!conn.valid()) break;
+        im.conns.push_back(std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled;) {
+      const short rev = fds[i + 1].revents;
+      if (rev == 0) {
+        ++i;
+        continue;
+      }
+      bool drop = (rev & (POLLERR | POLLNVAL)) != 0;
+      if (!drop && (rev & (POLLIN | POLLHUP))) {
+        const auto frame = util::recv_frame(
+            im.conns[i].fd(), Clock::now() + std::chrono::milliseconds(250),
+            kServiceMaxFrameBytes);
+        if (!frame) {
+          drop = true;
+        } else if (const auto req = ServiceRequest::parse(*frame)) {
+          if (!handle(im.conns[i].fd(), *req)) drop = true;
+        } else {
+          ++stats_.bad_requests;
+          drop = true;  // unparseable request: the stream is not trusted
+        }
+      }
+      if (drop) {
+        im.conns.erase(im.conns.begin() + static_cast<std::ptrdiff_t>(i));
+        // fds is rebuilt next tick; indices past i are off by one now, so
+        // finish this tick conservatively by re-polling.
+        break;
+      }
+      ++i;
+    }
+  }
+
+  write_status();
+  return stats_;
+}
+
+#endif
+
+}  // namespace oracle::exp

@@ -1,0 +1,143 @@
+#pragma once
+// exp::Service — the resident oracle: a memoized serving layer over the
+// content-hash result stores. A query names a sweep (grid spec + seeds +
+// optional precision target); the service answers every (config, seed)
+// point already present in its StoreIndex straight from disk, schedules
+// ONLY the missing jobs through the existing batch executor (resume-mode
+// run into the canonical store, so new records commit durably and
+// byte-identically ordered), refreshes the index, and streams progress +
+// final aggregates back through a ServiceSink.
+//
+// Cost model, which is the point: a repeated query is pure index lookups
+// — zero jobs scheduled, aggregates byte-identical to `oracle_batch
+// aggregate` over the same store — and a novel query costs exactly its
+// missing grid points.
+//
+// Two front ends share query():
+//   - in-process: library clients construct a Service and call query()
+//     with their own sink (the tests do this);
+//   - the daemon: start()/run() serve the service_protocol frames over
+//     TCP with the same single-threaded poll loop as exp::LeaseService,
+//     one request at a time (queries run inline; the executor already
+//     uses every core, so concurrent queries would only fight over it).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/service_protocol.hpp"
+#include "exp/store_index.hpp"
+#include "util/net.hpp"
+
+namespace oracle::exp {
+
+struct ServiceOptions {
+  /// Canonical JSONL store: cache source AND destination for scheduled
+  /// jobs (required).
+  std::string store;
+
+  /// Additional read-only stores indexed as cache sources (e.g. per-host
+  /// shard stores collected from a fleet run). Never written.
+  std::vector<std::string> extra_stores;
+
+  util::HostPort listen{"127.0.0.1", 0};  ///< daemon bind; port 0 ephemeral
+
+  std::size_t exec_threads = 0;  ///< executor workers; 0 = hardware
+  std::size_t shard_size = 0;    ///< executor shard size; 0 = auto
+
+  /// Optional obs::StatusSnapshot file, atomically rewritten every
+  /// status_interval_ms while the daemon runs (phase "serving", request +
+  /// cache-hit counters).
+  std::string status_path;
+  std::uint32_t status_interval_ms = 500;
+
+  std::uint32_t poll_ms = 50;  ///< daemon poll tick
+
+  /// Precision-target queries stop extending the seed axis after this
+  /// many extra rounds even if some grid point is still wider than asked.
+  std::size_t max_target_rounds = 8;
+};
+
+/// Outcome of one query.
+struct QueryStats {
+  std::size_t total = 0;      ///< grid points requested (final round)
+  std::size_t cached = 0;     ///< answered from the index, first round
+  std::size_t scheduled = 0;  ///< jobs actually executed (all rounds)
+  std::size_t failed = 0;     ///< scheduled jobs whose simulation threw
+  std::size_t rounds = 1;     ///< sweep rounds (1 + precision extensions)
+  std::uint64_t wall_us = 0;
+
+  bool ok() const noexcept { return failed == 0; }
+};
+
+/// Streaming back-channel for query(): progress while jobs run, then the
+/// rendered outputs. The daemon implements this as frame writes; the CLI
+/// query client prints; tests collect.
+class ServiceSink {
+ public:
+  virtual ~ServiceSink() = default;
+  virtual void on_progress(std::size_t /*total*/, std::size_t /*cached*/,
+                           std::size_t /*scheduled*/,
+                           std::size_t /*completed*/) {}
+  virtual void on_table(const std::string& /*metric*/,
+                        const std::string& /*table*/) {}
+  virtual void on_csv(const std::string& /*csv*/) {}
+  virtual void on_stats(const QueryStats& /*stats*/) {}
+};
+
+/// Aggregate daemon counters (also surfaced via the status op/file).
+struct ServiceStats {
+  std::size_t requests = 0;      ///< frames parsed and answered
+  std::size_t queries = 0;       ///< query ops served
+  std::size_t bad_requests = 0;  ///< unparseable/invalid frames
+  std::size_t cache_hits = 0;    ///< grid points answered from the index
+  std::size_t jobs_scheduled = 0;  ///< jobs executed on behalf of queries
+  std::size_t jobs_requested = 0;  ///< grid points asked across queries
+  bool shutdown_requested = false;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Build the index over store + extra_stores. Idempotent (re-entry
+  /// refreshes). Throws ConfigError when no store is configured.
+  void open();
+
+  /// Serve one sweep request in-process. Throws ConfigError on an invalid
+  /// query (unknown metric, precision target on a master-seed sweep).
+  /// Store I/O failures propagate as SimulationError.
+  QueryStats query(const ServiceQuery& q, ServiceSink& sink);
+
+  const StoreIndex& index() const;
+
+  // ---- daemon mode ----
+  /// open() + bind + listen. Throws SimulationError on bind failure.
+  void start();
+
+  /// The actually-bound port (after start(); resolves listen.port == 0).
+  std::uint16_t port() const;
+
+  /// Serve frames until stop() or a shutdown request. Returns the final
+  /// counters. Call start() first.
+  ServiceStats run();
+
+  /// Thread-safe shutdown request: run() returns within one poll tick.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  const ServiceStats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  ServiceOptions options_;
+  ServiceStats stats_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace oracle::exp

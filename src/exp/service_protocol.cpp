@@ -1,0 +1,305 @@
+#include "exp/service_protocol.hpp"
+
+#include "util/error.hpp"
+#include "util/net.hpp"
+#include "util/string_util.hpp"
+
+namespace oracle::exp {
+
+namespace {
+
+std::string csv_of(const std::vector<std::string>& items) {
+  return join(items, ",");
+}
+
+std::vector<std::string> list_of(const std::string& value) {
+  std::vector<std::string> out;
+  for (const auto& item : split(value, ',')) {
+    const auto t = trim(item);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+std::string seeds_csv(const std::vector<std::uint64_t>& seeds) {
+  std::vector<std::string> strs;
+  strs.reserve(seeds.size());
+  for (const auto s : seeds) strs.push_back(std::to_string(s));
+  // Trailing comma keeps a single seed parsing as an explicit list.
+  return join(strs, ",") + (seeds.size() == 1 ? "," : "");
+}
+
+const char* kind_name(ServiceResponseKind k) {
+  switch (k) {
+    case ServiceResponseKind::kOk: return "ok";
+    case ServiceResponseKind::kError: return "error";
+    case ServiceResponseKind::kStatus: return "status";
+    case ServiceResponseKind::kProgress: return "progress";
+    case ServiceResponseKind::kStats: return "stats";
+    case ServiceResponseKind::kTable: return "table";
+    case ServiceResponseKind::kCsv: return "csv";
+    case ServiceResponseKind::kDone: return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ServiceRequest::encode() const {
+  const auto head = strfmt("%s %llu", kServiceProtoVersion,
+                           static_cast<unsigned long long>(seq));
+  switch (op) {
+    case ServiceOp::kPing: return head + " ping";
+    case ServiceOp::kStatus: return head + " status";
+    case ServiceOp::kShutdown: return head + " shutdown";
+    case ServiceOp::kQuery: break;
+  }
+  const core::SweepSpec& s = query.sweep;
+  std::string out = head + " query";
+  const auto kv = [&](const char* key, const std::string& value) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (!s.preset.empty()) kv("preset", s.preset);
+  kv("topos", csv_of(s.topologies));
+  kv("strats", csv_of(s.strategies));
+  kv("works", csv_of(s.workloads));
+  kv("seeds", seeds_csv(s.seeds));
+  if (s.master_seed != 0) kv("master", std::to_string(s.master_seed));
+  if (s.sample_interval >= 0) kv("sample", std::to_string(s.sample_interval));
+  if (s.hop_latency >= 0) kv("hoplat", std::to_string(s.hop_latency));
+  if (s.sim_threads >= 0) kv("simthreads", std::to_string(s.sim_threads));
+  if (s.sim_partitions >= 0)
+    kv("simparts", std::to_string(s.sim_partitions));
+  kv("metrics", csv_of(query.metrics));
+  if (query.want_csv) kv("csv", "1");
+  if (!query.target_metric.empty())
+    kv("target", query.target_metric + ":" +
+                     strfmt("%.17g", query.target_ci95));
+  return out;
+}
+
+std::optional<ServiceRequest> ServiceRequest::parse(
+    const std::string& payload) {
+  const auto frame = util::TextFrame::parse(payload, kServiceProtoVersion);
+  if (!frame) return std::nullopt;
+  ServiceRequest req;
+  req.seq = frame->seq;
+  const std::string& op = frame->tok(2);
+  if (op == "ping" || op == "status" || op == "shutdown") {
+    if (frame->size() != 3) return std::nullopt;
+    req.op = op == "ping" ? ServiceOp::kPing
+             : op == "status" ? ServiceOp::kStatus
+                              : ServiceOp::kShutdown;
+    return req;
+  }
+  if (op != "query") return std::nullopt;
+  req.op = ServiceOp::kQuery;
+
+  // Collect first, apply in fixed order: preset resets the axis defaults,
+  // explicit axes/knobs then win regardless of their token order.
+  std::string preset;
+  std::optional<std::vector<std::string>> topos, strats, works, metrics;
+  std::optional<std::vector<std::uint64_t>> seeds;
+  std::optional<std::uint64_t> master;
+  std::optional<std::int64_t> sample, hoplat, simthreads, simparts;
+  bool want_csv = false;
+  std::string target_metric;
+  double target_ci95 = 0.0;
+
+  const auto parse_knob = [](const std::string& v,
+                             const char* what) -> std::optional<std::int64_t> {
+    try {
+      const auto n = parse_int(v, what);
+      return n >= 0 ? std::optional<std::int64_t>(n) : std::nullopt;
+    } catch (const ConfigError&) {
+      return std::nullopt;
+    }
+  };
+
+  for (std::size_t i = 3; i < frame->size(); ++i) {
+    const std::string& tok = frame->tok(i);
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (value.empty()) return std::nullopt;
+    if (key == "preset") {
+      preset = value;
+    } else if (key == "topos") {
+      topos = list_of(value);
+    } else if (key == "strats") {
+      strats = list_of(value);
+    } else if (key == "works") {
+      works = list_of(value);
+    } else if (key == "metrics") {
+      metrics = list_of(value);
+    } else if (key == "seeds") {
+      try {
+        seeds = core::SweepSpec::parse_seed_axis(value);
+      } catch (const ConfigError&) {
+        return std::nullopt;
+      }
+    } else if (key == "master") {
+      master = util::parse_u64_token(value);
+      if (!master || *master == 0) return std::nullopt;
+    } else if (key == "sample") {
+      if (!(sample = parse_knob(value, "sample"))) return std::nullopt;
+    } else if (key == "hoplat") {
+      if (!(hoplat = parse_knob(value, "hoplat"))) return std::nullopt;
+    } else if (key == "simthreads") {
+      if (!(simthreads = parse_knob(value, "simthreads"))) return std::nullopt;
+      if (*simthreads < 1) return std::nullopt;
+    } else if (key == "simparts") {
+      if (!(simparts = parse_knob(value, "simparts"))) return std::nullopt;
+    } else if (key == "csv") {
+      if (value != "0" && value != "1") return std::nullopt;
+      want_csv = value == "1";
+    } else if (key == "target") {
+      const auto colon = value.rfind(':');
+      if (colon == std::string::npos || colon == 0) return std::nullopt;
+      target_metric = value.substr(0, colon);
+      try {
+        target_ci95 = parse_double(value.substr(colon + 1), "target");
+      } catch (const ConfigError&) {
+        return std::nullopt;
+      }
+      if (!(target_ci95 > 0.0)) return std::nullopt;
+    } else {
+      return std::nullopt;  // unknown key: reject, don't guess
+    }
+  }
+
+  core::SweepSpec& s = req.query.sweep;
+  if (!preset.empty()) {
+    try {
+      s.apply_preset(preset);
+    } catch (const ConfigError&) {
+      return std::nullopt;
+    }
+  }
+  if (topos) {
+    if (topos->empty()) return std::nullopt;
+    s.topologies = *topos;
+  }
+  if (strats) {
+    if (strats->empty()) return std::nullopt;
+    s.strategies = *strats;
+  }
+  if (works) {
+    if (works->empty()) return std::nullopt;
+    s.workloads = *works;
+  }
+  if (seeds) s.seeds = *seeds;
+  if (master) s.master_seed = *master;
+  if (sample) s.sample_interval = *sample;
+  if (hoplat) s.hop_latency = *hoplat;
+  if (simthreads) s.sim_threads = *simthreads;
+  if (simparts) s.sim_partitions = *simparts;
+  if (metrics) {
+    if (metrics->empty()) return std::nullopt;
+    req.query.metrics = *metrics;
+  }
+  req.query.want_csv = want_csv;
+  req.query.target_metric = target_metric;
+  req.query.target_ci95 = target_ci95;
+  return req;
+}
+
+std::string ServiceResponse::encode() const {
+  const auto head = strfmt("%s %llu %s", kServiceProtoVersion,
+                           static_cast<unsigned long long>(seq),
+                           kind_name(kind));
+  switch (kind) {
+    case ServiceResponseKind::kOk:
+    case ServiceResponseKind::kDone:
+      return head;
+    case ServiceResponseKind::kError:
+    case ServiceResponseKind::kStatus:
+    case ServiceResponseKind::kCsv:
+      return head + " " + text;
+    case ServiceResponseKind::kProgress:
+      return head + strfmt(" %llu %llu %llu %llu",
+                           static_cast<unsigned long long>(total),
+                           static_cast<unsigned long long>(cached),
+                           static_cast<unsigned long long>(scheduled),
+                           static_cast<unsigned long long>(completed));
+    case ServiceResponseKind::kStats:
+      return head + strfmt(" %llu %llu %llu %llu %llu %llu",
+                           static_cast<unsigned long long>(total),
+                           static_cast<unsigned long long>(cached),
+                           static_cast<unsigned long long>(scheduled),
+                           static_cast<unsigned long long>(failed),
+                           static_cast<unsigned long long>(rounds),
+                           static_cast<unsigned long long>(wall_us));
+    case ServiceResponseKind::kTable:
+      return head + " " + metric + " " + text;
+  }
+  return {};
+}
+
+std::optional<ServiceResponse> ServiceResponse::parse(
+    const std::string& payload) {
+  // Table/CSV bodies are free text: stop tokenising before them so a
+  // megabyte of table is never shredded into tokens.
+  const auto frame =
+      util::TextFrame::parse(payload, kServiceProtoVersion, /*max_tokens=*/4);
+  if (!frame) return std::nullopt;
+  ServiceResponse rsp;
+  rsp.seq = frame->seq;
+  const std::string& kind = frame->tok(2);
+  if (kind == "ok" || kind == "done") {
+    if (frame->size() != 3) return std::nullopt;
+    rsp.kind =
+        kind == "ok" ? ServiceResponseKind::kOk : ServiceResponseKind::kDone;
+    return rsp;
+  }
+  if (kind == "error" || kind == "status" || kind == "csv") {
+    rsp.kind = kind == "error"    ? ServiceResponseKind::kError
+               : kind == "status" ? ServiceResponseKind::kStatus
+                                  : ServiceResponseKind::kCsv;
+    rsp.text = frame->text_after(2);
+    return rsp;
+  }
+  if (kind == "table") {
+    if (frame->size() < 4) return std::nullopt;
+    rsp.kind = ServiceResponseKind::kTable;
+    rsp.metric = frame->tok(3);
+    rsp.text = frame->text_after(3);
+    return rsp;
+  }
+  if (kind == "progress" || kind == "stats") {
+    // Counter frames have no free text: re-tokenise fully and be strict.
+    const auto full = util::TextFrame::parse(payload, kServiceProtoVersion);
+    if (!full) return std::nullopt;
+    const auto u64_at = [&](std::size_t i) { return full->u64(i); };
+    if (kind == "progress") {
+      if (full->size() != 7) return std::nullopt;
+      const auto a = u64_at(3), b = u64_at(4), c = u64_at(5), d = u64_at(6);
+      if (!a || !b || !c || !d) return std::nullopt;
+      rsp.kind = ServiceResponseKind::kProgress;
+      rsp.total = *a;
+      rsp.cached = *b;
+      rsp.scheduled = *c;
+      rsp.completed = *d;
+      return rsp;
+    }
+    if (full->size() != 9) return std::nullopt;
+    const auto a = u64_at(3), b = u64_at(4), c = u64_at(5), d = u64_at(6),
+               e = u64_at(7), f = u64_at(8);
+    if (!a || !b || !c || !d || !e || !f) return std::nullopt;
+    rsp.kind = ServiceResponseKind::kStats;
+    rsp.total = *a;
+    rsp.cached = *b;
+    rsp.scheduled = *c;
+    rsp.failed = *d;
+    rsp.rounds = *e;
+    rsp.wall_us = *f;
+    return rsp;
+  }
+  return std::nullopt;
+}
+
+}  // namespace oracle::exp

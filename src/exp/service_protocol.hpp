@@ -1,0 +1,108 @@
+#pragma once
+// Wire protocol for the resident oracle service (oracle_batch serve /
+// query). Same dialect family as exp/lease_protocol.hpp — length-prefixed
+// frames (util::send_frame) carrying versioned space-separated text — and
+// the same shared util::TextFrame tokenizer underneath, so the two
+// protocols are one framing implementation with different vocabularies.
+//
+//   request  := "s1 <seq> <op> ..."
+//   response := "s1 <seq> <kind> ..."
+//
+// `seq` is chosen by the client and echoed in every response frame of the
+// exchange, so a stale or replayed frame is recognised and dropped.
+//
+// Ops:
+//   ping                         -> ok
+//   status                       -> status <json>
+//   shutdown                     -> ok (server drains and exits)
+//   query <k=v>...               -> progress* stats table* [csv] done
+//                                   (or error <text>)
+//
+// Query keys (values are comma lists / scalars; none may contain spaces):
+//   preset=NAME     topos=A,B    strats=A,B    works=A,B    seeds=CSV
+//   master=M        sample=N     hoplat=N      simthreads=N simparts=K
+//   metrics=A,B     csv=0|1      target=METRIC:HALFWIDTH
+//
+// Response kinds:
+//   ok                                            request accepted
+//   error <text>                                  rejected (text explains)
+//   status <json>                                 obs::StatusSnapshot JSON
+//   progress <total> <cached> <scheduled> <done>  one per executed round
+//   stats <total> <cached> <scheduled> <failed> <rounds> <wall_us>
+//   table <metric> <text>                         rendered summary table
+//   csv <text>                                    long-format summary CSV
+//   done                                          end of the query stream
+//
+// Tables and CSV bodies are free text (spaces, newlines) transported
+// byte-exactly — the client's output must match `oracle_batch aggregate`
+// to the byte, that being the whole point of the cache.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace oracle::exp {
+
+inline constexpr const char* kServiceProtoVersion = "s1";
+
+/// Aggregate tables over large grids outgrow the lease protocol's 64 KiB
+/// frame cap; both service peers agree on this one instead.
+inline constexpr std::size_t kServiceMaxFrameBytes = 4u << 20;
+
+enum class ServiceOp { kPing, kStatus, kQuery, kShutdown };
+
+/// One sweep/aggregate request: which grid, which output, and optionally
+/// a precision target (keep scheduling fresh seeds until every grid
+/// point's 95% CI half-width for `target_metric` is <= target_ci95).
+struct ServiceQuery {
+  core::SweepSpec sweep;
+  std::vector<std::string> metrics{"speedup"};
+  bool want_csv = false;
+  std::string target_metric;  ///< "" = no precision target
+  double target_ci95 = 0.0;
+};
+
+struct ServiceRequest {
+  std::uint64_t seq = 0;
+  ServiceOp op = ServiceOp::kPing;
+  ServiceQuery query;  ///< op == kQuery only
+
+  std::string encode() const;
+  static std::optional<ServiceRequest> parse(const std::string& payload);
+};
+
+enum class ServiceResponseKind {
+  kOk,
+  kError,
+  kStatus,
+  kProgress,
+  kStats,
+  kTable,
+  kCsv,
+  kDone
+};
+
+struct ServiceResponse {
+  std::uint64_t seq = 0;
+  ServiceResponseKind kind = ServiceResponseKind::kError;
+
+  // progress / stats counters (subset used per kind; see header comment).
+  std::uint64_t total = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t wall_us = 0;
+
+  std::string metric;  ///< table only
+  std::string text;    ///< error / status / table / csv body (byte-exact)
+
+  std::string encode() const;
+  static std::optional<ServiceResponse> parse(const std::string& payload);
+};
+
+}  // namespace oracle::exp

@@ -1,0 +1,183 @@
+#include "exp/store_index.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "exp/job.hpp"
+
+namespace oracle::exp {
+
+namespace {
+
+/// Stores below this size (and growth suffixes) use plain buffered reads;
+/// above it the initial scan goes through a read-only mmap window.
+constexpr std::uint64_t kMmapThreshold = 4u << 20;
+
+/// Extract the content hash from one raw JSONL record line without paying
+/// for a full record parse: the writer (exp::jsonl_record) always emits
+/// `"hash":"<16 lower hex>"`.
+std::optional<std::uint64_t> line_hash(const char* data, std::size_t size) {
+  static constexpr char kNeedle[] = "\"hash\":\"";
+  constexpr std::size_t kNeedleLen = sizeof(kNeedle) - 1;
+  if (size < kNeedleLen + 16) return std::nullopt;
+  const char* end = data + size - (kNeedleLen + 16);
+  for (const char* p = data; p <= end; ++p) {
+    if (std::memcmp(p, kNeedle, kNeedleLen) != 0) continue;
+    std::uint64_t hash = 0;
+    if (!parse_hash_hex(std::string(p + kNeedleLen, 16), hash))
+      return std::nullopt;
+    return hash;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t file_size_of(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const auto pos = in.tellg();
+  return pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
+}  // namespace
+
+std::optional<StoreIndex::Entry> StoreIndex::lookup(std::uint64_t hash) const {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t StoreIndex::indexed_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stores_) total += s.frontier;
+  return total;
+}
+
+std::size_t StoreIndex::index_chunk(std::size_t store_idx, const char* data,
+                                    std::size_t size,
+                                    std::uint64_t base_offset) {
+  std::size_t added = 0;
+  std::size_t pos = 0;
+  while (pos < size) {
+    const void* nl = std::memchr(data + pos, '\n', size - pos);
+    if (nl == nullptr) break;  // torn tail: not indexed, frontier stays put
+    const std::size_t len =
+        static_cast<std::size_t>(static_cast<const char*>(nl) - (data + pos));
+    if (len > 0) {
+      const auto hash = line_hash(data + pos, len);
+      if (!hash) {
+        ++corrupt_lines_;
+      } else if (index_.contains(*hash)) {
+        ++duplicates_;
+      } else {
+        Entry e;
+        e.store = static_cast<std::uint32_t>(store_idx);
+        e.offset = base_offset + pos;
+        e.length = static_cast<std::uint32_t>(len);
+        index_.emplace(*hash, e);
+        ++added;
+      }
+    }
+    pos += len + 1;
+    stores_[store_idx].frontier = base_offset + pos;
+  }
+  return added;
+}
+
+std::size_t StoreIndex::scan_store(std::size_t store_idx) {
+  Store& store = stores_[store_idx];
+  const std::uint64_t size = file_size_of(store.path);
+  if (size < store.frontier) {
+    // The store shrank underneath us (truncated / rewritten): drop every
+    // entry pointing into it and start the scan over. fetch_line would
+    // return garbage bytes otherwise.
+    std::erase_if(index_, [&](const auto& kv) {
+      return kv.second.store == store_idx;
+    });
+    store.frontier = 0;
+  }
+  if (size <= store.frontier) return 0;
+
+#if !defined(_WIN32)
+  if (size - store.frontier >= kMmapThreshold) {
+    const int fd = ::open(store.path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                         MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        const char* data = static_cast<const char*>(map);
+        const std::uint64_t from = store.frontier;
+        const std::size_t added = index_chunk(
+            store_idx, data + from, static_cast<std::size_t>(size - from),
+            from);
+        ::munmap(map, static_cast<std::size_t>(size));
+        return added;
+      }
+    }
+    // mmap refused (FS without mmap support, exotic mount): stream below.
+  }
+#endif
+
+  std::ifstream in(store.path, std::ios::binary);
+  if (!in) return 0;
+  in.seekg(static_cast<std::streamoff>(store.frontier));
+  if (!in) return 0;
+  std::size_t added = 0;
+  std::string line;
+  std::uint64_t offset = store.frontier;
+  while (std::getline(in, line)) {
+    if (in.eof()) break;  // no terminating newline: torn tail, not indexed
+    if (!line.empty()) {
+      const auto hash = line_hash(line.data(), line.size());
+      if (!hash) {
+        ++corrupt_lines_;
+      } else if (index_.contains(*hash)) {
+        ++duplicates_;
+      } else {
+        Entry e;
+        e.store = static_cast<std::uint32_t>(store_idx);
+        e.offset = offset;
+        e.length = static_cast<std::uint32_t>(line.size());
+        index_.emplace(*hash, e);
+        ++added;
+      }
+    }
+    offset += line.size() + 1;
+    store.frontier = offset;
+  }
+  return added;
+}
+
+std::size_t StoreIndex::add_store(const std::string& path) {
+  for (std::size_t i = 0; i < stores_.size(); ++i)
+    if (stores_[i].path == path) return scan_store(i);
+  stores_.push_back(Store{path, 0});
+  return scan_store(stores_.size() - 1);
+}
+
+std::size_t StoreIndex::refresh() {
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < stores_.size(); ++i) added += scan_store(i);
+  return added;
+}
+
+std::optional<std::string> StoreIndex::fetch_line(std::uint64_t hash) const {
+  const auto entry = lookup(hash);
+  if (!entry) return std::nullopt;
+  std::ifstream in(stores_[entry->store].path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(static_cast<std::streamoff>(entry->offset));
+  std::string line(entry->length, '\0');
+  if (!in.read(line.data(), static_cast<std::streamsize>(entry->length)))
+    return std::nullopt;
+  return line;
+}
+
+}  // namespace oracle::exp

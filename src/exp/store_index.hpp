@@ -1,0 +1,93 @@
+#pragma once
+// exp::StoreIndex — the in-memory index behind the resident oracle
+// service's content-hash result cache: hash -> (store, byte offset,
+// length) over one or more JSONL result stores.
+//
+// The index is built once at startup by scanning each registered store,
+// and updated incrementally by refresh(): every store remembers the byte
+// frontier up to which it has been indexed, and only the appended suffix
+// is rescanned. Scanning stops at the last complete (newline-terminated)
+// line — a torn tail left by a killed writer is not indexed, and is
+// naturally picked up by the next refresh() once the line is completed
+// (or re-skipped forever if it never is; resume appends terminate such
+// tails with a newline first, turning them into one counted corrupt line).
+//
+// Loading is mmap-or-stream: large stores are scanned through a read-only
+// mmap window (no double-buffering a multi-GB file through ifstream);
+// small stores, growth suffixes, and platforms without mmap fall back to
+// plain buffered reads. Lookups never keep file data resident — only the
+// ~32 bytes/entry of index state — and fetch_line() seeks out the exact
+// recorded bytes, so a warm cache hit returns the stored record
+// byte-identically.
+//
+// Duplicate hashes (the same job present in several registered stores, or
+// twice in one after an overlapping merge) keep the FIRST occurrence, in
+// store registration + file order — matching Aggregator::add_line's dedup
+// so a cache answer and a full re-aggregation agree.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oracle::exp {
+
+class StoreIndex {
+ public:
+  struct Entry {
+    std::uint32_t store = 0;    ///< index into stores() registration order
+    std::uint64_t offset = 0;   ///< byte offset of the line in the store
+    std::uint32_t length = 0;   ///< line length, excluding the newline
+  };
+
+  /// Register a JSONL store and index its current contents. A missing
+  /// file registers with zero entries (the store may be created later by
+  /// the first scheduled run; refresh() will pick it up). Returns the
+  /// number of new hashes indexed. Registering the same path twice is a
+  /// no-op beyond a refresh of that store.
+  std::size_t add_store(const std::string& path);
+
+  /// Rescan every registered store from its indexed frontier; returns the
+  /// number of new hashes indexed.
+  std::size_t refresh();
+
+  bool contains(std::uint64_t hash) const { return index_.contains(hash); }
+  std::optional<Entry> lookup(std::uint64_t hash) const;
+
+  /// Read back the exact stored JSONL line for `hash` (no trailing
+  /// newline). nullopt when the hash is unknown or the store has been
+  /// truncated/rewritten underneath the index.
+  std::optional<std::string> fetch_line(std::uint64_t hash) const;
+
+  std::size_t size() const { return index_.size(); }      ///< distinct hashes
+  std::size_t store_count() const { return stores_.size(); }
+  const std::string& store_path(std::size_t i) const { return stores_[i].path; }
+
+  /// Later occurrences of an already-indexed hash (first one wins).
+  std::size_t duplicates() const { return duplicates_; }
+
+  /// Complete lines that did not parse as a JSONL record (counted once;
+  /// never rescanned).
+  std::size_t corrupt_lines() const { return corrupt_lines_; }
+
+  /// Total bytes of complete lines indexed across all stores.
+  std::uint64_t indexed_bytes() const;
+
+ private:
+  struct Store {
+    std::string path;
+    std::uint64_t frontier = 0;  ///< bytes indexed so far (complete lines)
+  };
+
+  std::size_t scan_store(std::size_t store_idx);
+  std::size_t index_chunk(std::size_t store_idx, const char* data,
+                          std::size_t size, std::uint64_t base_offset);
+
+  std::vector<Store> stores_;
+  std::unordered_map<std::uint64_t, Entry> index_;
+  std::size_t duplicates_ = 0;
+  std::size_t corrupt_lines_ = 0;
+};
+
+}  // namespace oracle::exp

@@ -54,10 +54,10 @@ std::string StatusSnapshot::to_json() const {
       "{\"v\":%d,\"phase\":\"%s\",\"jobs_total\":%zu,\"jobs_done\":%zu,"
       "\"jobs_per_s\":%.3f,\"eta_s\":%.3f,\"elapsed_s\":%.3f,"
       "\"steals\":%zu,\"restarts\":%zu,\"quarantined\":%zu,\"fenced\":%zu,"
-      "\"retries\":%zu,\"workers\":[",
+      "\"retries\":%zu,\"requests\":%zu,\"cache_hits\":%zu,\"workers\":[",
       kVersion, phase.c_str(), jobs_total, jobs_done, jobs_per_second,
       eta_seconds, elapsed_seconds, steals, restarts, quarantined, fenced,
-      retries);
+      retries, requests, cache_hits);
   for (std::size_t i = 0; i < workers.size(); ++i) {
     const WorkerStatus& w = workers[i];
     if (i > 0) out += ',';
@@ -97,6 +97,11 @@ std::optional<StatusSnapshot> StatusSnapshot::parse(const std::string& json) {
       static_cast<std::size_t>(find_number(json, "fenced").value_or(0.0));
   s.retries =
       static_cast<std::size_t>(find_number(json, "retries").value_or(0.0));
+  // Resident-service era additions; absent in older snapshots.
+  s.requests =
+      static_cast<std::size_t>(find_number(json, "requests").value_or(0.0));
+  s.cache_hits =
+      static_cast<std::size_t>(find_number(json, "cache_hits").value_or(0.0));
 
   const auto arr = json.find("\"workers\":[");
   if (arr == std::string::npos) return std::nullopt;

@@ -43,6 +43,8 @@ struct StatusSnapshot {
   std::size_t quarantined = 0;  ///< poison jobs skipped (see exp/shard.hpp)
   std::size_t fenced = 0;       ///< stale-epoch commits rejected (lease server)
   std::size_t retries = 0;      ///< client request retries seen (lease server)
+  std::size_t requests = 0;     ///< frames answered (resident oracle service)
+  std::size_t cache_hits = 0;   ///< grid points served from the store index
   std::vector<WorkerStatus> workers;  ///< empty for single-process runs
 
   /// One-line JSON document (always valid JSON; schema in README).

@@ -51,6 +51,58 @@ std::string HostPort::str() const {
   return strfmt("%s:%u", host.c_str(), static_cast<unsigned>(port));
 }
 
+std::optional<std::uint64_t> parse_u64_token(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+const std::string& TextFrame::tok(std::size_t i) const {
+  static const std::string kEmpty;
+  return i < tokens.size() ? tokens[i] : kEmpty;
+}
+
+std::optional<std::uint64_t> TextFrame::u64(std::size_t i) const {
+  if (i >= tokens.size()) return std::nullopt;
+  return parse_u64_token(tokens[i]);
+}
+
+std::string TextFrame::text_after(std::size_t i) const {
+  if (i >= tokens.size()) return {};
+  std::size_t pos = token_end_[i];
+  if (pos < raw_.size() && raw_[pos] == ' ') ++pos;
+  return raw_.substr(pos);
+}
+
+std::optional<TextFrame> TextFrame::parse(const std::string& payload,
+                                          const std::string& version,
+                                          std::size_t max_tokens) {
+  TextFrame f;
+  f.raw_ = payload;
+  std::size_t pos = 0;
+  while (pos < payload.size() && f.tokens.size() < max_tokens) {
+    while (pos < payload.size() && payload[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < payload.size() && payload[end] != ' ') ++end;
+    if (end > pos) {
+      f.tokens.emplace_back(payload, pos, end - pos);
+      f.token_end_.push_back(end);
+    }
+    pos = end;
+  }
+  if (f.tokens.size() < 3 || f.tokens[0] != version) return std::nullopt;
+  const auto seq = parse_u64_token(f.tokens[1]);
+  if (!seq) return std::nullopt;
+  f.seq = *seq;
+  return f;
+}
+
 Socket& Socket::operator=(Socket&& o) noexcept {
   if (this != &o) {
     close();
@@ -73,8 +125,10 @@ Socket listen_tcp(const HostPort&, int) { return Socket(); }
 std::uint16_t local_port(int) { return 0; }
 Socket connect_tcp(const HostPort&, NetDeadline) { return Socket(); }
 Socket accept_tcp(int) { return Socket(); }
-bool send_frame(int, const std::string&, NetDeadline) { return false; }
-std::optional<std::string> recv_frame(int, NetDeadline) {
+bool send_frame(int, const std::string&, NetDeadline, std::size_t) {
+  return false;
+}
+std::optional<std::string> recv_frame(int, NetDeadline, std::size_t) {
   return std::nullopt;
 }
 
@@ -237,8 +291,9 @@ Socket accept_tcp(int listen_fd) {
   return s;
 }
 
-bool send_frame(int fd, const std::string& payload, NetDeadline deadline) {
-  if (payload.size() > kMaxFrameBytes) return false;
+bool send_frame(int fd, const std::string& payload, NetDeadline deadline,
+                std::size_t max_bytes) {
+  if (payload.size() > max_bytes) return false;
   unsigned char hdr[4];
   const auto n = static_cast<std::uint32_t>(payload.size());
   hdr[0] = static_cast<unsigned char>(n & 0xff);
@@ -254,7 +309,8 @@ bool send_frame(int fd, const std::string& payload, NetDeadline deadline) {
   return write_all_deadline(fd, buf.data(), buf.size(), deadline);
 }
 
-std::optional<std::string> recv_frame(int fd, NetDeadline deadline) {
+std::optional<std::string> recv_frame(int fd, NetDeadline deadline,
+                                      std::size_t max_bytes) {
   unsigned char hdr[4];
   if (!read_all_deadline(fd, reinterpret_cast<char*>(hdr), 4, deadline))
     return std::nullopt;
@@ -262,7 +318,7 @@ std::optional<std::string> recv_frame(int fd, NetDeadline deadline) {
                           (static_cast<std::uint32_t>(hdr[1]) << 8) |
                           (static_cast<std::uint32_t>(hdr[2]) << 16) |
                           (static_cast<std::uint32_t>(hdr[3]) << 24);
-  if (n > kMaxFrameBytes) return std::nullopt;
+  if (n > max_bytes) return std::nullopt;
   std::string payload(n, '\0');
   if (n > 0 && !read_all_deadline(fd, payload.data(), n, deadline))
     return std::nullopt;

@@ -1,0 +1,547 @@
+// The resident oracle service (exp::Service + the "s1" service protocol):
+// request/response wire round-trips, malformed-frame rejection, and the
+// memoization contract — a cold query schedules exactly the missing jobs,
+// a warm repeat of the same query is 100% cache hits, runs zero jobs, and
+// renders aggregates byte-identical to a direct Aggregator pass over the
+// same store. The daemon smoke drives a real TCP poll loop in-process.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/batch.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/service.hpp"
+#include "exp/service_protocol.hpp"
+#include "obs/status.hpp"
+#include "util/error.hpp"
+#include "util/net.hpp"
+
+#if !defined(_WIN32)
+
+namespace oracle {
+namespace {
+
+using exp::ServiceOp;
+using exp::ServiceRequest;
+using exp::ServiceResponse;
+using exp::ServiceResponseKind;
+
+std::string temp_path(const std::string& name) {
+  // Pid-unique: ctest runs each TEST as its own process, concurrently.
+  return testing::TempDir() + "oracle_svc_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+/// The fixed fast sweep the service tests query: 1 x 2 x 1 x 2 = 4 jobs.
+/// Strategy specs stay comma-free: the wire encoding (like the CLI's
+/// --strategies flag) splits list values on commas, so a multi-param spec
+/// such as "cwn:radius=3,horizon=1" is not expressible in a query.
+core::SweepSpec small_sweep() {
+  core::SweepSpec s;
+  s.topologies = {"grid:4x4"};
+  s.strategies = {"cwn:radius=3", "random"};
+  s.workloads = {"fib:8"};
+  s.seeds = {1, 2};
+  return s;
+}
+
+/// Run `spec` directly through the batch engine into `store` (the
+/// "already have the results" precondition for warm queries).
+void prebuild_store(const core::SweepSpec& spec, const std::string& store) {
+  std::remove(store.c_str());
+  std::remove(exp::Checkpoint::default_path(store).c_str());
+  exp::BatchOptions opt;
+  opt.jsonl_path = store;
+  opt.collect = false;
+  const auto outcome = exp::run_batch(spec.build(), opt);
+  ASSERT_TRUE(outcome.report.ok());
+}
+
+/// ServiceSink that records everything it is handed.
+struct CollectSink : exp::ServiceSink {
+  std::vector<std::vector<std::size_t>> progress;
+  std::vector<std::pair<std::string, std::string>> tables;
+  std::string csv;
+  exp::QueryStats stats;
+  bool got_stats = false;
+
+  void on_progress(std::size_t total, std::size_t cached,
+                   std::size_t scheduled, std::size_t completed) override {
+    progress.push_back({total, cached, scheduled, completed});
+  }
+  void on_table(const std::string& metric, const std::string& table) override {
+    tables.emplace_back(metric, table);
+  }
+  void on_csv(const std::string& c) override { csv = c; }
+  void on_stats(const exp::QueryStats& s) override {
+    stats = s;
+    got_stats = true;
+  }
+};
+
+// ---------------------------------------------------------- wire protocol --
+
+TEST(ServiceProtocol, SimpleRequestsRoundTrip) {
+  for (const auto op :
+       {ServiceOp::kPing, ServiceOp::kStatus, ServiceOp::kShutdown}) {
+    ServiceRequest req;
+    req.seq = 42;
+    req.op = op;
+    const auto parsed = ServiceRequest::parse(req.encode());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->seq, 42u);
+    EXPECT_EQ(parsed->op, op);
+  }
+}
+
+TEST(ServiceProtocol, QueryRequestRoundTripsEveryField) {
+  ServiceRequest req;
+  req.seq = 7;
+  req.op = ServiceOp::kQuery;
+  req.query.sweep.topologies = {"grid:6x6", "dlm:5:10x10"};
+  req.query.sweep.strategies = {"cwn:radius=4", "gm"};
+  req.query.sweep.workloads = {"fib:11"};
+  req.query.sweep.seeds = {3, 9, 27};
+  req.query.sweep.sample_interval = 50;
+  req.query.sweep.hop_latency = 2;
+  req.query.sweep.sim_threads = 4;
+  req.query.sweep.sim_partitions = 8;
+  req.query.metrics = {"speedup", "avg_utilization"};
+  req.query.want_csv = true;
+  req.query.target_metric = "speedup";
+  req.query.target_ci95 = 0.125;
+
+  const auto parsed = ServiceRequest::parse(req.encode());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, ServiceOp::kQuery);
+  const auto& s = parsed->query.sweep;
+  EXPECT_EQ(s.topologies, req.query.sweep.topologies);
+  EXPECT_EQ(s.strategies, req.query.sweep.strategies);
+  EXPECT_EQ(s.workloads, req.query.sweep.workloads);
+  EXPECT_EQ(s.seeds, req.query.sweep.seeds);
+  EXPECT_EQ(s.sample_interval, 50);
+  EXPECT_EQ(s.hop_latency, 2);
+  EXPECT_EQ(s.sim_threads, 4);
+  EXPECT_EQ(s.sim_partitions, 8);
+  EXPECT_EQ(parsed->query.metrics, req.query.metrics);
+  EXPECT_TRUE(parsed->query.want_csv);
+  EXPECT_EQ(parsed->query.target_metric, "speedup");
+  EXPECT_DOUBLE_EQ(parsed->query.target_ci95, 0.125);
+
+  // A single-seed axis survives the round trip as an explicit seed, not a
+  // replication count (the trailing-comma encoding).
+  ServiceRequest one;
+  one.op = ServiceOp::kQuery;
+  one.query.sweep.seeds = {5};
+  const auto p2 = ServiceRequest::parse(one.encode());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->query.sweep.seeds, std::vector<std::uint64_t>{5});
+
+  // Master seed round-trips too (exclusive with target in the *service*,
+  // but the protocol carries either).
+  ServiceRequest m;
+  m.op = ServiceOp::kQuery;
+  m.query.sweep.master_seed = 99;
+  const auto p3 = ServiceRequest::parse(m.encode());
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->query.sweep.master_seed, 99u);
+}
+
+TEST(ServiceProtocol, MalformedRequestsAreRejected) {
+  const char* bad[] = {
+      "",                          // empty
+      "s1",                        // version alone
+      "s1 1",                      // no op
+      "s0 1 ping",                 // wrong version
+      "lp1 1 ping",                // lease protocol, not service
+      "s1 x ping",                 // non-numeric seq
+      "s1 1 frobnicate",           // unknown op
+      "s1 1 ping extra",           // trailing junk on a simple op
+      "s1 1 query bogus=1",        // unknown query key
+      "s1 1 query topos=",         // empty value
+      "s1 1 query seeds=zero",     // malformed seed axis
+      "s1 1 query master=0",       // master seed 0 is the off sentinel
+      "s1 1 query csv=yes",        // csv must be 0|1
+      "s1 1 query target=speedup", // target missing half-width
+      "s1 1 query target=speedup:0",  // half-width must be > 0
+      "s1 1 query simthreads=0",   // engine threads must be >= 1
+  };
+  for (const char* payload : bad)
+    EXPECT_FALSE(ServiceRequest::parse(payload).has_value()) << payload;
+}
+
+TEST(ServiceProtocol, ResponsesRoundTripBytePerfectText) {
+  // Free-text bodies (tables, CSV) travel byte-exactly: embedded spaces,
+  // pipes, and newlines included — the warm-query byte-identity contract
+  // rests on this.
+  ServiceResponse table;
+  table.seq = 9;
+  table.kind = ServiceResponseKind::kTable;
+  table.metric = "speedup";
+  table.text = "a | b\n--+--\n1 |  2 \n";
+  auto parsed = ServiceResponse::parse(table.encode());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, ServiceResponseKind::kTable);
+  EXPECT_EQ(parsed->seq, 9u);
+  EXPECT_EQ(parsed->metric, "speedup");
+  EXPECT_EQ(parsed->text, table.text);
+
+  ServiceResponse stats;
+  stats.kind = ServiceResponseKind::kStats;
+  stats.total = 10;
+  stats.cached = 6;
+  stats.scheduled = 4;
+  stats.failed = 1;
+  stats.rounds = 2;
+  stats.wall_us = 123456;
+  parsed = ServiceResponse::parse(stats.encode());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->total, 10u);
+  EXPECT_EQ(parsed->cached, 6u);
+  EXPECT_EQ(parsed->scheduled, 4u);
+  EXPECT_EQ(parsed->failed, 1u);
+  EXPECT_EQ(parsed->rounds, 2u);
+  EXPECT_EQ(parsed->wall_us, 123456u);
+
+  ServiceResponse err;
+  err.kind = ServiceResponseKind::kError;
+  err.text = "unknown metric 'bogus' (try --metric list)";
+  parsed = ServiceResponse::parse(err.encode());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, ServiceResponseKind::kError);
+  EXPECT_EQ(parsed->text, err.text);
+
+  for (const auto kind : {ServiceResponseKind::kOk, ServiceResponseKind::kDone,
+                          ServiceResponseKind::kProgress}) {
+    ServiceResponse rsp;
+    rsp.kind = kind;
+    parsed = ServiceResponse::parse(rsp.encode());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, kind);
+  }
+}
+
+TEST(ServiceProtocol, MalformedResponsesAreRejected) {
+  const char* bad[] = {
+      "s1 1 nope",
+      "s1 1 ok trailing",
+      "s1 1 progress 1 2 3",          // one counter short
+      "s1 1 progress 1 2 3 x",        // non-numeric counter
+      "s1 1 stats 1 2 3 4 5",         // one counter short
+      "s1 1 stats 1 2 3 4 5 6 7",     // one counter long
+      "s1 1 table",                   // table without a metric
+      "s0 1 done",                    // wrong version
+  };
+  for (const char* payload : bad)
+    EXPECT_FALSE(ServiceResponse::parse(payload).has_value()) << payload;
+}
+
+// --------------------------------------------------------- query semantics --
+
+TEST(Service, WarmQueryIsAllHitsAndByteIdenticalToAggregate) {
+  const auto store = temp_path("warm.jsonl");
+  const auto spec = small_sweep();
+  prebuild_store(spec, store);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  exp::Service service(opt);
+  service.open();
+  EXPECT_EQ(service.index().size(), spec.size());
+
+  exp::ServiceQuery q;
+  q.sweep = spec;
+  q.metrics = {"speedup", "avg_utilization"};
+  q.want_csv = true;
+  CollectSink sink;
+  const auto stats = service.query(q, sink);
+
+  EXPECT_EQ(stats.total, spec.size());
+  EXPECT_EQ(stats.cached, spec.size());
+  EXPECT_EQ(stats.scheduled, 0u);  // the whole point: zero jobs re-run
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rounds, 1u);
+  ASSERT_TRUE(sink.got_stats);
+
+  // Byte-identity with a direct aggregation over the same store.
+  const auto agg = exp::Aggregator::from_jsonl_files({store});
+  const auto groups = agg.summarize();
+  ASSERT_EQ(sink.tables.size(), 2u);
+  EXPECT_EQ(sink.tables[0].first, "speedup");
+  EXPECT_EQ(sink.tables[0].second, exp::Aggregator::to_table(groups, "speedup"));
+  EXPECT_EQ(sink.tables[1].second,
+            exp::Aggregator::to_table(groups, "avg_utilization"));
+  EXPECT_EQ(sink.csv, exp::Aggregator::to_csv(groups));
+}
+
+TEST(Service, ColdQuerySchedulesOnlyTheMissingJobs) {
+  const auto store = temp_path("cold.jsonl");
+  auto spec = small_sweep();
+  prebuild_store(spec, store);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  exp::Service service(opt);
+
+  // Grow the seed axis: 2 of 6 points per strategy are new.
+  spec.seeds = {1, 2, 3};
+  exp::ServiceQuery q;
+  q.sweep = spec;
+  CollectSink sink;
+  const auto stats = service.query(q, sink);
+  EXPECT_EQ(stats.total, 6u);
+  EXPECT_EQ(stats.cached, 4u);
+  EXPECT_EQ(stats.scheduled, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+
+  // The scheduled jobs were committed to the canonical store, so the same
+  // query again is now fully warm.
+  CollectSink warm;
+  const auto again = service.query(q, warm);
+  EXPECT_EQ(again.cached, 6u);
+  EXPECT_EQ(again.scheduled, 0u);
+  ASSERT_FALSE(warm.tables.empty());
+  ASSERT_FALSE(sink.tables.empty());
+  // And renders the identical bytes the cold query rendered.
+  EXPECT_EQ(warm.tables[0].second, sink.tables[0].second);
+}
+
+TEST(Service, PrecisionTargetExtendsTheSeedAxis) {
+  const auto store = temp_path("target.jsonl");
+  const auto spec = small_sweep();
+  prebuild_store(spec, store);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  opt.max_target_rounds = 2;
+  exp::Service service(opt);
+
+  // An absurdly tight target can never be met: the service must extend
+  // the seed axis once per round and stop at the round cap.
+  exp::ServiceQuery q;
+  q.sweep = spec;
+  q.target_metric = "speedup";
+  q.target_ci95 = 1e-12;
+  CollectSink sink;
+  const auto stats = service.query(q, sink);
+  EXPECT_EQ(stats.rounds, 3u);          // initial + 2 extension rounds
+  EXPECT_EQ(stats.total, 2u * 4u);      // seeds {1,2} grew to {1,2,3,4}
+  EXPECT_EQ(stats.cached, spec.size()); // the pre-built points stayed hits
+  EXPECT_EQ(stats.scheduled, 4u);       // only the fresh seeds ran
+
+  // A generous target is satisfied by the cached replications alone.
+  q.target_ci95 = 1e9;
+  CollectSink easy;
+  const auto met = service.query(q, easy);
+  EXPECT_EQ(met.rounds, 1u);
+  EXPECT_EQ(met.scheduled, 0u);
+}
+
+TEST(Service, InvalidQueriesThrowConfigError) {
+  const auto store = temp_path("invalid.jsonl");
+  prebuild_store(small_sweep(), store);
+  exp::ServiceOptions opt;
+  opt.store = store;
+  exp::Service service(opt);
+
+  CollectSink sink;
+  exp::ServiceQuery q;
+  q.sweep = small_sweep();
+  q.metrics = {"bogus"};
+  EXPECT_THROW(service.query(q, sink), ConfigError);
+
+  q = {};
+  q.sweep = small_sweep();
+  q.target_metric = "speedup";
+  q.target_ci95 = 0.1;
+  q.sweep.master_seed = 5;  // target + master seed: refused
+  EXPECT_THROW(service.query(q, sink), ConfigError);
+
+  exp::Service no_store{exp::ServiceOptions{}};
+  EXPECT_THROW(no_store.open(), ConfigError);
+}
+
+// ----------------------------------------------------------- daemon smoke --
+
+/// In-process daemon on an ephemeral port, serving until stop().
+struct ServiceThread {
+  explicit ServiceThread(exp::ServiceOptions opt) : svc(std::move(opt)) {
+    svc.start();
+    th = std::thread([this] { stats = svc.run(); });
+  }
+  ~ServiceThread() {
+    svc.stop();
+    if (th.joinable()) th.join();
+  }
+  void join() {
+    if (th.joinable()) th.join();
+  }
+
+  exp::Service svc;
+  exp::ServiceStats stats;
+  std::thread th;
+};
+
+util::NetDeadline in_1s() {
+  return util::NetClock::now() + std::chrono::seconds(1);
+}
+util::NetDeadline in_30s() {
+  return util::NetClock::now() + std::chrono::seconds(30);
+}
+
+util::Socket connect_to(std::uint16_t port) {
+  auto sock = util::connect_tcp({"127.0.0.1", port}, in_1s());
+  EXPECT_TRUE(sock.valid());
+  return sock;
+}
+
+std::optional<ServiceResponse> exchange(int fd, const ServiceRequest& req) {
+  if (!util::send_frame(fd, req.encode(), in_1s(), exp::kServiceMaxFrameBytes))
+    return std::nullopt;
+  const auto payload =
+      util::recv_frame(fd, in_30s(), exp::kServiceMaxFrameBytes);
+  if (!payload) return std::nullopt;
+  return ServiceResponse::parse(*payload);
+}
+
+TEST(ServiceDaemon, ServesPingStatusQueryAndShutdown) {
+  const auto store = temp_path("daemon.jsonl");
+  const auto spec = small_sweep();
+  prebuild_store(spec, store);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  opt.status_path = temp_path("daemon_status.json");
+  ServiceThread daemon(opt);
+  ASSERT_GT(daemon.svc.port(), 0);
+
+  auto conn = connect_to(daemon.svc.port());
+
+  ServiceRequest ping;
+  ping.seq = 1;
+  ping.op = ServiceOp::kPing;
+  auto rsp = exchange(conn.fd(), ping);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->kind, ServiceResponseKind::kOk);
+  EXPECT_EQ(rsp->seq, 1u);
+
+  ServiceRequest status;
+  status.seq = 2;
+  status.op = ServiceOp::kStatus;
+  rsp = exchange(conn.fd(), status);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->kind, ServiceResponseKind::kStatus);
+  const auto snap = obs::StatusSnapshot::parse(rsp->text);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->phase, "serving");
+
+  // Warm query over the wire: progress then stats/tables then done, with
+  // zero jobs scheduled and the table byte-identical to aggregation.
+  ServiceRequest query;
+  query.seq = 3;
+  query.op = ServiceOp::kQuery;
+  query.query.sweep = spec;
+  ASSERT_TRUE(util::send_frame(conn.fd(), query.encode(), in_1s(),
+                               exp::kServiceMaxFrameBytes));
+  std::string table;
+  exp::QueryStats qstats;
+  bool done = false;
+  while (!done) {
+    const auto payload =
+        util::recv_frame(conn.fd(), in_30s(), exp::kServiceMaxFrameBytes);
+    ASSERT_TRUE(payload.has_value());
+    const auto r = ServiceResponse::parse(*payload);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->seq, 3u);
+    switch (r->kind) {
+      case ServiceResponseKind::kTable:
+        EXPECT_EQ(r->metric, "speedup");
+        table = r->text;
+        break;
+      case ServiceResponseKind::kStats:
+        qstats.total = r->total;
+        qstats.cached = r->cached;
+        qstats.scheduled = r->scheduled;
+        break;
+      case ServiceResponseKind::kDone:
+        done = true;
+        break;
+      case ServiceResponseKind::kError:
+        FAIL() << "server error: " << r->text;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(qstats.total, spec.size());
+  EXPECT_EQ(qstats.cached, spec.size());
+  EXPECT_EQ(qstats.scheduled, 0u);
+  const auto agg = exp::Aggregator::from_jsonl_files({store});
+  EXPECT_EQ(table, exp::Aggregator::to_table(agg.summarize(), "speedup"));
+
+  // An invalid query is answered with an error frame, not a drop.
+  ServiceRequest badq;
+  badq.seq = 4;
+  badq.op = ServiceOp::kQuery;
+  badq.query.sweep = spec;
+  badq.query.metrics = {"bogus"};
+  rsp = exchange(conn.fd(), badq);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->kind, ServiceResponseKind::kError);
+
+  ServiceRequest shutdown;
+  shutdown.seq = 5;
+  shutdown.op = ServiceOp::kShutdown;
+  rsp = exchange(conn.fd(), shutdown);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->kind, ServiceResponseKind::kOk);
+  daemon.join();
+  EXPECT_TRUE(daemon.stats.shutdown_requested);
+  EXPECT_EQ(daemon.stats.requests, 5u);
+  EXPECT_EQ(daemon.stats.queries, 2u);
+  EXPECT_EQ(daemon.stats.cache_hits, spec.size());
+  EXPECT_EQ(daemon.stats.jobs_scheduled, 0u);
+  EXPECT_EQ(daemon.stats.bad_requests, 1u);
+}
+
+TEST(ServiceDaemon, MalformedFramesDropTheConnectionOnly) {
+  const auto store = temp_path("malformed.jsonl");
+  prebuild_store(small_sweep(), store);
+  exp::ServiceOptions opt;
+  opt.store = store;
+  ServiceThread daemon(opt);
+
+  // Garbage on one connection: the server drops it...
+  auto bad = connect_to(daemon.svc.port());
+  ASSERT_TRUE(util::send_frame(bad.fd(), "lp1 1 acquire", in_1s(),
+                               exp::kServiceMaxFrameBytes));
+  EXPECT_FALSE(
+      util::recv_frame(bad.fd(), in_1s(), exp::kServiceMaxFrameBytes)
+          .has_value());
+
+  // ...while a fresh, well-behaved connection is unaffected.
+  auto good = connect_to(daemon.svc.port());
+  ServiceRequest ping;
+  ping.seq = 11;
+  ping.op = ServiceOp::kPing;
+  const auto rsp = exchange(good.fd(), ping);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->kind, ServiceResponseKind::kOk);
+
+  daemon.svc.stop();
+  daemon.join();
+  EXPECT_EQ(daemon.stats.bad_requests, 1u);
+}
+
+}  // namespace
+}  // namespace oracle
+
+#endif  // !_WIN32
