@@ -61,8 +61,9 @@ void print_usage() {
       "       oracle_batch trace <base> [--out PATH]     (stitch --trace files)\n"
       "       oracle_batch serve --store S [--store EXTRA ...] [--listen H:P]\n"
       "                    [--jobs N] [--shard N] [--status-file PATH]\n"
-      "                    [--trace PATH] [--log-level LVL]\n"
-      "                                                  (resident oracle service)\n"
+      "                    [--query-threads N] [--job-budget N]\n"
+      "                    [--client-timeout-ms N] [--trace PATH]\n"
+      "                    [--log-level LVL]         (resident oracle service)\n"
       "       oracle_batch query --server HOST:PORT [sweep options]\n"
       "                    [--metric NAME|all|list] [--csv PATH|-]\n"
       "                    [--target METRIC:HALFWIDTH] [--timeout-ms N]\n"
@@ -252,6 +253,18 @@ int serve_cli(int argc, char** argv) {
       const auto n = parse_int(value(), arg);
       if (n < 1) usage_error("--status-interval-ms must be >= 1");
       cmd.options.status_interval_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--query-threads") {
+      cmd.options.query_threads =
+          static_cast<std::size_t>(parse_int(value(), arg));
+    } else if (arg == "--job-budget") {
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--job-budget must be >= 1");
+      cmd.options.job_budget = static_cast<std::size_t>(n);
+    } else if (arg == "--client-timeout-ms") {
+      const auto n = parse_int(value(), arg);
+      if (n < 1) usage_error("--client-timeout-ms must be >= 1");
+      cmd.options.write_timeout_ms = static_cast<std::uint32_t>(n);
+      cmd.options.read_timeout_ms = static_cast<std::uint32_t>(n);
     } else if (arg == "--trace") {
       cmd.trace_path = value();
     } else if (arg == "--log-level") {

@@ -206,10 +206,10 @@ int run_serve_command(const ServeCommand& cmd) {
 
     std::printf(
         "%s: %zu request(s), %zu query(ies), %zu cache hit(s), "
-        "%zu job(s) scheduled, %zu bad request(s)\n",
+        "%zu job(s) scheduled, %zu bad request(s), %zu evicted\n",
         stats.shutdown_requested ? "shutdown" : "stopped", stats.requests,
         stats.queries, stats.cache_hits, stats.jobs_scheduled,
-        stats.bad_requests);
+        stats.bad_requests, stats.evicted);
     if (!cmd.trace_path.empty()) {
       const std::size_t events = obs::Tracer::write_json(cmd.trace_path);
       if (obs::Tracer::dropped() > 0)

@@ -2,6 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
 #include <vector>
 
 #if !defined(_WIN32)
@@ -20,189 +29,336 @@
 
 namespace oracle::exp {
 
-namespace {
-using Clock = std::chrono::steady_clock;
-}
+// Internal machinery lives in a named (not anonymous) namespace because
+// Service::Impl holds these types as members.
+namespace svc_detail {
 
-struct Service::Impl {
-  StoreIndex index;
-  bool opened = false;
-  util::Socket listener;
-  std::vector<util::Socket> conns;
-  Clock::time_point started{};
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kUnbudgeted = std::numeric_limits<std::size_t>::max();
+
+/// One query as a resumable state machine. Both front ends drive it:
+/// Service::query() loops step() to completion with an unlimited budget
+/// (exactly the old inline behaviour — one batch run per round); the
+/// daemon's worker pool calls step() with options.job_budget, so each
+/// call schedules at most that many jobs before yielding the worker.
+///
+/// Every step touches the StoreIndex under the readers-writer lock
+/// (shared for lookups/aggregation, exclusive for the post-commit
+/// refresh) and serializes store appends behind the store mutex — the
+/// batch executor already uses every core, so one append-batch at a time
+/// is the fast configuration, not a compromise.
+class QueryRun {
+ public:
+  QueryRun(StoreIndex& index, std::shared_mutex& index_mu,
+           std::mutex& store_mu, const ServiceOptions& options, ServiceQuery q)
+      : index_(index),
+        index_mu_(index_mu),
+        store_mu_(store_mu),
+        options_(options),
+        q_(std::move(q)),
+        spec_(q_.sweep),
+        targeted_(!q_.target_metric.empty()),
+        t0_(Clock::now()) {
+    validate();
+  }
+
+  /// Advance by one slice: schedule up to `budget` missing jobs (or, with
+  /// no jobs left this round, aggregate and either extend the seed axis
+  /// or render). Returns true when the query is complete.
+  bool step(ServiceSink& sink, std::size_t budget);
+
+  const QueryStats& stats() const { return st_; }
+
+ private:
+  void validate() const;
+  void plan(ServiceSink& sink);
+  bool run_chunk(ServiceSink& sink, std::size_t budget);
+  void aggregate();
+  bool target_satisfied_or_capped();
+  void render(ServiceSink& sink);
+
+  StoreIndex& index_;
+  std::shared_mutex& index_mu_;
+  std::mutex& store_mu_;
+  const ServiceOptions& options_;
+  ServiceQuery q_;
+  core::SweepSpec spec_;
+  bool targeted_;
+  Clock::time_point t0_;
+
+  QueryStats st_;
+  std::size_t round_ = 0;
+  bool planned_ = false;
+  std::optional<JobQueue> queue_;
+  std::size_t cursor_ = 0;        ///< next job index to examine this round
+  std::size_t round_cached_ = 0;  ///< cache hits counted at this round's plan
+  std::size_t round_done_ = 0;    ///< jobs executed so far this round
+  std::vector<GridPointSummary> groups_;
+  // Per-group sample counts of the target metric after the previous
+  // round — the no-progress diagnostic compares against these.
+  std::vector<std::size_t> prev_group_n_;
+  bool have_prev_ = false;
 };
 
-Service::Service(ServiceOptions options)
-    : impl_(new Impl), options_(std::move(options)) {}
-
-Service::~Service() { delete impl_; }
-
-const StoreIndex& Service::index() const { return impl_->index; }
-
-void Service::open() {
-  ORACLE_REQUIRE(!options_.store.empty(),
-                 "the oracle service requires a --store path");
-  if (!impl_->opened) {
-    impl_->index.add_store(options_.store);
-    for (const auto& extra : options_.extra_stores)
-      impl_->index.add_store(extra);
-    impl_->opened = true;
-    ORACLE_LOG_INFO(strfmt(
-        "store index: %zu record(s) over %zu store(s), %.1f MiB indexed "
-        "(%zu duplicate(s), %zu corrupt line(s))",
-        impl_->index.size(), impl_->index.store_count(),
-        static_cast<double>(impl_->index.indexed_bytes()) / (1 << 20),
-        impl_->index.duplicates(), impl_->index.corrupt_lines()));
-  } else {
-    impl_->index.refresh();
-  }
-}
-
-QueryStats Service::query(const ServiceQuery& q, ServiceSink& sink) {
-  open();
+void QueryRun::validate() const {
   const auto& known = Aggregator::metric_names();
   const auto known_metric = [&](const std::string& m) {
     return std::find(known.begin(), known.end(), m) != known.end();
   };
-  for (const auto& m : q.metrics)
+  for (const auto& m : q_.metrics)
     ORACLE_REQUIRE(known_metric(m),
                    "unknown metric '" + m + "' (try --metric list)");
-  const bool targeted = !q.target_metric.empty();
-  if (targeted) {
-    ORACLE_REQUIRE(known_metric(q.target_metric),
-                   "unknown target metric '" + q.target_metric + "'");
-    ORACLE_REQUIRE(q.target_ci95 > 0.0, "precision target must be > 0");
+  if (targeted_) {
+    ORACLE_REQUIRE(known_metric(q_.target_metric),
+                   "unknown target metric '" + q_.target_metric + "'");
+    ORACLE_REQUIRE(q_.target_ci95 > 0.0, "precision target must be > 0");
     // With a master seed, job seeds derive from sweep *indices*; growing
     // the seed axis renumbers every job, changes every content hash, and
     // re-runs the whole grid each round — refuse rather than thrash.
-    ORACLE_REQUIRE(q.sweep.master_seed == 0,
+    ORACLE_REQUIRE(q_.sweep.master_seed == 0,
                    "a precision target cannot be combined with a master "
                    "seed (derived seeds change with the axis length)");
   }
+}
 
-  const auto t0 = Clock::now();
-  QueryStats st;
-  core::SweepSpec spec = q.sweep;
-  Aggregator agg;
-  std::vector<GridPointSummary> groups;
+void QueryRun::plan(ServiceSink& sink) {
+  // The jobs (and hashes) exactly as the batch engine would number and
+  // derive them — JobQueue is the single source of job identity.
+  queue_.emplace(spec_.build());
+  if (spec_.master_seed != 0) queue_->derive_seeds(spec_.master_seed);
+  ORACLE_REQUIRE(!queue_->jobs().empty(), "query names an empty sweep");
 
-  for (std::size_t round = 0;; ++round) {
-    // The jobs (and hashes) exactly as the batch engine would number and
-    // derive them — JobQueue is the single source of job identity.
-    JobQueue queue(spec.build());
-    if (spec.master_seed != 0) queue.derive_seeds(spec.master_seed);
-    const auto& jobs = queue.jobs();
-    ORACLE_REQUIRE(!jobs.empty(), "query names an empty sweep");
+  std::size_t cached = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(index_mu_);
+    for (const auto& job : queue_->jobs())
+      if (index_.contains(job.content_hash)) ++cached;
+  }
+  st_.total = queue_->jobs().size();
+  if (round_ == 0) st_.cached = cached;
+  st_.rounds = round_ + 1;
+  cursor_ = 0;
+  round_cached_ = cached;
+  round_done_ = 0;
+  planned_ = true;
+  sink.on_progress(st_.total, st_.cached, st_.scheduled, cached);
+}
 
-    std::size_t cached = 0;
-    for (const auto& job : jobs)
-      if (impl_->index.contains(job.content_hash)) ++cached;
-    st.total = jobs.size();
-    if (round == 0) st.cached = cached;
-    st.rounds = round + 1;
-    sink.on_progress(st.total, st.cached, st.scheduled, cached);
+bool QueryRun::run_chunk(ServiceSink& sink, std::size_t budget) {
+  const auto& jobs = queue_->jobs();
+  if (cursor_ >= jobs.size()) return false;
+  if (budget == 0) budget = 1;
 
-    if (cached < jobs.size()) {
-      // Schedule only the missing jobs: a resume-mode batch run into the
-      // canonical store skips every hash the store already holds and
-      // appends the rest in job order (ordered commit keeps the store
-      // deterministic; the extra stores contribute their hashes too).
-      BatchOptions opt;
-      opt.exec.workers = options_.exec_threads;
-      opt.exec.shard_size = options_.shard_size;
-      opt.exec.progress = false;
-      opt.jsonl_path = options_.store;
-      opt.resume = true;
-      opt.extra_resume_stores = options_.extra_stores;
-      opt.master_seed = spec.master_seed;
-      opt.collect = false;
-      const auto outcome = run_batch(spec.build(), opt);
-      st.scheduled += outcome.report.executed + outcome.report.failed;
-      st.failed += outcome.report.failed;
-      for (const auto& err : outcome.report.errors)
-        ORACLE_LOG_ERROR("query job failed: " + err);
-      impl_->index.refresh();
-      sink.on_progress(st.total, st.cached, st.scheduled,
-                       st.total - outcome.report.failed);
-    }
-
-    // Aggregate the requested points in sweep order (== store commit
-    // order for a store this sweep produced, so tables are byte-identical
-    // to `oracle_batch aggregate` over it). Failed jobs have no record
-    // and silently contribute nothing, exactly like aggregate-over-store.
-    agg = Aggregator();
-    for (const auto& job : jobs)
-      if (const auto line = impl_->index.fetch_line(job.content_hash))
-        agg.add_line(*line);
-    groups = agg.summarize();
-
-    if (!targeted || round >= options_.max_target_rounds) break;
-    bool met = !groups.empty();
-    for (const auto& g : groups) {
-      const auto* m = g.metric(q.target_metric);
-      // One sample has no interval (ci95 = 0); it never satisfies a
-      // target — more seeds are needed to even estimate the width.
-      if (m == nullptr || m->n < 2 || m->ci95 > q.target_ci95) {
-        met = false;
-        break;
+  // The chunk is the job-index range covering the next `budget` missing
+  // jobs. Scheduling through a [lease_begin, lease_end) window over the
+  // FULL config list keeps job numbering (and so master-seed derivation
+  // and store append order) identical to an unchunked run.
+  std::size_t first_missing = jobs.size();
+  std::size_t end = cursor_;
+  std::size_t missing = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(index_mu_);
+    for (std::size_t i = cursor_; i < jobs.size(); ++i) {
+      if (!index_.contains(jobs[i].content_hash)) {
+        if (missing == 0) first_missing = i;
+        ++missing;
+        end = i + 1;
+        if (missing >= budget) break;
       }
     }
-    if (met) break;
+  }
+  if (missing == 0) {
+    cursor_ = jobs.size();
+    return false;
+  }
+
+  // Schedule only the missing jobs: a resume-mode batch run into the
+  // canonical store skips every hash the store already holds and appends
+  // the rest in job order (ordered commit keeps the store deterministic;
+  // the extra stores contribute their hashes too).
+  BatchOptions opt;
+  opt.exec.workers = options_.exec_threads;
+  opt.exec.shard_size = options_.shard_size;
+  opt.exec.progress = false;
+  opt.jsonl_path = options_.store;
+  opt.resume = true;
+  opt.extra_resume_stores = options_.extra_stores;
+  opt.master_seed = spec_.master_seed;
+  opt.collect = false;
+  opt.lease_begin = first_missing;
+  opt.lease_end = end;
+  BatchOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lk(store_mu_);
+    outcome = run_batch(spec_.build(), opt);
+  }
+  st_.scheduled += outcome.report.executed + outcome.report.failed;
+  st_.failed += outcome.report.failed;
+  round_done_ += outcome.report.executed;
+  for (const auto& err : outcome.report.errors)
+    ORACLE_LOG_ERROR("query job failed: " + err);
+  {
+    std::unique_lock<std::shared_mutex> lk(index_mu_);
+    index_.refresh();
+  }
+  cursor_ = end;
+  sink.on_progress(st_.total, st_.cached, st_.scheduled,
+                   round_cached_ + round_done_);
+  return true;
+}
+
+void QueryRun::aggregate() {
+  // Aggregate the requested points in sweep order (== store commit order
+  // for a store this sweep produced, so tables are byte-identical to
+  // `oracle_batch aggregate` over it). Failed jobs have no record and
+  // silently contribute nothing, exactly like aggregate-over-store.
+  Aggregator agg;
+  {
+    std::shared_lock<std::shared_mutex> lk(index_mu_);
+    for (const auto& job : queue_->jobs())
+      if (const auto line = index_.fetch_line(job.content_hash))
+        agg.add_line(*line);
+  }
+  groups_ = agg.summarize();
+}
+
+bool QueryRun::target_satisfied_or_capped() {
+  // A NaN target metric poisons every comparison (NaN > target is false,
+  // so a NaN interval would silently count as "met") — refuse loudly.
+  for (const auto& g : groups_) {
+    const auto* m = g.metric(q_.target_metric);
+    if (m != nullptr && m->n > 0 &&
+        (!std::isfinite(m->mean) || !std::isfinite(m->ci95)))
+      throw ConfigError(strfmt(
+          "precision target on '%s' cannot be evaluated: the metric is not "
+          "finite (NaN) for grid point %s/%s/%s — inspect the store records",
+          q_.target_metric.c_str(), g.topology.c_str(), g.strategy.c_str(),
+          g.workload.c_str()));
+  }
+
+  if (round_ >= options_.max_target_rounds) return true;
+
+  bool met = !groups_.empty();
+  for (const auto& g : groups_) {
+    const auto* m = g.metric(q_.target_metric);
+    // One sample has no interval (ci95 = 0); it never satisfies a
+    // target — more seeds are needed to even estimate the width.
+    if (m == nullptr || m->n < 2 || m->ci95 > q_.target_ci95) {
+      met = false;
+      break;
+    }
+  }
+  if (met) return true;
+
+  // Unmet and about to extend: if the previous extension round added no
+  // samples anywhere (its scheduled jobs all failed or produced no
+  // records), further rounds cannot converge either — a single pinned
+  // sample or a grid point whose jobs always throw would otherwise burn
+  // every round before reporting nothing.
+  std::vector<std::size_t> group_n;
+  group_n.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    const auto* m = g.metric(q_.target_metric);
+    group_n.push_back(m != nullptr ? m->n : 0);
+  }
+  if (have_prev_ && group_n == prev_group_n_)
+    throw ConfigError(strfmt(
+        "precision target on '%s' cannot make progress: the last extension "
+        "round added no new samples (%zu scheduled job(s) failed so far) — "
+        "fix the failing configs or drop the target",
+        q_.target_metric.c_str(), st_.failed));
+  prev_group_n_ = std::move(group_n);
+  have_prev_ = true;
+  return false;
+}
+
+void QueryRun::render(ServiceSink& sink) {
+  for (const auto& m : q_.metrics)
+    sink.on_table(m, Aggregator::to_table(groups_, m));
+  if (q_.want_csv) sink.on_csv(Aggregator::to_csv(groups_));
+  st_.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0_)
+          .count());
+  sink.on_stats(st_);
+}
+
+bool QueryRun::step(ServiceSink& sink, std::size_t budget) {
+  if (!planned_) plan(sink);
+  if (run_chunk(sink, budget)) return false;  // yield after scheduling work
+  aggregate();
+  if (targeted_ && !target_satisfied_or_capped()) {
     // Extend the replication axis with the next fresh seed and go again;
     // every already-run (config, seed) point stays a cache hit.
     const std::uint64_t next =
-        *std::max_element(spec.seeds.begin(), spec.seeds.end()) + 1;
-    spec.seeds.push_back(next);
+        *std::max_element(spec_.seeds.begin(), spec_.seeds.end()) + 1;
+    spec_.seeds.push_back(next);
+    ++round_;
+    planned_ = false;
+    return false;
   }
-
-  for (const auto& m : q.metrics)
-    sink.on_table(m, Aggregator::to_table(groups, m));
-  if (q.want_csv) sink.on_csv(Aggregator::to_csv(groups));
-
-  st.wall_us = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
-          .count());
-  sink.on_stats(st);
-  return st;
+  render(sink);
+  return true;
 }
 
-std::uint16_t Service::port() const {
-  return impl_->listener.valid() ? util::local_port(impl_->listener.fd()) : 0;
-}
+// ------------------------------------------------------- daemon plumbing --
 
-#if defined(_WIN32)
+/// What workers hand the poll thread: encoded response frames to queue on
+/// a connection, and query-completion notices that release the
+/// connection for its next request and settle the daemon counters.
+struct SvcEvent {
+  enum class Kind { kFrame, kQueryDone };
+  Kind kind = Kind::kFrame;
+  std::uint64_t conn_id = 0;
+  std::string wire;        ///< kFrame: [len][payload] bytes ready to write
+  bool drop_conn = false;  ///< kFrame: response unencodable — drop the peer
+  QueryStats stats;        ///< kQueryDone
+  bool config_error = false;  ///< kQueryDone: rejected (counts bad_requests)
+  bool errored = false;       ///< kQueryDone: ended with an error frame
+};
 
-void Service::start() {
-  throw SimulationError("the oracle service daemon requires a POSIX host");
-}
+/// One queued query. `run` is created lazily on the first worker slice so
+/// request validation (which throws ConfigError) happens on a worker, not
+/// the poll thread.
+struct QueryTask {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  ServiceQuery query;
+  std::unique_ptr<QueryRun> run;
+};
 
-ServiceStats Service::run() { return stats_; }
+/// Everything the poll thread and the workers share.
+struct DaemonState {
+  // Query execution context (set once before workers start).
+  StoreIndex* index = nullptr;
+  std::shared_mutex* index_mu = nullptr;
+  std::mutex* store_mu = nullptr;
+  const ServiceOptions* options = nullptr;
 
-#else
+  std::mutex mu;  ///< guards ready/in_flight/draining/exit_workers/events
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<QueryTask>> ready;  ///< round-robin run queue
+  std::size_t in_flight = 0;
+  bool draining = false;      ///< abort queued queries with a shutdown error
+  bool exit_workers = false;  ///< workers return once the queue is empty
+  std::deque<SvcEvent> events;
+  util::WakePipe wake;
 
-void Service::start() {
-  open();
-  impl_->listener = util::listen_tcp(options_.listen);
-  if (!impl_->listener.valid())
-    throw SimulationError("oracle service cannot listen on " +
-                          options_.listen.str());
-  impl_->started = Clock::now();
-  ORACLE_LOG_INFO(strfmt(
-      "oracle service listening on %s:%u (store %s, %zu cached record(s))",
-      options_.listen.host.c_str(), static_cast<unsigned>(port()),
-      options_.store.c_str(), impl_->index.size()));
-}
+  void push_event(SvcEvent ev) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      events.push_back(std::move(ev));
+    }
+    wake.notify();
+  }
+};
 
-namespace {
-
-/// ServiceSink that streams each event as one response frame on a
-/// connection. A dead/slow peer marks the sink failed; the query still
-/// runs to completion (its records are committed and cached either way).
-class FrameSink : public ServiceSink {
+/// ServiceSink that encodes each event as one response frame and hands it
+/// to the poll thread. Workers never touch sockets.
+class EmitSink : public ServiceSink {
  public:
-  FrameSink(int fd, std::uint64_t seq) : fd_(fd), seq_(seq) {}
-
-  bool failed() const { return failed_; }
+  EmitSink(DaemonState& ds, std::uint64_t conn_id, std::uint64_t seq)
+      : ds_(ds), conn_id_(conn_id), seq_(seq) {}
 
   void on_progress(std::size_t total, std::size_t cached,
                    std::size_t scheduled, std::size_t completed) override {
@@ -242,26 +398,235 @@ class FrameSink : public ServiceSink {
     send(rsp);
   }
 
+  void send_error(const std::string& text) {
+    ServiceResponse rsp;
+    rsp.kind = ServiceResponseKind::kError;
+    rsp.text = text;
+    send(rsp);
+  }
+
+  void send_done() {
+    ServiceResponse rsp;
+    rsp.kind = ServiceResponseKind::kDone;
+    send(rsp);
+  }
+
   void send(ServiceResponse rsp) {
-    if (failed_) return;
     rsp.seq = seq_;
-    if (!util::send_frame(fd_, rsp.encode(),
-                          Clock::now() + std::chrono::seconds(10),
-                          kServiceMaxFrameBytes))
-      failed_ = true;
+    SvcEvent ev;
+    ev.kind = SvcEvent::Kind::kFrame;
+    ev.conn_id = conn_id_;
+    ev.wire = util::frame_bytes(rsp.encode(), kServiceMaxFrameBytes);
+    // An over-cap frame cannot be sent partially; the old blocking path
+    // dropped the connection, and so do we.
+    if (ev.wire.empty()) ev.drop_conn = true;
+    ds_.push_event(std::move(ev));
   }
 
  private:
-  int fd_;
+  DaemonState& ds_;
+  std::uint64_t conn_id_;
   std::uint64_t seq_;
-  bool failed_ = false;
 };
 
-}  // namespace
+/// Worker thread: pop the front query, advance it ONE slice, re-enqueue
+/// at the back if unfinished. Round-robin across queries is the fairness
+/// guarantee — a giant cold sweep shares the pool slice-by-slice with
+/// every warm one-point hit behind it.
+void worker_main(DaemonState& ds) {
+  while (true) {
+    std::unique_ptr<QueryTask> task;
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lk(ds.mu);
+      ds.cv.wait(lk, [&] { return ds.exit_workers || !ds.ready.empty(); });
+      if (ds.ready.empty()) {
+        if (ds.exit_workers) return;
+        continue;
+      }
+      task = std::move(ds.ready.front());
+      ds.ready.pop_front();
+      ++ds.in_flight;
+      draining = ds.draining;
+    }
+
+    EmitSink sink(ds, task->conn_id, task->seq);
+    bool done = false;
+    bool config_error = false;
+    bool errored = false;
+    if (draining) {
+      // Shutdown: whatever this query still owed its client becomes one
+      // clean error frame — never a torn table.
+      sink.send_error(kServiceShuttingDown);
+      done = true;
+      errored = true;
+    } else {
+      obs::Span span("serve", "query", "conn",
+                     static_cast<std::int64_t>(task->conn_id));
+      try {
+        if (!task->run)
+          task->run = std::make_unique<QueryRun>(
+              *ds.index, *ds.index_mu, *ds.store_mu, *ds.options,
+              std::move(task->query));
+        done = task->run->step(sink, ds.options->job_budget);
+        if (done) sink.send_done();
+      } catch (const ConfigError& e) {
+        sink.send_error(e.what());
+        done = true;
+        config_error = true;
+        errored = true;
+      } catch (const std::exception& e) {
+        // Store I/O or executor failure: this client gets the error; the
+        // daemon keeps serving everyone else.
+        sink.send_error(e.what());
+        done = true;
+        errored = true;
+      }
+    }
+
+    if (!done) {
+      std::lock_guard<std::mutex> lk(ds.mu);
+      --ds.in_flight;
+      ds.ready.push_back(std::move(task));
+      ds.cv.notify_one();
+      continue;
+    }
+    SvcEvent ev;
+    ev.kind = SvcEvent::Kind::kQueryDone;
+    ev.conn_id = task->conn_id;
+    if (task->run) ev.stats = task->run->stats();
+    ev.config_error = config_error;
+    ev.errored = errored;
+    {
+      std::lock_guard<std::mutex> lk(ds.mu);
+      --ds.in_flight;
+      ds.events.push_back(std::move(ev));
+    }
+    ds.wake.notify();
+  }
+}
+
+/// Per-connection state machine owned exclusively by the poll thread.
+struct Conn {
+  util::Socket sock;
+  std::uint64_t id = 0;
+  util::FrameSplitter in{kServiceMaxFrameBytes};
+  std::string out;            ///< queued response bytes (whole frames)
+  std::size_t out_off = 0;    ///< already-written prefix of `out`
+  Clock::time_point write_stall_since{};  ///< last write progress (out != "")
+  Clock::time_point read_stall_since{};   ///< partial inbound frame started
+  bool read_stalled = false;
+  bool busy = false;  ///< a query of this connection is queued/in flight
+  std::deque<std::string> backlog;  ///< frames parsed while busy (FIFO)
+  bool close_after_flush = false;
+  bool dead = false;
+  std::size_t requests = 0;
+  std::int64_t trace_t0 = 0;
+};
+
+std::size_t resolve_query_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hw != 0 ? hw : 1, 8);
+}
+
+}  // namespace svc_detail
+
+using svc_detail::Clock;
+
+struct Service::Impl {
+  StoreIndex index;
+  std::shared_mutex index_mu;
+  std::mutex store_mu;
+  bool opened = false;
+  util::Socket listener;
+  Clock::time_point started{};
+  svc_detail::DaemonState ds;
+  std::vector<std::thread> workers;
+  std::vector<svc_detail::Conn> conns;
+  std::uint64_t next_conn_id = 1;
+};
+
+Service::Service(ServiceOptions options)
+    : impl_(new Impl), options_(std::move(options)) {}
+
+Service::~Service() { delete impl_; }
+
+const StoreIndex& Service::index() const { return impl_->index; }
+
+void Service::open() {
+  ORACLE_REQUIRE(!options_.store.empty(),
+                 "the oracle service requires a --store path");
+  std::unique_lock<std::shared_mutex> lk(impl_->index_mu);
+  if (!impl_->opened) {
+    impl_->index.add_store(options_.store);
+    for (const auto& extra : options_.extra_stores)
+      impl_->index.add_store(extra);
+    impl_->opened = true;
+    ORACLE_LOG_INFO(strfmt(
+        "store index: %zu record(s) over %zu store(s), %.1f MiB indexed "
+        "(%zu duplicate(s), %zu corrupt line(s))",
+        impl_->index.size(), impl_->index.store_count(),
+        static_cast<double>(impl_->index.indexed_bytes()) / (1 << 20),
+        impl_->index.duplicates(), impl_->index.corrupt_lines()));
+  } else {
+    impl_->index.refresh();
+  }
+}
+
+QueryStats Service::query(const ServiceQuery& q, ServiceSink& sink) {
+  open();
+  svc_detail::QueryRun run(impl_->index, impl_->index_mu, impl_->store_mu,
+                           options_, q);
+  while (!run.step(sink, svc_detail::kUnbudgeted)) {
+  }
+  return run.stats();
+}
+
+std::uint16_t Service::port() const {
+  return impl_->listener.valid() ? util::local_port(impl_->listener.fd()) : 0;
+}
+
+#if defined(_WIN32)
+
+void Service::start() {
+  throw SimulationError("the oracle service daemon requires a POSIX host");
+}
+
+ServiceStats Service::run() { return stats_; }
+
+#else
+
+void Service::start() {
+  open();
+  impl_->listener = util::listen_tcp(options_.listen);
+  if (!impl_->listener.valid())
+    throw SimulationError("oracle service cannot listen on " +
+                          options_.listen.str());
+  impl_->started = Clock::now();
+  ORACLE_LOG_INFO(strfmt(
+      "oracle service listening on %s:%u (store %s, %zu cached record(s))",
+      options_.listen.host.c_str(), static_cast<unsigned>(port()),
+      options_.store.c_str(), impl_->index.size()));
+}
 
 ServiceStats Service::run() {
+  using svc_detail::Conn;
+  using svc_detail::SvcEvent;
+
   Impl& im = *impl_;
   ORACLE_REQUIRE(im.listener.valid(), "Service::start() not called");
+  ORACLE_REQUIRE(im.ds.wake.valid(),
+                 "oracle service cannot create its wake pipe");
+
+  im.ds.index = &im.index;
+  im.ds.index_mu = &im.index_mu;
+  im.ds.store_mu = &im.store_mu;
+  im.ds.options = &options_;
+  const std::size_t nworkers =
+      svc_detail::resolve_query_threads(options_.query_threads);
+  for (std::size_t i = 0; i < nworkers; ++i)
+    im.workers.emplace_back(svc_detail::worker_main, std::ref(im.ds));
 
   auto snapshot = [&] {
     obs::StatusSnapshot st;
@@ -272,6 +637,13 @@ ServiceStats Service::run() {
         std::chrono::duration<double>(Clock::now() - im.started).count();
     st.requests = stats_.requests;
     st.cache_hits = stats_.cache_hits;
+    st.connections = im.conns.size();
+    st.evicted = stats_.evicted;
+    {
+      std::lock_guard<std::mutex> lk(im.ds.mu);
+      st.queue_depth = im.ds.ready.size();
+      st.in_flight = im.ds.in_flight;
+    }
     return st;
   };
   auto write_status = [&] {
@@ -279,71 +651,220 @@ ServiceStats Service::run() {
     obs::write_status_file(options_.status_path, snapshot());
   };
 
-  // One request, one (possibly streamed) answer. Returns false when the
-  // connection should be dropped.
-  auto handle = [&](int fd, const ServiceRequest& req) -> bool {
+  auto find_conn = [&](std::uint64_t id) -> Conn* {
+    for (auto& c : im.conns)
+      if (c.id == id) return &c;
+    return nullptr;
+  };
+
+  // Try to push a connection's queued bytes out right now (called on
+  // POLLOUT and opportunistically after queueing, so a responsive client
+  // never waits a poll tick for its answer).
+  auto flush_conn = [&](Conn& c) {
+    if (c.dead || c.out_off >= c.out.size()) return;
+    std::size_t written = 0;
+    const auto r = util::write_some(c.sock.fd(), c.out.data() + c.out_off,
+                                    c.out.size() - c.out_off, &written);
+    if (r == util::IoResult::kClosed) {
+      c.dead = true;
+      return;
+    }
+    if (written > 0) {
+      c.out_off += written;
+      c.write_stall_since = Clock::now();
+    }
+    if (c.out_off >= c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+      if (c.close_after_flush) c.dead = true;
+    } else if (c.out_off > (1u << 20)) {
+      c.out.erase(0, c.out_off);
+      c.out_off = 0;
+    }
+  };
+
+  auto queue_bytes = [&](Conn& c, std::string wire) {
+    if (c.dead) return;
+    if (c.out.empty()) c.write_stall_since = Clock::now();
+    c.out += wire;
+    flush_conn(c);
+  };
+
+  auto queue_response = [&](Conn& c, ServiceResponse rsp, std::uint64_t seq) {
+    rsp.seq = seq;
+    auto wire = util::frame_bytes(rsp.encode(), kServiceMaxFrameBytes);
+    if (wire.empty()) {
+      c.dead = true;
+      return;
+    }
+    queue_bytes(c, std::move(wire));
+  };
+
+  // Dispatch one parsed request. ping/status/shutdown answer inline on
+  // the poll thread (never behind a query); queries go to the worker
+  // pool, one in flight per connection (further frames wait in the
+  // backlog so response streams of one connection never interleave).
+  auto dispatch = [&](Conn& c, const ServiceRequest& req) {
     ++stats_.requests;
+    ++c.requests;
     obs::Span span("serve", "request", "op",
                    static_cast<std::int64_t>(req.op));
-    const auto reply = [&](ServiceResponse rsp) {
-      rsp.seq = req.seq;
-      return util::send_frame(fd, rsp.encode(),
-                              Clock::now() + std::chrono::seconds(10),
-                              kServiceMaxFrameBytes);
-    };
     ServiceResponse rsp;
     switch (req.op) {
       case ServiceOp::kPing: {
         rsp.kind = ServiceResponseKind::kOk;
-        return reply(rsp);
+        queue_response(c, rsp, req.seq);
+        return;
       }
       case ServiceOp::kStatus: {
         rsp.kind = ServiceResponseKind::kStatus;
         rsp.text = snapshot().to_json();
-        return reply(rsp);
+        queue_response(c, rsp, req.seq);
+        return;
       }
       case ServiceOp::kShutdown: {
         stats_.shutdown_requested = true;
         stop();
         rsp.kind = ServiceResponseKind::kOk;
-        return reply(rsp);
+        queue_response(c, rsp, req.seq);
+        return;
       }
       case ServiceOp::kQuery: {
         ++stats_.queries;
-        obs::Span qspan("serve", "query");
-        FrameSink sink(fd, req.seq);
-        try {
-          const QueryStats qs = query(req.query, sink);
+        c.busy = true;
+        auto task = std::make_unique<svc_detail::QueryTask>();
+        task->conn_id = c.id;
+        task->seq = req.seq;
+        task->query = req.query;
+        {
+          std::lock_guard<std::mutex> lk(im.ds.mu);
+          im.ds.ready.push_back(std::move(task));
+        }
+        im.ds.cv.notify_one();
+        return;
+      }
+    }
+  };
+
+  auto handle_frame = [&](Conn& c, const std::string& payload) {
+    if (c.busy || !c.backlog.empty()) {
+      // Strictly ordered per connection; a flooding client is bounded.
+      if (c.backlog.size() >= 64) {
+        c.dead = true;
+        return;
+      }
+      c.backlog.push_back(payload);
+      return;
+    }
+    const auto req = ServiceRequest::parse(payload);
+    if (!req) {
+      ++stats_.bad_requests;
+      c.dead = true;  // unparseable request: the stream is not trusted
+      return;
+    }
+    dispatch(c, *req);
+  };
+
+  auto apply_event = [&](SvcEvent& ev) {
+    Conn* c = find_conn(ev.conn_id);
+    switch (ev.kind) {
+      case SvcEvent::Kind::kFrame: {
+        if (c == nullptr) return;  // peer already gone; drop the frame
+        if (ev.drop_conn) {
+          c->dead = true;
+          return;
+        }
+        queue_bytes(*c, std::move(ev.wire));
+        return;
+      }
+      case SvcEvent::Kind::kQueryDone: {
+        if (ev.config_error) ++stats_.bad_requests;
+        if (!ev.errored) {
+          const QueryStats& qs = ev.stats;
           stats_.jobs_requested += qs.total;
           stats_.cache_hits += qs.cached;
           stats_.jobs_scheduled += qs.scheduled;
-          qspan.set_arg0("cache_hits", static_cast<std::int64_t>(qs.cached));
-          qspan.set_arg1("scheduled",
-                         static_cast<std::int64_t>(qs.scheduled));
           ORACLE_LOG_INFO(strfmt(
               "query: %zu point(s), %zu cached, %zu scheduled, %zu failed, "
               "%zu round(s), %.1f ms",
               qs.total, qs.cached, qs.scheduled, qs.failed, qs.rounds,
               static_cast<double>(qs.wall_us) / 1e3));
-        } catch (const ConfigError& e) {
-          ++stats_.bad_requests;
-          rsp.kind = ServiceResponseKind::kError;
-          rsp.text = e.what();
-          return reply(rsp);
         }
-        if (sink.failed()) return false;
-        rsp.kind = ServiceResponseKind::kDone;
-        return reply(rsp);
+        if (c == nullptr) return;
+        c->busy = false;
+        // The backlog drains until empty or the next query claims the
+        // connection again.
+        while (!c->busy && !c->dead && !c->backlog.empty()) {
+          const std::string payload = std::move(c->backlog.front());
+          c->backlog.pop_front();
+          const auto req = ServiceRequest::parse(payload);
+          if (!req) {
+            ++stats_.bad_requests;
+            c->dead = true;
+            break;
+          }
+          dispatch(*c, *req);
+        }
+        return;
       }
     }
-    return false;
+  };
+
+  auto close_conn_trace = [&](const Conn& c) {
+    if (!obs::Tracer::enabled()) return;
+    obs::TraceEvent ev;
+    ev.cat = "serve";
+    ev.name = "connection";
+    ev.ph = 'X';
+    ev.ts_ns = c.trace_t0;
+    ev.dur_ns = obs::Tracer::now_ns() - c.trace_t0;
+    ev.arg0_name = "conn";
+    ev.arg0 = static_cast<std::int64_t>(c.id);
+    ev.arg1_name = "requests";
+    ev.arg1 = static_cast<std::int64_t>(c.requests);
+    obs::Tracer::emit(ev);
   };
 
   auto last_status = Clock::now();
   write_status();
 
-  while (!stop_.load(std::memory_order_relaxed)) {
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  const auto write_timeout =
+      std::chrono::milliseconds(std::max<std::uint32_t>(1, options_.write_timeout_ms));
+  const auto read_timeout =
+      std::chrono::milliseconds(std::max<std::uint32_t>(1, options_.read_timeout_ms));
+
+  while (true) {
     const auto now = Clock::now();
+
+    if (!draining && stop_.load(std::memory_order_relaxed)) {
+      // Shutdown: stop accepting, fail queued queries, let in-flight
+      // slices finish, flush what clients will take, then leave.
+      draining = true;
+      drain_deadline =
+          now + std::chrono::milliseconds(options_.drain_timeout_ms);
+      {
+        std::lock_guard<std::mutex> lk(im.ds.mu);
+        im.ds.draining = true;
+      }
+      im.ds.cv.notify_all();
+    }
+    if (draining) {
+      bool engine_idle = false;
+      bool events_pending = true;
+      {
+        std::lock_guard<std::mutex> lk(im.ds.mu);
+        engine_idle = im.ds.ready.empty() && im.ds.in_flight == 0;
+        events_pending = !im.ds.events.empty();
+      }
+      bool flushed = true;
+      for (const auto& c : im.conns)
+        if (!c.dead && c.out_off < c.out.size()) flushed = false;
+      if ((engine_idle && !events_pending && flushed) || now >= drain_deadline)
+        break;
+    }
+
     if (now - last_status >=
         std::chrono::milliseconds(
             std::max<std::uint32_t>(options_.status_interval_ms, 1))) {
@@ -352,53 +873,144 @@ ServiceStats Service::run() {
     }
 
     std::vector<pollfd> fds;
-    fds.reserve(im.conns.size() + 1);
-    fds.push_back({im.listener.fd(), POLLIN, 0});
-    for (const auto& c : im.conns) fds.push_back({c.fd(), POLLIN, 0});
-    const int ready = util::poll_retry(fds.data(), fds.size(),
-                                       static_cast<int>(options_.poll_ms));
-    if (ready <= 0) continue;
+    fds.reserve(im.conns.size() + 2);
+    fds.push_back({im.listener.fd(),
+                   static_cast<short>(draining ? 0 : POLLIN), 0});
+    fds.push_back({im.ds.wake.poll_fd(), POLLIN, 0});
+    for (const auto& c : im.conns) {
+      short events = POLLIN;
+      if (c.out_off < c.out.size()) events |= POLLOUT;
+      fds.push_back({c.sock.fd(), events, 0});
+    }
+    util::poll_retry(fds.data(), fds.size(),
+                     static_cast<int>(options_.poll_ms));
 
-    // Conns accepted below were not part of this poll (fds covers only
-    // the first `polled` entries); they are served from the next tick on.
-    const std::size_t polled = im.conns.size();
+    // Worker completions first: frames queue onto their connections and
+    // finished queries release them before new input is read.
+    if (fds[1].revents & POLLIN) im.ds.wake.drain();
+    {
+      std::deque<SvcEvent> events;
+      {
+        std::lock_guard<std::mutex> lk(im.ds.mu);
+        events.swap(im.ds.events);
+      }
+      for (auto& ev : events) apply_event(ev);
+    }
+
     if (fds[0].revents & POLLIN) {
       while (true) {
-        auto conn = util::accept_tcp(im.listener.fd());
-        if (!conn.valid()) break;
-        im.conns.push_back(std::move(conn));
+        auto sock = util::accept_tcp(im.listener.fd());
+        if (!sock.valid()) break;
+        util::set_send_buffer(sock.fd(), options_.sndbuf_bytes);
+        Conn c;
+        c.sock = std::move(sock);
+        c.id = im.next_conn_id++;
+        c.trace_t0 = obs::Tracer::enabled() ? obs::Tracer::now_ns() : 0;
+        obs::instant("serve", "conn.accept", "conn",
+                     static_cast<std::int64_t>(c.id));
+        im.conns.push_back(std::move(c));
       }
     }
 
-    for (std::size_t i = 0; i < polled;) {
-      const short rev = fds[i + 1].revents;
-      if (rev == 0) {
-        ++i;
+    // Per-connection I/O. fds entry i+2 tracks conns[i] for the first
+    // `polled` connections (later accepts wait one tick).
+    const std::size_t polled =
+        std::min(im.conns.size(), fds.size() - 2);
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = im.conns[i];
+      const short rev = fds[i + 2].revents;
+      if (c.dead) continue;
+      if (rev & (POLLERR | POLLNVAL)) {
+        c.dead = true;
         continue;
       }
-      bool drop = (rev & (POLLERR | POLLNVAL)) != 0;
-      if (!drop && (rev & (POLLIN | POLLHUP))) {
-        const auto frame = util::recv_frame(
-            im.conns[i].fd(), Clock::now() + std::chrono::milliseconds(250),
-            kServiceMaxFrameBytes);
-        if (!frame) {
-          drop = true;
-        } else if (const auto req = ServiceRequest::parse(*frame)) {
-          if (!handle(im.conns[i].fd(), *req)) drop = true;
-        } else {
-          ++stats_.bad_requests;
-          drop = true;  // unparseable request: the stream is not trusted
+      if (rev & (POLLIN | POLLHUP)) {
+        std::string buf;
+        const auto r = util::read_some(c.sock.fd(), buf);
+        if (r == util::IoResult::kClosed) {
+          c.dead = true;
+          continue;
+        }
+        if (!buf.empty()) {
+          c.in.feed(buf);
+          while (true) {
+            const auto frame = c.in.next();
+            if (!frame) break;
+            handle_frame(c, *frame);
+            if (c.dead) break;
+          }
+          if (c.in.corrupt()) c.dead = true;
+          if (c.dead) continue;
+          if (c.in.partial() && !c.read_stalled) {
+            c.read_stalled = true;
+            c.read_stall_since = Clock::now();
+          } else if (!c.in.partial()) {
+            c.read_stalled = false;
+          }
         }
       }
-      if (drop) {
-        im.conns.erase(im.conns.begin() + static_cast<std::ptrdiff_t>(i));
-        // fds is rebuilt next tick; indices past i are off by one now, so
-        // finish this tick conservatively by re-polling.
-        break;
+      if (rev & POLLOUT) flush_conn(c);
+    }
+
+    // Deadline sweeps: a peer that takes none of its queued bytes, or
+    // leaves a request frame half-sent, is evicted — only that
+    // connection pays, never the daemon or its other clients.
+    const auto sweep_now = Clock::now();
+    for (auto& c : im.conns) {
+      if (c.dead) continue;
+      if (c.out_off < c.out.size() &&
+          sweep_now - c.write_stall_since > write_timeout) {
+        ++stats_.evicted;
+        ORACLE_LOG_WARN(strfmt("evicting stalled client (conn %llu): %zu "
+                               "response byte(s) unaccepted",
+                               static_cast<unsigned long long>(c.id),
+                               c.out.size() - c.out_off));
+        c.dead = true;
+        continue;
       }
-      ++i;
+      if (c.read_stalled && sweep_now - c.read_stall_since > read_timeout) {
+        ++stats_.evicted;
+        ORACLE_LOG_WARN(strfmt("evicting stalled client (conn %llu): "
+                               "partial request frame",
+                               static_cast<unsigned long long>(c.id)));
+        c.dead = true;
+      }
+    }
+
+    for (std::size_t i = 0; i < im.conns.size();) {
+      if (im.conns[i].dead) {
+        close_conn_trace(im.conns[i]);
+        im.conns.erase(im.conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
     }
   }
+
+  // Stop the pool. Workers drain the (now draining-flagged) queue by
+  // answering each remaining query with a shutdown error, then exit.
+  {
+    std::lock_guard<std::mutex> lk(im.ds.mu);
+    im.ds.exit_workers = true;
+  }
+  im.ds.cv.notify_all();
+  for (auto& w : im.workers) w.join();
+  im.workers.clear();
+
+  // Settle counters from any completions that raced the drain decision
+  // (their frames have no takers; the stats still count).
+  {
+    std::deque<SvcEvent> events;
+    {
+      std::lock_guard<std::mutex> lk(im.ds.mu);
+      events.swap(im.ds.events);
+    }
+    for (auto& ev : events)
+      if (ev.kind == SvcEvent::Kind::kQueryDone) apply_event(ev);
+  }
+
+  for (auto& c : im.conns) close_conn_trace(c);
+  im.conns.clear();
 
   write_status();
   return stats_;

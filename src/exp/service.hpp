@@ -13,13 +13,30 @@
 // aggregate` over the same store — and a novel query costs exactly its
 // missing grid points.
 //
-// Two front ends share query():
+// Two front ends share the same query engine:
 //   - in-process: library clients construct a Service and call query()
 //     with their own sink (the tests do this);
 //   - the daemon: start()/run() serve the service_protocol frames over
-//     TCP with the same single-threaded poll loop as exp::LeaseService,
-//     one request at a time (queries run inline; the executor already
-//     uses every core, so concurrent queries would only fight over it).
+//     TCP to MANY clients at once.
+//
+// Daemon concurrency model (PR 10): one poll thread owns every socket and
+// runs per-connection non-blocking state machines — partial reads
+// accumulate in a FrameSplitter, responses queue in a per-connection
+// write buffer flushed under POLLOUT, and a peer that stalls either
+// direction past its deadline is evicted (only that connection drops;
+// see ServiceStats::evicted). ping/status/shutdown answer inline on the
+// poll thread, so they are never behind a heavy query. Query execution
+// happens on a small worker pool: each query advances in SLICES of at
+// most `job_budget` scheduled jobs, and unfinished queries go to the back
+// of a round-robin run queue — a million-point cold sweep cannot starve a
+// one-point warm hit, it merely shares. Workers never touch sockets; they
+// hand completed frames to the poll thread through a completion queue +
+// wake pipe. Store appends are serialized (the batch executor already
+// uses every core), and the StoreIndex is behind a readers-writer lock:
+// aggregation reads share, the post-commit refresh() is exclusive, so
+// concurrent queries always see a consistent snapshot. Concurrency
+// changes scheduling, never results: warm tables stay byte-identical to
+// `oracle_batch aggregate` regardless of client count.
 
 #include <atomic>
 #include <cstdint>
@@ -48,7 +65,7 @@ struct ServiceOptions {
 
   /// Optional obs::StatusSnapshot file, atomically rewritten every
   /// status_interval_ms while the daemon runs (phase "serving", request +
-  /// cache-hit counters).
+  /// cache-hit + connection/queue-depth/in-flight counters).
   std::string status_path;
   std::uint32_t status_interval_ms = 500;
 
@@ -57,6 +74,34 @@ struct ServiceOptions {
   /// Precision-target queries stop extending the seed axis after this
   /// many extra rounds even if some grid point is still wider than asked.
   std::size_t max_target_rounds = 8;
+
+  // ---- daemon concurrency knobs ----
+
+  /// Worker threads executing query slices. 0 = auto (min(hardware, 8)).
+  /// 1 still keeps the poll loop responsive — queries just execute one
+  /// slice at a time.
+  std::size_t query_threads = 0;
+
+  /// Fairness budget: max jobs one query may schedule per worker slice
+  /// before it yields the worker to the next queued query.
+  std::size_t job_budget = 64;
+
+  /// A connection with queued response bytes that accepts none of them
+  /// for this long is evicted (the stalled-client bound).
+  std::uint32_t write_timeout_ms = 10'000;
+
+  /// A connection holding a partial request frame that sends no further
+  /// bytes for this long is evicted.
+  std::uint32_t read_timeout_ms = 10'000;
+
+  /// On shutdown, how long run() keeps flushing queued response bytes to
+  /// well-behaved clients before closing their connections anyway.
+  std::uint32_t drain_timeout_ms = 2'000;
+
+  /// SO_SNDBUF for accepted connections; 0 = OS default. Bounds the bytes
+  /// a stalled client can sink into the kernel before write_timeout_ms
+  /// governs (also what the eviction tests use to stall cheaply).
+  int sndbuf_bytes = 0;
 };
 
 /// Outcome of one query.
@@ -94,6 +139,7 @@ struct ServiceStats {
   std::size_t cache_hits = 0;    ///< grid points answered from the index
   std::size_t jobs_scheduled = 0;  ///< jobs executed on behalf of queries
   std::size_t jobs_requested = 0;  ///< grid points asked across queries
+  std::size_t evicted = 0;  ///< connections dropped for stalling a deadline
   bool shutdown_requested = false;
 };
 
@@ -110,7 +156,8 @@ class Service {
   void open();
 
   /// Serve one sweep request in-process. Throws ConfigError on an invalid
-  /// query (unknown metric, precision target on a master-seed sweep).
+  /// query (unknown metric, precision target on a master-seed sweep, a
+  /// target whose rounds cannot make progress or whose metric is NaN).
   /// Store I/O failures propagate as SimulationError.
   QueryStats query(const ServiceQuery& q, ServiceSink& sink);
 
@@ -123,11 +170,14 @@ class Service {
   /// The actually-bound port (after start(); resolves listen.port == 0).
   std::uint16_t port() const;
 
-  /// Serve frames until stop() or a shutdown request. Returns the final
-  /// counters. Call start() first.
+  /// Serve frames until stop() or a shutdown request, then drain: queued
+  /// queries are failed with a shutdown error, in-flight slices finish,
+  /// response buffers flush (bounded by drain_timeout_ms). Returns the
+  /// final counters. Call start() first.
   ServiceStats run();
 
-  /// Thread-safe shutdown request: run() returns within one poll tick.
+  /// Thread-safe shutdown request: run() begins draining within one poll
+  /// tick (commands.cpp installs this as the SIGINT/SIGTERM action).
   void stop() { stop_.store(true, std::memory_order_relaxed); }
 
   const ServiceStats& stats() const { return stats_; }

@@ -36,6 +36,21 @@
 // Tables and CSV bodies are free text (spaces, newlines) transported
 // byte-exactly — the client's output must match `oracle_batch aggregate`
 // to the byte, that being the whole point of the cache.
+//
+// Concurrency semantics (the daemon serves many connections at once):
+//   - Within ONE connection, requests are answered strictly in the order
+//     they were sent; a second request sent while a query streams is
+//     queued behind it, so response frames of different exchanges never
+//     interleave on a connection.
+//   - Across connections there is no ordering; queries execute
+//     concurrently on a worker pool and ping/status answer immediately
+//     even while heavy queries run.
+//   - A client that stops reading while the server has responses queued
+//     for it is EVICTED after a deadline: the connection is closed (the
+//     client sees EOF, possibly mid-frame), never the daemon blocked.
+//   - On shutdown mid-query the server either completes the stream or
+//     sends `error` with kServiceShuttingDown and closes after flushing
+//     — a client never observes a torn half-frame from a graceful stop.
 
 #include <cstdint>
 #include <optional>
@@ -51,6 +66,10 @@ inline constexpr const char* kServiceProtoVersion = "s1";
 /// Aggregate tables over large grids outgrow the lease protocol's 64 KiB
 /// frame cap; both service peers agree on this one instead.
 inline constexpr std::size_t kServiceMaxFrameBytes = 4u << 20;
+
+/// `error` text a query aborted by daemon shutdown carries; clients match
+/// on it to distinguish "server going away" from a rejected request.
+inline constexpr const char* kServiceShuttingDown = "service shutting down";
 
 enum class ServiceOp { kPing, kStatus, kQuery, kShutdown };
 

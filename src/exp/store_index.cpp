@@ -165,6 +165,7 @@ std::size_t StoreIndex::add_store(const std::string& path) {
 std::size_t StoreIndex::refresh() {
   std::size_t added = 0;
   for (std::size_t i = 0; i < stores_.size(); ++i) added += scan_store(i);
+  if (added > 0) ++generation_;
   return added;
 }
 

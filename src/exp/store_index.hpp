@@ -24,6 +24,16 @@
 // twice in one after an overlapping merge) keep the FIRST occurrence, in
 // store registration + file order — matching Aggregator::add_line's dedup
 // so a cache answer and a full re-aggregation agree.
+//
+// Threading contract: the index itself is NOT internally synchronized.
+// contains()/lookup()/fetch_line()/size() are safe to call concurrently
+// from many readers (fetch_line opens its own file handle per call), but
+// add_store()/refresh() mutate the map and must be exclusive with every
+// reader. exp::Service wraps the index in a readers-writer lock: queries
+// aggregate under the shared side, and the one refresh() after each
+// committed batch chunk takes the exclusive side — because the stores are
+// append-only, a reader between refreshes still sees a consistent (merely
+// slightly stale) snapshot, never a torn one.
 
 #include <cstdint>
 #include <optional>
@@ -74,6 +84,11 @@ class StoreIndex {
   /// Total bytes of complete lines indexed across all stores.
   std::uint64_t indexed_bytes() const;
 
+  /// Monotone snapshot version: bumped by every refresh() that indexed at
+  /// least one new record. Two reads under the same generation saw the
+  /// same index contents (appends only become visible through refresh).
+  std::uint64_t generation() const { return generation_; }
+
  private:
   struct Store {
     std::string path;
@@ -88,6 +103,7 @@ class StoreIndex {
   std::unordered_map<std::uint64_t, Entry> index_;
   std::size_t duplicates_ = 0;
   std::size_t corrupt_lines_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace oracle::exp

@@ -54,10 +54,13 @@ std::string StatusSnapshot::to_json() const {
       "{\"v\":%d,\"phase\":\"%s\",\"jobs_total\":%zu,\"jobs_done\":%zu,"
       "\"jobs_per_s\":%.3f,\"eta_s\":%.3f,\"elapsed_s\":%.3f,"
       "\"steals\":%zu,\"restarts\":%zu,\"quarantined\":%zu,\"fenced\":%zu,"
-      "\"retries\":%zu,\"requests\":%zu,\"cache_hits\":%zu,\"workers\":[",
+      "\"retries\":%zu,\"requests\":%zu,\"cache_hits\":%zu,"
+      "\"connections\":%zu,\"queue_depth\":%zu,\"in_flight\":%zu,"
+      "\"evicted\":%zu,\"workers\":[",
       kVersion, phase.c_str(), jobs_total, jobs_done, jobs_per_second,
       eta_seconds, elapsed_seconds, steals, restarts, quarantined, fenced,
-      retries, requests, cache_hits);
+      retries, requests, cache_hits, connections, queue_depth, in_flight,
+      evicted);
   for (std::size_t i = 0; i < workers.size(); ++i) {
     const WorkerStatus& w = workers[i];
     if (i > 0) out += ',';
@@ -102,6 +105,15 @@ std::optional<StatusSnapshot> StatusSnapshot::parse(const std::string& json) {
       static_cast<std::size_t>(find_number(json, "requests").value_or(0.0));
   s.cache_hits =
       static_cast<std::size_t>(find_number(json, "cache_hits").value_or(0.0));
+  // Concurrent-serving era additions; absent in older snapshots.
+  s.connections =
+      static_cast<std::size_t>(find_number(json, "connections").value_or(0.0));
+  s.queue_depth =
+      static_cast<std::size_t>(find_number(json, "queue_depth").value_or(0.0));
+  s.in_flight =
+      static_cast<std::size_t>(find_number(json, "in_flight").value_or(0.0));
+  s.evicted =
+      static_cast<std::size_t>(find_number(json, "evicted").value_or(0.0));
 
   const auto arr = json.find("\"workers\":[");
   if (arr == std::string::npos) return std::nullopt;

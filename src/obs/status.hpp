@@ -45,6 +45,10 @@ struct StatusSnapshot {
   std::size_t retries = 0;      ///< client request retries seen (lease server)
   std::size_t requests = 0;     ///< frames answered (resident oracle service)
   std::size_t cache_hits = 0;   ///< grid points served from the store index
+  std::size_t connections = 0;  ///< open client connections (oracle service)
+  std::size_t queue_depth = 0;  ///< queries waiting for a worker slice
+  std::size_t in_flight = 0;    ///< queries executing on workers right now
+  std::size_t evicted = 0;      ///< stalled/dead connections dropped
   std::vector<WorkerStatus> workers;  ///< empty for single-process runs
 
   /// One-line JSON document (always valid JSON; schema in README).

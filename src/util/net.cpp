@@ -1,5 +1,6 @@
 #include "util/net.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -80,6 +81,45 @@ std::string TextFrame::text_after(std::size_t i) const {
   return raw_.substr(pos);
 }
 
+std::optional<std::string> FrameSplitter::next() {
+  if (corrupt_) return std::nullopt;
+  if (buf_.size() - off_ < 4) return std::nullopt;
+  const auto* h = reinterpret_cast<const unsigned char*>(buf_.data() + off_);
+  const std::uint32_t n = static_cast<std::uint32_t>(h[0]) |
+                          (static_cast<std::uint32_t>(h[1]) << 8) |
+                          (static_cast<std::uint32_t>(h[2]) << 16) |
+                          (static_cast<std::uint32_t>(h[3]) << 24);
+  if (n > max_bytes_) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - off_ - 4 < n) return std::nullopt;
+  std::string payload = buf_.substr(off_ + 4, n);
+  off_ += 4 + static_cast<std::size_t>(n);
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not accrete every frame it ever received.
+  if (off_ > 4096 && off_ * 2 >= buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  return payload;
+}
+
+std::string frame_bytes(const std::string& payload, std::size_t max_bytes) {
+  if (payload.size() > max_bytes) return {};
+  unsigned char hdr[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  hdr[0] = static_cast<unsigned char>(n & 0xff);
+  hdr[1] = static_cast<unsigned char>((n >> 8) & 0xff);
+  hdr[2] = static_cast<unsigned char>((n >> 16) & 0xff);
+  hdr[3] = static_cast<unsigned char>((n >> 24) & 0xff);
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.append(reinterpret_cast<const char*>(hdr), 4);
+  buf.append(payload);
+  return buf;
+}
+
 std::optional<TextFrame> TextFrame::parse(const std::string& payload,
                                           const std::string& version,
                                           std::size_t max_tokens) {
@@ -125,12 +165,22 @@ Socket listen_tcp(const HostPort&, int) { return Socket(); }
 std::uint16_t local_port(int) { return 0; }
 Socket connect_tcp(const HostPort&, NetDeadline) { return Socket(); }
 Socket accept_tcp(int) { return Socket(); }
+void set_send_buffer(int, int) {}
 bool send_frame(int, const std::string&, NetDeadline, std::size_t) {
   return false;
 }
 std::optional<std::string> recv_frame(int, NetDeadline, std::size_t) {
   return std::nullopt;
 }
+IoResult read_some(int, std::string&, std::size_t) { return IoResult::kClosed; }
+IoResult write_some(int, const char*, std::size_t, std::size_t* written) {
+  if (written != nullptr) *written = 0;
+  return IoResult::kClosed;
+}
+WakePipe::WakePipe() = default;
+WakePipe::~WakePipe() = default;
+void WakePipe::notify() {}
+void WakePipe::drain() {}
 
 #else
 
@@ -289,6 +339,81 @@ Socket accept_tcp(int listen_fd) {
   set_nonblocking(s.fd());
   set_nodelay(s.fd());
   return s;
+}
+
+void set_send_buffer(int fd, int bytes) {
+  if (bytes <= 0) return;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
+IoResult read_some(int fd, std::string& buf, std::size_t max_bytes) {
+  char chunk[16384];
+  std::size_t total = 0;
+  while (total < max_bytes) {
+    const std::size_t want = std::min(sizeof(chunk), max_bytes - total);
+    const ssize_t r = ::recv(fd, chunk, want, 0);
+    if (r > 0) {
+      buf.append(chunk, static_cast<std::size_t>(r));
+      total += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return IoResult::kClosed;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return total > 0 ? IoResult::kProgress : IoResult::kWouldBlock;
+    return IoResult::kClosed;
+  }
+  return IoResult::kProgress;
+}
+
+IoResult write_some(int fd, const char* data, std::size_t len,
+                    std::size_t* written) {
+  std::size_t done = 0;
+  IoResult result = IoResult::kWouldBlock;
+  while (done < len) {
+    const ssize_t r = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      result = IoResult::kProgress;
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    result = IoResult::kClosed;
+    break;
+  }
+  if (done == len && len > 0) result = IoResult::kProgress;
+  if (written != nullptr) *written = done;
+  return result;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return;
+  rfd_ = fds[0];
+  wfd_ = fds[1];
+  set_nonblocking(rfd_);
+  set_nonblocking(wfd_);
+}
+
+WakePipe::~WakePipe() {
+  if (rfd_ >= 0) ::close(rfd_);
+  if (wfd_ >= 0) ::close(wfd_);
+}
+
+void WakePipe::notify() {
+  if (wfd_ < 0) return;
+  const char b = 1;
+  // A full pipe already guarantees the poller will wake; dropping the
+  // byte on EAGAIN is the coalescing, not a loss.
+  [[maybe_unused]] const ssize_t r = ::write(wfd_, &b, 1);
+}
+
+void WakePipe::drain() {
+  if (rfd_ < 0) return;
+  char sink[256];
+  while (::read(rfd_, sink, sizeof(sink)) > 0) {
+  }
 }
 
 bool send_frame(int fd, const std::string& payload, NetDeadline deadline,

@@ -64,6 +64,12 @@ Socket connect_tcp(const HostPort& to, NetDeadline deadline);
 /// Accept one pending connection (socket must be ready). Invalid on error.
 Socket accept_tcp(int listen_fd);
 
+/// Set SO_SNDBUF on a socket (0 = leave the OS default). Best-effort: a
+/// server uses this to bound how much a stalled client can sink into the
+/// kernel before the userspace write queue (and its eviction deadline)
+/// takes over.
+void set_send_buffer(int fd, int bytes);
+
 inline constexpr std::size_t kMaxFrameBytes = 1 << 16;
 
 /// Write one [u32-le length][payload] frame before `deadline`. The socket
@@ -77,6 +83,77 @@ bool send_frame(int fd, const std::string& payload, NetDeadline deadline,
 /// an oversized/corrupt length prefix (connection should be dropped).
 std::optional<std::string> recv_frame(int fd, NetDeadline deadline,
                                       std::size_t max_bytes = kMaxFrameBytes);
+
+/// The exact wire bytes of one frame — [u32-le length][payload] in a
+/// single contiguous buffer (what send_frame puts on the wire). A
+/// non-blocking server encodes responses with this and queues the bytes
+/// for incremental writes. Empty string when the payload exceeds
+/// `max_bytes` (nothing to queue; the caller must not send a partial).
+std::string frame_bytes(const std::string& payload,
+                        std::size_t max_bytes = kMaxFrameBytes);
+
+/// One non-blocking read attempt, appending up to `max_bytes` to `buf`.
+enum class IoResult {
+  kProgress,    ///< bytes were transferred
+  kWouldBlock,  ///< nothing available right now (EAGAIN)
+  kClosed       ///< EOF or a hard socket error — drop the connection
+};
+IoResult read_some(int fd, std::string& buf, std::size_t max_bytes = 65536);
+
+/// One non-blocking write attempt of data[0, len). Returns bytes written
+/// through `written` (0 on would-block). kClosed on a hard error.
+IoResult write_some(int fd, const char* data, std::size_t len,
+                    std::size_t* written);
+
+/// Incremental decoder for length-prefixed frames arriving in arbitrary
+/// chunks on a non-blocking connection: feed() raw bytes as they arrive,
+/// next() pops complete payloads in order. corrupt() latches when a
+/// length prefix exceeds max_bytes — the stream is garbage from there on
+/// and the connection should be dropped.
+class FrameSplitter {
+ public:
+  explicit FrameSplitter(std::size_t max_bytes = kMaxFrameBytes)
+      : max_bytes_(max_bytes) {}
+
+  void feed(const char* data, std::size_t len) { buf_.append(data, len); }
+  void feed(const std::string& data) { feed(data.data(), data.size()); }
+
+  /// Pop the next complete frame payload; nullopt when no complete frame
+  /// is buffered (or the stream is corrupt).
+  std::optional<std::string> next();
+
+  bool corrupt() const { return corrupt_; }
+  /// True when a partial frame (header or payload) is sitting in the
+  /// buffer — the peer owes us bytes (drives the read-stall deadline).
+  bool partial() const { return off_ < buf_.size(); }
+
+ private:
+  std::size_t max_bytes_;
+  std::string buf_;
+  std::size_t off_ = 0;  ///< consumed prefix of buf_
+  bool corrupt_ = false;
+};
+
+/// Self-pipe that wakes a poll loop from another thread: poll the read
+/// end for POLLIN, notify() from anywhere (async-signal-safe, coalescing,
+/// never blocks), drain() before re-polling. POSIX only; invalid (fds
+/// < 0) on Windows or pipe() failure.
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  bool valid() const { return rfd_ >= 0; }
+  int poll_fd() const { return rfd_; }
+  void notify();
+  void drain();
+
+ private:
+  int rfd_ = -1;
+  int wfd_ = -1;
+};
 
 /// Strict decimal u64: digits only, overflow-checked. nullopt otherwise.
 std::optional<std::uint64_t> parse_u64_token(const std::string& s);

@@ -7,10 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,9 +24,12 @@
 #include "exp/aggregate.hpp"
 #include "exp/batch.hpp"
 #include "exp/checkpoint.hpp"
+#include "exp/job_queue.hpp"
+#include "exp/result_sink.hpp"
 #include "exp/service.hpp"
 #include "exp/service_protocol.hpp"
 #include "obs/status.hpp"
+#include "stats/run_result.hpp"
 #include "util/error.hpp"
 #include "util/net.hpp"
 
@@ -64,6 +72,40 @@ void prebuild_store(const core::SweepSpec& spec, const std::string& store) {
   opt.collect = false;
   const auto outcome = exp::run_batch(spec.build(), opt);
   ASSERT_TRUE(outcome.report.ok());
+}
+
+/// A fabricated run record for `job`: identification from the config,
+/// metrics chosen by the test. Lets a test author a store with exact
+/// metric values (NaN, pinned single samples) without running anything.
+stats::RunResult fabricated_result(const exp::ExperimentJob& job,
+                                   double speedup) {
+  stats::RunResult r;
+  r.topology = job.config.topology;
+  r.strategy = job.config.strategy;
+  r.workload = job.config.workload;
+  r.num_pes = 16;
+  r.seed = job.config.machine.seed;
+  r.completion_time = 1000;
+  r.goals_executed = 10;
+  r.total_work = 500;
+  r.critical_path = 100;
+  r.avg_utilization = 0.5;
+  r.speedup = speedup;
+  r.events_executed = 42;
+  return r;
+}
+
+/// Write one fabricated record per job of `spec` into `store` (the warm
+/// precondition, without paying for simulations).
+void fabricate_store(const core::SweepSpec& spec, const std::string& store,
+                     double speedup = 2.0) {
+  std::remove(store.c_str());
+  std::remove(exp::Checkpoint::default_path(store).c_str());
+  exp::JobQueue queue(spec.build());
+  std::ofstream out(store, std::ios::binary);
+  ASSERT_TRUE(out.is_open());
+  for (const auto& job : queue.jobs())
+    out << exp::jsonl_record(job, fabricated_result(job, speedup)) << '\n';
 }
 
 /// ServiceSink that records everything it is handed.
@@ -539,6 +581,323 @@ TEST(ServiceDaemon, MalformedFramesDropTheConnectionOnly) {
   daemon.svc.stop();
   daemon.join();
   EXPECT_EQ(daemon.stats.bad_requests, 1u);
+}
+
+// --------------------------------------------- precision-target diagnostics --
+
+TEST(Service, PrecisionTargetRejectsNaNMetric) {
+  // A store whose target metric is NaN must fail the query loudly: NaN
+  // poisons every `ci95 > target` comparison into false, which would
+  // otherwise report the target as met after round one.
+  const auto store = temp_path("nan_target.jsonl");
+  core::SweepSpec spec;
+  spec.topologies = {"grid:4x4"};
+  spec.strategies = {"random"};
+  spec.workloads = {"fib:8"};
+  spec.seeds = {1, 2};
+  fabricate_store(spec, store, std::numeric_limits<double>::quiet_NaN());
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  exp::Service service(opt);
+
+  exp::ServiceQuery q;
+  q.sweep = spec;
+  q.target_metric = "speedup";
+  q.target_ci95 = 0.1;
+  CollectSink sink;
+  try {
+    service.query(q, sink);
+    FAIL() << "a NaN target metric must throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Service, PrecisionTargetStopsWhenRoundsCannotProgress) {
+  // One pinned sample (ci95 = 0 with n = 1 never satisfies a target) whose
+  // extension jobs always fail — the "nonsense" topology parses at run
+  // time and throws, so no extension round can ever add a sample. The
+  // query must terminate with a diagnostic instead of burning every round.
+  const auto store = temp_path("pinned.jsonl");
+  core::SweepSpec spec;
+  spec.topologies = {"nonsense:9q"};
+  spec.strategies = {"random"};
+  spec.workloads = {"fib:8"};
+  spec.seeds = {1};
+  fabricate_store(spec, store, 2.0);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  opt.max_target_rounds = 8;
+  exp::Service service(opt);
+
+  exp::ServiceQuery q;
+  q.sweep = spec;
+  q.target_metric = "speedup";
+  q.target_ci95 = 0.5;
+  CollectSink sink;
+  try {
+    service.query(q, sink);
+    FAIL() << "a target that cannot make progress must throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("progress"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------- daemon concurrency --
+
+/// Drive one query over an already-connected socket: send, then read the
+/// whole response stream. Returns false on any transport/parse problem.
+struct WireQueryResult {
+  std::vector<std::pair<std::string, std::string>> tables;
+  exp::QueryStats stats;
+  bool done = false;
+  bool error = false;
+  std::string error_text;
+};
+
+bool run_wire_query(int fd, const exp::ServiceQuery& q, std::uint64_t seq,
+                    WireQueryResult& out) {
+  ServiceRequest req;
+  req.seq = seq;
+  req.op = ServiceOp::kQuery;
+  req.query = q;
+  if (!util::send_frame(fd, req.encode(), in_30s(),
+                        exp::kServiceMaxFrameBytes))
+    return false;
+  while (true) {
+    const auto payload =
+        util::recv_frame(fd, in_30s(), exp::kServiceMaxFrameBytes);
+    if (!payload) return false;
+    const auto rsp = ServiceResponse::parse(*payload);
+    if (!rsp || rsp->seq != seq) return false;
+    switch (rsp->kind) {
+      case ServiceResponseKind::kTable:
+        out.tables.emplace_back(rsp->metric, rsp->text);
+        break;
+      case ServiceResponseKind::kStats:
+        out.stats.total = rsp->total;
+        out.stats.cached = rsp->cached;
+        out.stats.scheduled = rsp->scheduled;
+        out.stats.failed = rsp->failed;
+        out.stats.rounds = rsp->rounds;
+        break;
+      case ServiceResponseKind::kError:
+        out.error = true;
+        out.error_text = rsp->text;
+        return true;
+      case ServiceResponseKind::kDone:
+        out.done = true;
+        return true;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(ServiceDaemon, ConcurrentWarmAndColdQueriesStayByteIdentical) {
+  const auto store = temp_path("concurrent.jsonl");
+  const auto spec = small_sweep();
+  prebuild_store(spec, store);
+
+  // The reference bytes BEFORE any cold query appends: a warm query names
+  // exactly the prebuilt grid points, so later appends (other hashes) must
+  // not change its answer.
+  const auto ref_agg = exp::Aggregator::from_jsonl_files({store});
+  const auto reference =
+      exp::Aggregator::to_table(ref_agg.summarize(), "speedup");
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  opt.poll_ms = 10;
+  ServiceThread daemon(opt);
+  ASSERT_GT(daemon.svc.port(), 0);
+
+  // 4 warm + 4 cold clients at once. Each cold query asks one fresh seed
+  // (a job the store does not have), so it schedules exactly one job.
+  constexpr int kWarm = 4;
+  constexpr int kCold = 4;
+  std::vector<WireQueryResult> results(kWarm + kCold);
+  // Not vector<bool>: distinct elements must be writable from distinct
+  // threads without a shared-word data race.
+  std::vector<char> transported(kWarm + kCold, 0);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kWarm + kCold; ++i) {
+    clients.emplace_back([&, i] {
+      auto sock = connect_to(daemon.svc.port());
+      if (!sock.valid()) return;
+      exp::ServiceQuery q;
+      if (i < kWarm) {
+        q.sweep = spec;
+      } else {
+        q.sweep = spec;
+        q.sweep.strategies = {"random"};
+        q.sweep.seeds = {100u + static_cast<std::uint64_t>(i)};
+      }
+      transported[static_cast<std::size_t>(i)] = run_wire_query(
+          sock.fd(), q, 1000u + static_cast<std::uint64_t>(i),
+          results[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kWarm + kCold; ++i) {
+    ASSERT_TRUE(transported[static_cast<std::size_t>(i)]) << "client " << i;
+    const auto& r = results[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(r.done) << "client " << i << ": " << r.error_text;
+    EXPECT_EQ(r.stats.failed, 0u);
+    ASSERT_EQ(r.tables.size(), 1u);
+    if (i < kWarm) {
+      // The concurrency contract: byte-identical to serial aggregation,
+      // no matter how many clients were being served.
+      EXPECT_EQ(r.tables[0].second, reference) << "warm client " << i;
+      EXPECT_EQ(r.stats.cached, spec.size());
+      EXPECT_EQ(r.stats.scheduled, 0u);
+    } else {
+      EXPECT_EQ(r.stats.cached, 0u);
+      EXPECT_EQ(r.stats.scheduled, 1u);
+    }
+  }
+
+  auto conn = connect_to(daemon.svc.port());
+  ServiceRequest shutdown;
+  shutdown.seq = 9000;
+  shutdown.op = ServiceOp::kShutdown;
+  const auto rsp = exchange(conn.fd(), shutdown);
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->kind, ServiceResponseKind::kOk);
+  daemon.join();
+
+  // Deterministic accounting across all interleavings.
+  EXPECT_EQ(daemon.stats.requests,
+            static_cast<std::size_t>(kWarm + kCold) + 1u);
+  EXPECT_EQ(daemon.stats.queries, static_cast<std::size_t>(kWarm + kCold));
+  EXPECT_EQ(daemon.stats.bad_requests, 0u);
+  EXPECT_EQ(daemon.stats.evicted, 0u);
+  EXPECT_EQ(daemon.stats.jobs_requested,
+            static_cast<std::size_t>(kWarm) * spec.size() +
+                static_cast<std::size_t>(kCold));
+  EXPECT_EQ(daemon.stats.cache_hits,
+            static_cast<std::size_t>(kWarm) * spec.size());
+  EXPECT_EQ(daemon.stats.jobs_scheduled, static_cast<std::size_t>(kCold));
+}
+
+TEST(ServiceDaemon, StalledClientIsEvictedWithoutBlockingOthers) {
+  // A client that requests a large response and then stops reading must
+  // not wedge the daemon: pings on other connections stay fast, and the
+  // stalled connection is evicted once its write deadline expires.
+  const auto store = temp_path("stall.jsonl");
+  core::SweepSpec spec;
+  spec.topologies = {"grid:4x4"};
+  spec.strategies = {"random"};
+  for (int i = 1; i <= 80; ++i)
+    spec.workloads.push_back("fib:" + std::to_string(i));
+  spec.seeds = {1, 2, 3};
+  fabricate_store(spec, store);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  opt.poll_ms = 10;
+  opt.write_timeout_ms = 300;
+  opt.sndbuf_bytes = 8192;  // bound the kernel's share of the stall
+  ServiceThread daemon(opt);
+  ASSERT_GT(daemon.svc.port(), 0);
+
+  // Raw socket with a tiny receive buffer (set before connect so the
+  // advertised window stays small): the big CSV cannot drain into it.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(stalled, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.svc.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ServiceRequest big;
+  big.seq = 77;
+  big.op = ServiceOp::kQuery;
+  big.query.sweep = spec;
+  big.query.want_csv = true;  // ~hundreds of KiB of response
+  ASSERT_TRUE(util::send_frame(stalled, big.encode(), in_1s(),
+                               exp::kServiceMaxFrameBytes));
+  // ... and never read a byte.
+
+  // Meanwhile a well-behaved connection keeps getting served: pings
+  // round-trip within their 1 s deadline and a warm query still answers.
+  auto other = connect_to(daemon.svc.port());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ServiceRequest ping;
+    ping.seq = 100 + i;
+    ping.op = ServiceOp::kPing;
+    const auto rsp = exchange(other.fd(), ping);
+    ASSERT_TRUE(rsp.has_value()) << "ping " << i << " while a client stalls";
+    EXPECT_EQ(rsp->kind, ServiceResponseKind::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  exp::ServiceQuery warm;
+  warm.sweep = spec;
+  warm.sweep.workloads = {"fib:1"};
+  WireQueryResult wr;
+  ASSERT_TRUE(run_wire_query(other.fd(), warm, 200, wr));
+  ASSERT_TRUE(wr.done) << wr.error_text;
+  EXPECT_EQ(wr.stats.cached, 3u);
+
+  daemon.svc.stop();
+  daemon.join();
+  ::close(stalled);
+  EXPECT_EQ(daemon.stats.evicted, 1u);
+}
+
+TEST(ServiceDaemon, StopMidQueryEndsTheStreamCleanly) {
+  // SIGTERM while a query is in flight (commands.cpp routes the signal to
+  // Service::stop()) must leave the client with a parseable stream ending
+  // in `done` or `error` — never a torn half-frame.
+  const auto store = temp_path("sigterm.jsonl");
+  const auto spec = small_sweep();
+  prebuild_store(spec, store);
+
+  exp::ServiceOptions opt;
+  opt.store = store;
+  opt.poll_ms = 10;
+  opt.job_budget = 1;  // many short slices: stop lands mid-query
+  ServiceThread daemon(opt);
+  ASSERT_GT(daemon.svc.port(), 0);
+
+  auto conn = connect_to(daemon.svc.port());
+  ServiceRequest req;
+  req.seq = 55;
+  req.op = ServiceOp::kQuery;
+  req.query.sweep = spec;
+  req.query.sweep.seeds = {301, 302, 303, 304, 305, 306};  // all cold
+  ASSERT_TRUE(util::send_frame(conn.fd(), req.encode(), in_1s(),
+                               exp::kServiceMaxFrameBytes));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  daemon.svc.stop();
+
+  // Every frame until EOF must parse; the stream must end with done or a
+  // shutdown error, whichever the drain raced to.
+  bool done = false, error = false;
+  while (true) {
+    const auto payload =
+        util::recv_frame(conn.fd(), in_30s(), exp::kServiceMaxFrameBytes);
+    if (!payload) break;  // EOF after the final frame
+    const auto rsp = ServiceResponse::parse(*payload);
+    ASSERT_TRUE(rsp.has_value()) << "torn or corrupt frame after stop";
+    EXPECT_EQ(rsp->seq, 55u);
+    if (rsp->kind == ServiceResponseKind::kDone) done = true;
+    if (rsp->kind == ServiceResponseKind::kError) {
+      error = true;
+      EXPECT_EQ(rsp->text, exp::kServiceShuttingDown);
+    }
+  }
+  EXPECT_TRUE(done || error) << "stream ended without done or error";
+  daemon.join();
 }
 
 }  // namespace

@@ -314,6 +314,12 @@ TEST(StatusFile, SnapshotRoundTrips) {
   st.elapsed_seconds = 2.96;
   st.steals = 3;
   st.restarts = 1;
+  st.requests = 9;
+  st.cache_hits = 5;
+  st.connections = 4;
+  st.queue_depth = 2;
+  st.in_flight = 1;
+  st.evicted = 1;
   st.workers.push_back({0, true, 0, 60, 37, 1, 0.25});
   st.workers.push_back({1, false, 60, 120, 120, 0, -1.0});
 
@@ -329,6 +335,12 @@ TEST(StatusFile, SnapshotRoundTrips) {
   EXPECT_NEAR(parsed->eta_seconds, 6.64, 1e-3);
   EXPECT_EQ(parsed->steals, 3u);
   EXPECT_EQ(parsed->restarts, 1u);
+  EXPECT_EQ(parsed->requests, 9u);
+  EXPECT_EQ(parsed->cache_hits, 5u);
+  EXPECT_EQ(parsed->connections, 4u);
+  EXPECT_EQ(parsed->queue_depth, 2u);
+  EXPECT_EQ(parsed->in_flight, 1u);
+  EXPECT_EQ(parsed->evicted, 1u);
   ASSERT_EQ(parsed->workers.size(), 2u);
   EXPECT_EQ(parsed->workers[0].slot, 0u);
   EXPECT_TRUE(parsed->workers[0].live);

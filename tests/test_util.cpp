@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#if !defined(_WIN32)
+#include <poll.h>
+#endif
+
 #include <atomic>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/net.hpp"
+#include "util/posix_io.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -168,6 +176,77 @@ TEST(ThreadPool, TasksSubmittedFromWorkers) {
   pool.wait_idle();
   EXPECT_EQ(count.load(), 10);
 }
+
+// --------------------------------------------------------------------------
+// net: frame encoding + incremental splitting
+// --------------------------------------------------------------------------
+
+TEST(FrameSplitter, ReassemblesFramesFromArbitraryChunks) {
+  const std::string a = util::frame_bytes("hello");
+  const std::string b = util::frame_bytes(std::string(1000, 'x'));
+  const std::string c = util::frame_bytes("");  // empty payload is legal
+  const std::string wire = a + b + c;
+
+  // Feed byte-by-byte: worst-case fragmentation must still yield the
+  // exact payloads in order.
+  util::FrameSplitter split;
+  std::vector<std::string> got;
+  for (const char ch : wire) {
+    split.feed(&ch, 1);
+    while (auto frame = split.next()) got.push_back(*frame);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "hello");
+  EXPECT_EQ(got[1], std::string(1000, 'x'));
+  EXPECT_EQ(got[2], "");
+  EXPECT_FALSE(split.corrupt());
+  EXPECT_FALSE(split.partial());
+
+  // A partial header/payload reports partial() until completed.
+  split.feed(wire.data(), 2);
+  EXPECT_TRUE(split.partial());
+  EXPECT_FALSE(split.next().has_value());
+  split.feed(wire.data() + 2, a.size() - 2);
+  const auto frame = split.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "hello");
+}
+
+TEST(FrameSplitter, OversizedLengthPrefixLatchesCorrupt) {
+  util::FrameSplitter split(16);
+  const std::string big = util::frame_bytes(std::string(64, 'y'));
+  ASSERT_FALSE(big.empty());  // within the default cap used to build it
+  split.feed(big);
+  EXPECT_FALSE(split.next().has_value());
+  EXPECT_TRUE(split.corrupt());
+  // Once corrupt, nothing good comes out ever again.
+  split.feed(util::frame_bytes("ok"));
+  EXPECT_FALSE(split.next().has_value());
+}
+
+TEST(FrameBytes, RefusesPayloadsOverTheCap) {
+  EXPECT_TRUE(util::frame_bytes(std::string(17, 'z'), 16).empty());
+  const auto wire = util::frame_bytes("abc", 16);
+  ASSERT_EQ(wire.size(), 4u + 3u);
+  EXPECT_EQ(wire.substr(4), "abc");
+}
+
+#if !defined(_WIN32)
+TEST(WakePipe, NotifyIsVisibleToPollAndDrainClears) {
+  util::WakePipe wake;
+  ASSERT_TRUE(wake.valid());
+  struct pollfd p = {wake.poll_fd(), POLLIN, 0};
+  EXPECT_EQ(util::poll_retry(&p, 1, 0), 0);  // idle: nothing readable
+  wake.notify();
+  wake.notify();  // coalesces, never blocks
+  p.revents = 0;
+  ASSERT_EQ(util::poll_retry(&p, 1, 1000), 1);
+  EXPECT_TRUE(p.revents & POLLIN);
+  wake.drain();
+  p.revents = 0;
+  EXPECT_EQ(util::poll_retry(&p, 1, 0), 0);  // drained: quiet again
+}
+#endif
 
 }  // namespace
 }  // namespace oracle
